@@ -1,0 +1,65 @@
+//! E1 — average burst delay vs offered load, forward link, all policies.
+//!
+//! The paper's headline comparison: JABA-SD vs cdma2000 FCFS vs equal
+//! sharing, dynamic simulation with mobility, power control, soft hand-off.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use wcdma_bench::{banner, policies, quick_base};
+use wcdma_mac::LinkDir;
+use wcdma_sim::experiments::delay_vs_load;
+use wcdma_sim::table::ci;
+use wcdma_sim::{Simulation, Table};
+
+fn print_experiment() {
+    banner("E1", "mean burst delay vs load, forward link (policy comparison)");
+    let base = quick_base();
+    let pols = policies();
+    let refs: Vec<(&str, _)> = pols.iter().map(|(n, p)| (*n, p.clone())).collect();
+    let rows = delay_vs_load(&base, LinkDir::Forward, &[8, 24, 48], &refs, 2);
+    let mut t = Table::new(&[
+        "policy",
+        "N_d",
+        "mean delay [s]",
+        "p95 [s]",
+        "cell tput [kbps]",
+        "denial",
+    ]);
+    for r in &rows {
+        t.row(&[
+            r.policy.clone(),
+            r.n_data.to_string(),
+            ci(&r.agg.mean_delay_s),
+            ci(&r.agg.p95_delay_s),
+            ci(&r.agg.per_cell_throughput_kbps),
+            ci(&r.agg.denial_rate),
+        ]);
+    }
+    println!("{}", t.render());
+}
+
+fn bench(c: &mut Criterion) {
+    print_experiment();
+    let mut group = c.benchmark_group("e1");
+    group.sample_size(10);
+    let mut cfg = quick_base();
+    cfg.duration_s = 10.0;
+    cfg.warmup_s = 2.0;
+    group.bench_function("sim_10s_jaba_sd", |b| {
+        b.iter(|| Simulation::new(black_box(cfg.clone())).run())
+    });
+    let fcfs = cfg.with_policy(wcdma_admission::Policy::Fcfs {
+        max_concurrent: None,
+    });
+    group.bench_function("sim_10s_fcfs", |b| {
+        b.iter(|| Simulation::new(black_box(fcfs.clone())).run())
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! E8 — burst statistics under load: granted-m distribution, δβ̄ at grant,
+//! burst durations, denial rate.
+//!
+//! Shows how JABA-SD's grants shrink and selectivity rises as the system
+//! saturates.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use wcdma_bench::{banner, quick_base};
+use wcdma_mac::LinkDir;
+use wcdma_sim::{SimConfig, Simulation, Table};
+
+fn print_experiment() {
+    banner("E8", "burst statistics vs load (JABA-SD, forward)");
+    let mut t = Table::new(&[
+        "N_d",
+        "mean m",
+        "mean delta_beta",
+        "denial rate",
+        "bursts done",
+        "m histogram (1..16)",
+    ]);
+    for &n in &[4usize, 8, 16, 24] {
+        let cfg: SimConfig = quick_base()
+            .with_direction(LinkDir::Forward)
+            .with_n_data(n);
+        let r = Simulation::new(cfg).run();
+        t.row(&[
+            n.to_string(),
+            format!("{:.2}", r.mean_grant_m),
+            format!("{:.3}", r.mean_delta_beta),
+            format!("{:.3}", r.denial_rate),
+            r.bursts_completed.to_string(),
+            format!("{:?}", r.grant_hist),
+        ]);
+    }
+    println!("{}", t.render());
+}
+
+fn bench(c: &mut Criterion) {
+    print_experiment();
+    let mut cfg = quick_base();
+    cfg.n_data = 24;
+    cfg.duration_s = 8.0;
+    cfg.warmup_s = 2.0;
+    c.bench_function("e8/sim_8s_24users_saturated", |b| {
+        b.iter(|| Simulation::new(black_box(cfg.clone())).run())
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

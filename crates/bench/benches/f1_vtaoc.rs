@@ -1,0 +1,75 @@
+//! F1 — Figure 1(b) content: the VTAOC staircase.
+//!
+//! Regenerates: average throughput, mode occupancy and delivered BER vs
+//! mean CSI under constant-BER adaptation, plus the fixed-PHY comparison.
+//! Times: threshold design, mode selection, analytic average throughput,
+//! and per-frame mode-sequence simulation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use wcdma_bench::banner;
+use wcdma_math::{db_to_lin, Xoshiro256pp};
+use wcdma_phy::frame::simulate_frame;
+use wcdma_phy::{BerModel, FixedPhy, Vtaoc, NUM_MODES};
+use wcdma_sim::Table;
+
+fn print_experiment() {
+    banner(
+        "F1",
+        "VTAOC average throughput / mode occupancy vs mean CSI (Fig. 1b)",
+    );
+    let vtaoc = Vtaoc::default_config();
+    let fixed = FixedPhy::designed_for(BerModel::coded(), 1e-3, db_to_lin(6.0));
+    let mut t = Table::new(&[
+        "CSI [dB]",
+        "avg beta adaptive",
+        "avg beta fixed",
+        "P(outage)",
+        "P(top mode)",
+        "sim BER",
+    ]);
+    for db in (-5..=25).step_by(3) {
+        let eps = db_to_lin(db as f64);
+        let occ = vtaoc.mode_occupancy(eps);
+        t.row(&[
+            db.to_string(),
+            format!("{:.4}", vtaoc.avg_throughput(eps)),
+            format!("{:.4}", fixed.avg_throughput(eps)),
+            format!("{:.3}", occ[0]),
+            format!("{:.3}", occ[NUM_MODES]),
+            format!("{:.2e}", vtaoc.avg_ber(eps, 100_000, 1)),
+        ]);
+    }
+    println!("{}", t.render());
+}
+
+fn bench(c: &mut Criterion) {
+    print_experiment();
+    let vtaoc = Vtaoc::default_config();
+    let eps = db_to_lin(10.0);
+
+    c.bench_function("f1/threshold_design", |b| {
+        b.iter(|| Vtaoc::constant_ber(black_box(BerModel::coded()), black_box(1e-3)))
+    });
+    c.bench_function("f1/mode_select", |b| {
+        let mut g: f64 = 0.01;
+        b.iter(|| {
+            g = (g * 1.618).rem_euclid(30.0) + 1e-3;
+            vtaoc.mode_for(black_box(g))
+        })
+    });
+    c.bench_function("f1/avg_throughput_analytic", |b| {
+        b.iter(|| vtaoc.avg_throughput(black_box(eps)))
+    });
+    c.bench_function("f1/frame_simulation_64slots", |b| {
+        let mut rng = Xoshiro256pp::new(3);
+        b.iter(|| simulate_frame(&vtaoc, black_box(eps), 64, 24.0, 0.7, &mut rng))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,704 @@
+//! The dynamic CDMA network: mobiles, links, loads, and the per-frame update
+//! that produces everything the burst-admission measurement sub-layer needs.
+//!
+//! Responsibilities:
+//!
+//! * own one [`ChannelLink`] per (mobile, cell) pair and advance them;
+//! * forward pilot measurement → FCH active set with hysteresis → reduced
+//!   active set for the SCH;
+//! * forward FCH power allocation (MRC across soft hand-off legs) and
+//!   reverse closed-loop power control;
+//! * accumulate per-cell forward transmit power `P_k` and reverse received
+//!   power `L_k` (the paper's loading / interference measurements);
+//! * apply granted SCH bursts as additional forward power / reverse
+//!   interference (eq. 5/6/11);
+//! * expose [`DataUserMeasurement`] — exactly the quantities Figure 2 shows
+//!   being collected with a burst request.
+//!
+//! The update uses the previous frame's loads for measurement and power
+//! control (one-frame feedback lag, as in a real system), then recomputes
+//! loads from the new allocations.
+
+use wcdma_channel::ChannelLink;
+use wcdma_geo::{CellId, HexLayout, Point};
+use wcdma_math::db::thermal_noise_watt;
+
+use crate::config::CdmaConfig;
+use crate::pilot::{measure_pilots, ActiveSet, PilotStrength};
+use crate::power::{
+    forward_fch_ebi0, forward_fch_powers, reverse_fch_ebi0, reverse_fch_power, InnerLoop,
+};
+use crate::voice::VoiceActivity;
+
+/// Kind of user occupying the network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UserKind {
+    /// Background voice user (on/off FCH activity).
+    Voice,
+    /// High-speed packet-data user (always-on FCH + burst SCH).
+    Data,
+}
+
+/// An SCH burst grant applied to the network.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SchGrant {
+    /// Spreading-gain ratio m (1..=M).
+    pub m: u32,
+    /// Forward-link burst (true) or reverse-link burst (false).
+    pub forward: bool,
+    /// SCH/FCH relative symbol-energy requirement γ_s.
+    pub gamma_s: f64,
+}
+
+/// Measurement report accompanying a burst request (Figure 2).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DataUserMeasurement {
+    /// Mobile index.
+    pub mobile: usize,
+    /// FCH active set.
+    pub active_set: Vec<CellId>,
+    /// Reduced active set for the SCH (strongest first).
+    pub reduced_set: Vec<CellId>,
+    /// Forward FCH leg powers `P_{j,k}` (W) for every active-set cell.
+    pub fch_fwd_power: Vec<(CellId, f64)>,
+    /// Forward-link reduced-active-set adjustment α^{FL}.
+    pub alpha_fl: f64,
+    /// Reverse-link adjustment α^{RL}.
+    pub alpha_rl: f64,
+    /// FCH-to-pilot transmit ratio ζ at the mobile.
+    pub zeta: f64,
+    /// Reverse pilot strength `t^{RL}_{j,k}` at each soft hand-off cell.
+    pub rev_pilot_ecio: Vec<(CellId, f64)>,
+    /// Forward pilot strengths `t^{FL}_{j,k}` the mobile reports in its
+    /// SCRM (up to 8, strongest first).
+    pub fwd_pilot_ecio: Vec<(CellId, f64)>,
+    /// Achieved forward FCH Eb/I0 (linear) — basis for the SCH CSI.
+    pub fch_ebi0_fwd: f64,
+    /// Achieved reverse FCH Eb/I0 (linear).
+    pub fch_ebi0_rev: f64,
+}
+
+/// Internal per-mobile state.
+#[derive(Debug)]
+struct MobileUnit {
+    pos: Point,
+    moved_m: f64,
+    kind: UserKind,
+    voice: Option<VoiceActivity>,
+    links: Vec<ChannelLink>,
+    /// Long-term (local-mean) gain to each cell.
+    gains: Vec<f64>,
+    active_set: ActiveSet,
+    pilots: Vec<PilotStrength>,
+    /// Forward FCH power per active-set leg.
+    fch_legs: Vec<(CellId, f64)>,
+    /// Reverse FCH transmit power (W).
+    rev_fch_w: f64,
+    sch_grant: Option<SchGrant>,
+    /// Achieved FCH Eb/I0, forward and reverse (linear).
+    ebi0_fwd: f64,
+    ebi0_rev: f64,
+    /// Whether the FCH is transmitting this frame.
+    fch_on: bool,
+}
+
+/// The dynamic multi-cell CDMA network.
+#[derive(Debug)]
+pub struct Network {
+    cfg: CdmaConfig,
+    layout: HexLayout,
+    mobiles: Vec<MobileUnit>,
+    /// Current forward transmit power per cell, `P_k` (W).
+    fwd_total_w: Vec<f64>,
+    /// Current reverse received power per cell, `L_k` (W).
+    rev_total_w: Vec<f64>,
+    /// Cells whose forward budget was exceeded last frame (clamped).
+    overloaded: Vec<bool>,
+    mobile_noise_w: f64,
+    /// Ideal (true) vs stepped (false) reverse power control.
+    ideal_reverse_pc: bool,
+    inner_loop: InnerLoop,
+    seed: u64,
+    next_stream: u64,
+}
+
+impl Network {
+    /// Creates an empty network over `layout`.
+    pub fn new(cfg: CdmaConfig, layout: HexLayout, seed: u64) -> Self {
+        cfg.validate().expect("invalid CDMA configuration");
+        let k = layout.num_cells();
+        let base_fwd = cfg.pilot_power_w + cfg.common_power_w;
+        let noise = cfg.noise_floor_w();
+        let inner_loop = InnerLoop::new(0.5, 1e-8, cfg.mobile_max_power_w);
+        Self {
+            mobile_noise_w: thermal_noise_watt(cfg.chip_rate, 8.0),
+            cfg,
+            layout,
+            mobiles: Vec::new(),
+            fwd_total_w: vec![base_fwd; k],
+            rev_total_w: vec![noise; k],
+            overloaded: vec![false; k],
+            ideal_reverse_pc: false,
+            inner_loop,
+            seed,
+            next_stream: 1,
+        }
+    }
+
+    /// Switches reverse power control between ideal (exact) and stepped
+    /// closed-loop (default).
+    pub fn set_ideal_reverse_pc(&mut self, ideal: bool) {
+        self.ideal_reverse_pc = ideal;
+    }
+
+    /// Adds a mobile at `pos` with the given speed (m/s, sets the fading
+    /// Doppler); returns its index.
+    pub fn add_mobile(&mut self, kind: UserKind, pos: Point, speed_ms: f64) -> usize {
+        let k = self.layout.num_cells();
+        let doppler =
+            (speed_ms.max(0.5) * self.cfg.carrier_hz / 299_792_458.0).max(1.0);
+        let mut links = Vec::with_capacity(k);
+        for cell in 0..k {
+            let stream = self.next_stream;
+            self.next_stream += 1;
+            links.push(ChannelLink::with_defaults(
+                self.seed,
+                stream.wrapping_mul(1021).wrapping_add(cell as u64),
+                doppler,
+                self.cfg.frame_s,
+            ));
+        }
+        let voice = match kind {
+            UserKind::Voice => {
+                let s = self.next_stream;
+                self.next_stream += 1;
+                Some(VoiceActivity::standard(self.seed, s))
+            }
+            UserKind::Data => None,
+        };
+        self.mobiles.push(MobileUnit {
+            pos,
+            moved_m: 0.0,
+            kind,
+            voice,
+            links,
+            gains: vec![0.0; k],
+            active_set: ActiveSet::new(),
+            pilots: Vec::new(),
+            fch_legs: Vec::new(),
+            rev_fch_w: 1e-6,
+            sch_grant: None,
+            ebi0_fwd: 0.0,
+            ebi0_rev: 0.0,
+            fch_on: true,
+        });
+        self.mobiles.len() - 1
+    }
+
+    /// Number of mobiles.
+    pub fn num_mobiles(&self) -> usize {
+        self.mobiles.len()
+    }
+
+    /// Number of cells.
+    pub fn num_cells(&self) -> usize {
+        self.layout.num_cells()
+    }
+
+    /// The cell layout.
+    pub fn layout(&self) -> &HexLayout {
+        &self.layout
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &CdmaConfig {
+        &self.cfg
+    }
+
+    /// Moves mobile `j` to `pos` (records the displacement for shadowing
+    /// decorrelation). Call before [`Network::step`].
+    pub fn move_mobile(&mut self, j: usize, pos: Point) {
+        let m = &mut self.mobiles[j];
+        m.moved_m += m.pos.dist(pos);
+        m.pos = pos;
+    }
+
+    /// Position of mobile `j`.
+    pub fn mobile_position(&self, j: usize) -> Point {
+        self.mobiles[j].pos
+    }
+
+    /// Applies (or clears) an SCH grant on mobile `j`; takes effect at the
+    /// next [`Network::step`].
+    pub fn set_grant(&mut self, j: usize, grant: Option<SchGrant>) {
+        if let Some(g) = grant {
+            assert!(g.m >= 1, "grant with m = 0 is a rejection; pass None");
+            assert!(g.gamma_s > 0.0);
+        }
+        self.mobiles[j].sch_grant = grant;
+    }
+
+    /// Current grant on mobile `j`.
+    pub fn grant(&self, j: usize) -> Option<SchGrant> {
+        self.mobiles[j].sch_grant
+    }
+
+    /// Current forward transmit power per cell, `P_k` (W).
+    pub fn forward_load_w(&self) -> &[f64] {
+        &self.fwd_total_w
+    }
+
+    /// Current reverse received power per cell, `L_k` (W).
+    pub fn reverse_load_w(&self) -> &[f64] {
+        &self.rev_total_w
+    }
+
+    /// Cells that hit the forward power clamp last frame.
+    pub fn overloaded_cells(&self) -> Vec<CellId> {
+        self.overloaded
+            .iter()
+            .enumerate()
+            .filter(|(_, &o)| o)
+            .map(|(k, _)| CellId(k as u32))
+            .collect()
+    }
+
+    /// Long-term gain from mobile `j` to `cell`.
+    pub fn gain(&self, j: usize, cell: CellId) -> f64 {
+        self.mobiles[j].gains[cell.index()]
+    }
+
+    /// FCH active set of mobile `j`.
+    pub fn active_set(&self, j: usize) -> &[CellId] {
+        self.mobiles[j].active_set.members()
+    }
+
+    /// Advances the network by one frame of `dt` seconds.
+    pub fn step(&mut self, dt: f64) {
+        assert!(dt > 0.0);
+        let k = self.layout.num_cells();
+        let fwd_prev = self.fwd_total_w.clone();
+        let rev_prev = self.rev_total_w.clone();
+
+        // Phase 1: channels, pilots, active sets, power control.
+        for m in &mut self.mobiles {
+            // Advance every link and refresh long-term gains.
+            for (cell, link) in m.links.iter_mut().enumerate() {
+                link.advance(m.moved_m, dt);
+                let d = self.layout.distance(m.pos, CellId(cell as u32));
+                m.gains[cell] = link.long_term_gain(d);
+            }
+            m.moved_m = 0.0;
+
+            // Pilot measurement against last frame's forward powers.
+            let mut total_rx = self.mobile_noise_w;
+            let mut pilot_rx = vec![0.0; k];
+            for cell in 0..k {
+                total_rx += fwd_prev[cell] * m.gains[cell];
+                pilot_rx[cell] = self.cfg.pilot_power_w * m.gains[cell];
+            }
+            m.pilots = measure_pilots(&pilot_rx, total_rx);
+            m.active_set.update(
+                &m.pilots,
+                self.cfg.t_add,
+                self.cfg.t_drop,
+                self.cfg.active_set_max,
+            );
+
+            // Voice activity gating.
+            m.fch_on = match m.kind {
+                UserKind::Data => true,
+                UserKind::Voice => m.voice.as_mut().expect("voice state").step(dt),
+            };
+
+            // Forward FCH power control (ideal): interference at the mobile
+            // counts other-cell power fully and own-active-set power through
+            // the orthogonality loss.
+            let mut interference = self.mobile_noise_w;
+            for cell in 0..k {
+                let w = fwd_prev[cell] * m.gains[cell];
+                if m.active_set.contains(CellId(cell as u32)) {
+                    interference += w * self.cfg.orthogonality_loss;
+                } else {
+                    interference += w;
+                }
+            }
+            let legs: Vec<CellId> = m.active_set.members().to_vec();
+            let leg_gains: Vec<f64> = legs.iter().map(|c| m.gains[c.index()]).collect();
+            let theta = self.cfg.fch_processing_gain();
+            let powers = forward_fch_powers(
+                self.cfg.fch_ebi0_target,
+                theta,
+                interference,
+                &leg_gains,
+            );
+            m.fch_legs = legs.iter().copied().zip(powers.iter().copied()).collect();
+            m.ebi0_fwd = forward_fch_ebi0(theta, interference, &powers, &leg_gains);
+
+            // Reverse power control toward the best leg of last frame's L.
+            let (best_cell, best_gain) = legs
+                .iter()
+                .map(|c| (*c, m.gains[c.index()]))
+                .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite gain"))
+                .expect("active set never empty");
+            let ideal = reverse_fch_power(
+                self.cfg.fch_ebi0_target,
+                theta,
+                rev_prev[best_cell.index()],
+                best_gain,
+                self.cfg.mobile_max_power_w,
+            );
+            m.rev_fch_w = if self.ideal_reverse_pc {
+                ideal
+            } else {
+                self.inner_loop.step(m.rev_fch_w, ideal)
+            };
+            m.ebi0_rev = reverse_fch_ebi0(
+                theta,
+                rev_prev[best_cell.index()],
+                best_gain,
+                m.rev_fch_w,
+            );
+        }
+
+        // Phase 2: accumulate new loads.
+        let base_fwd = self.cfg.pilot_power_w + self.cfg.common_power_w;
+        let mut fwd = vec![base_fwd; k];
+        let mut rev = vec![self.cfg.noise_floor_w(); k];
+        for m in &self.mobiles {
+            // Forward FCH legs.
+            if m.fch_on {
+                for &(cell, p) in &m.fch_legs {
+                    fwd[cell.index()] += p;
+                }
+            }
+            // Forward SCH grant on the reduced active set.
+            if let Some(g) = m.sch_grant {
+                if g.forward {
+                    let reduced = m
+                        .active_set
+                        .reduced(&m.pilots, self.cfg.reduced_active_set);
+                    let alpha = alpha_fl(m.active_set.len(), reduced.len());
+                    for cell in &reduced {
+                        if let Some(&(_, p)) =
+                            m.fch_legs.iter().find(|(c, _)| c == cell)
+                        {
+                            fwd[cell.index()] += g.m as f64 * g.gamma_s * p * alpha;
+                        }
+                    }
+                }
+            }
+            // Reverse: pilot + FCH + SCH.
+            let pilot_tx = m.rev_fch_w / self.cfg.fch_pilot_ratio;
+            let mut tx = pilot_tx;
+            if m.fch_on {
+                tx += m.rev_fch_w;
+            }
+            if let Some(g) = m.sch_grant {
+                if !g.forward {
+                    tx += g.m as f64 * g.gamma_s * m.rev_fch_w;
+                }
+            }
+            let tx = tx.min(self.cfg.mobile_max_power_w);
+            for cell in 0..k {
+                rev[cell] += tx * m.gains[cell];
+            }
+        }
+        // Forward budget clamp: flag and clamp overloaded cells.
+        for cell in 0..k {
+            self.overloaded[cell] = fwd[cell] > self.cfg.max_bs_power_w;
+            if self.overloaded[cell] {
+                fwd[cell] = self.cfg.max_bs_power_w;
+            }
+        }
+        self.fwd_total_w = fwd;
+        self.rev_total_w = rev;
+    }
+
+    /// Builds the burst-request measurement report for data mobile `j`
+    /// (Figure 2): loading, pilot strengths, α/ζ factors, and achieved FCH
+    /// quality for the CSI model.
+    pub fn measurement(&self, j: usize) -> DataUserMeasurement {
+        let m = &self.mobiles[j];
+        assert_eq!(m.kind, UserKind::Data, "measurements are for data users");
+        let reduced = m
+            .active_set
+            .reduced(&m.pilots, self.cfg.reduced_active_set);
+        let pilot_tx = m.rev_fch_w / self.cfg.fch_pilot_ratio;
+        let rev_pilot_ecio: Vec<(CellId, f64)> = m
+            .active_set
+            .members()
+            .iter()
+            .map(|&c| {
+                (
+                    c,
+                    pilot_tx * m.gains[c.index()] / self.rev_total_w[c.index()],
+                )
+            })
+            .collect();
+        let fwd_pilot_ecio: Vec<(CellId, f64)> = m
+            .pilots
+            .iter()
+            .take(8) // SCRM carries at most 8 pilot reports (footnote 6)
+            .map(|p| (p.cell, p.ec_io))
+            .collect();
+        DataUserMeasurement {
+            mobile: j,
+            active_set: m.active_set.members().to_vec(),
+            reduced_set: reduced.clone(),
+            fch_fwd_power: m.fch_legs.clone(),
+            alpha_fl: alpha_fl(m.active_set.len(), reduced.len()),
+            alpha_rl: 1.0,
+            zeta: self.cfg.fch_pilot_ratio,
+            rev_pilot_ecio,
+            fwd_pilot_ecio,
+            fch_ebi0_fwd: m.ebi0_fwd,
+            fch_ebi0_rev: m.ebi0_rev,
+        }
+    }
+
+    /// Indices of all data mobiles.
+    pub fn data_mobiles(&self) -> Vec<usize> {
+        self.mobiles
+            .iter()
+            .enumerate()
+            .filter(|(_, m)| m.kind == UserKind::Data)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Achieved FCH Eb/I0 (forward, reverse) for mobile `j`.
+    pub fn fch_quality(&self, j: usize) -> (f64, f64) {
+        (self.mobiles[j].ebi0_fwd, self.mobiles[j].ebi0_rev)
+    }
+}
+
+/// Forward reduced-active-set adjustment: the SCH is carried on fewer legs
+/// than the FCH, so each reduced-set leg carries `|A|/|R|` of the
+/// FCH-normalised power (the α^{FL} of eq. 6).
+fn alpha_fl(active_len: usize, reduced_len: usize) -> f64 {
+    if reduced_len == 0 {
+        return 1.0;
+    }
+    active_len as f64 / reduced_len as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wcdma_math::Xoshiro256pp;
+
+    fn small_net(n_voice: usize, n_data: usize, seed: u64) -> Network {
+        let cfg = CdmaConfig::default_system();
+        let layout = HexLayout::new(1, 1000.0); // 7 cells, faster tests
+        let mut net = Network::new(cfg, layout, seed);
+        let mut rng = Xoshiro256pp::new(seed ^ 0xD00D);
+        for i in 0..(n_voice + n_data) {
+            let kind = if i < n_voice {
+                UserKind::Voice
+            } else {
+                UserKind::Data
+            };
+            let cell = CellId((i % net.num_cells()) as u32);
+            let pos = {
+                let layout = net.layout().clone();
+                layout.random_point_in_cell(cell, &mut rng)
+            };
+            net.add_mobile(kind, pos, 3.0 / 3.6);
+        }
+        for _ in 0..20 {
+            net.step(0.02); // warm up PC and active sets
+        }
+        net
+    }
+
+    #[test]
+    fn loads_start_at_base_levels() {
+        let cfg = CdmaConfig::default_system();
+        let net = Network::new(cfg.clone(), HexLayout::new(1, 1000.0), 1);
+        for &p in net.forward_load_w() {
+            assert!((p - cfg.pilot_power_w - cfg.common_power_w).abs() < 1e-12);
+        }
+        for &l in net.reverse_load_w() {
+            assert!((l - cfg.noise_floor_w()).abs() < 1e-20);
+        }
+    }
+
+    #[test]
+    fn forward_load_grows_with_users() {
+        let net_small = small_net(5, 2, 42);
+        let net_big = small_net(40, 2, 42);
+        let sum = |n: &Network| n.forward_load_w().iter().sum::<f64>();
+        assert!(
+            sum(&net_big) > sum(&net_small),
+            "more users must cost more forward power: {} vs {}",
+            sum(&net_big),
+            sum(&net_small)
+        );
+    }
+
+    #[test]
+    fn reverse_load_above_noise_floor() {
+        let net = small_net(10, 3, 7);
+        let floor = net.config().noise_floor_w();
+        for &l in net.reverse_load_w() {
+            assert!(l > floor, "reverse load must exceed thermal noise");
+        }
+    }
+
+    #[test]
+    fn power_control_reaches_target_for_central_user() {
+        let cfg = CdmaConfig::default_system();
+        let mut net = Network::new(cfg.clone(), HexLayout::new(1, 1000.0), 3);
+        // A single data user near the centre cell site: easy link.
+        net.add_mobile(UserKind::Data, Point::new(150.0, 80.0), 1.0);
+        net.set_ideal_reverse_pc(true);
+        for _ in 0..30 {
+            net.step(0.02);
+        }
+        let (fwd, rev) = net.fch_quality(0);
+        assert!(
+            (wcdma_math::lin_to_db(fwd) - 7.0).abs() < 0.5,
+            "fwd Eb/I0 {} dB",
+            wcdma_math::lin_to_db(fwd)
+        );
+        assert!(
+            (wcdma_math::lin_to_db(rev) - 7.0).abs() < 0.5,
+            "rev Eb/I0 {} dB",
+            wcdma_math::lin_to_db(rev)
+        );
+    }
+
+    #[test]
+    fn measurement_report_is_complete() {
+        let net = small_net(4, 3, 11);
+        let data = net.data_mobiles();
+        assert_eq!(data.len(), 3);
+        for &j in &data {
+            let meas = net.measurement(j);
+            assert!(!meas.active_set.is_empty());
+            assert!(!meas.reduced_set.is_empty());
+            assert!(meas.reduced_set.len() <= net.config().reduced_active_set);
+            assert_eq!(meas.fch_fwd_power.len(), meas.active_set.len());
+            assert!(meas.fwd_pilot_ecio.len() <= 8, "SCRM carries ≤ 8 pilots");
+            assert!(meas.alpha_fl >= 1.0);
+            assert!(meas.zeta > 0.0);
+            for &(_, p) in &meas.fch_fwd_power {
+                assert!(p > 0.0 && p.is_finite());
+            }
+            for &(_, e) in &meas.rev_pilot_ecio {
+                assert!(e > 0.0 && e < 1.0, "Ec/Io must be a fraction: {e}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "data users")]
+    fn measurement_rejects_voice_user() {
+        let net = small_net(1, 0, 5);
+        let _ = net.measurement(0);
+    }
+
+    #[test]
+    fn forward_grant_increases_granting_cells_load() {
+        let mut net = small_net(0, 1, 13);
+        let j = net.data_mobiles()[0];
+        let before: f64 = net.forward_load_w().iter().sum();
+        net.set_grant(
+            j,
+            Some(SchGrant {
+                m: 8,
+                forward: true,
+                gamma_s: 1.0,
+            }),
+        );
+        net.step(0.02);
+        let after: f64 = net.forward_load_w().iter().sum();
+        assert!(after > before, "grant must add forward power: {after} vs {before}");
+        net.set_grant(j, None);
+        net.step(0.02);
+        net.step(0.02);
+        let released: f64 = net.forward_load_w().iter().sum();
+        assert!(released < after, "releasing the grant must shed power");
+    }
+
+    #[test]
+    fn reverse_grant_raises_interference() {
+        let mut net = small_net(0, 1, 17);
+        let j = net.data_mobiles()[0];
+        net.set_ideal_reverse_pc(true);
+        net.step(0.02);
+        let before: f64 = net.reverse_load_w().iter().sum();
+        net.set_grant(
+            j,
+            Some(SchGrant {
+                m: 16,
+                forward: false,
+                gamma_s: 1.0,
+            }),
+        );
+        net.step(0.02);
+        let after: f64 = net.reverse_load_w().iter().sum();
+        assert!(after > before, "reverse burst must raise L: {after} vs {before}");
+    }
+
+    #[test]
+    fn determinism_same_seed_same_loads() {
+        let a = small_net(6, 2, 99);
+        let b = small_net(6, 2, 99);
+        assert_eq!(a.forward_load_w(), b.forward_load_w());
+        assert_eq!(a.reverse_load_w(), b.reverse_load_w());
+    }
+
+    #[test]
+    fn distinct_seeds_differ() {
+        let a = small_net(6, 2, 99);
+        let b = small_net(6, 2, 100);
+        assert_ne!(a.forward_load_w(), b.forward_load_w());
+    }
+
+    #[test]
+    fn mobility_changes_gains() {
+        let mut net = small_net(0, 1, 23);
+        let j = 0;
+        let g_before = net.gain(j, CellId(0));
+        net.move_mobile(j, Point::new(900.0, 0.0));
+        net.step(0.02);
+        let g_after = net.gain(j, CellId(0));
+        assert_ne!(g_before, g_after);
+    }
+
+    #[test]
+    fn overload_flag_on_absurd_grant_pressure() {
+        let mut cfg = CdmaConfig::default_system();
+        cfg.max_bs_power_w = 8.0; // tight budget so the clamp must engage
+        let mut net = Network::new(cfg, HexLayout::new(1, 1000.0), 31);
+        let mut rng = Xoshiro256pp::new(5);
+        // Many cell-edge data users all granted max bursts: must clamp.
+        for _ in 0..12 {
+            let layout = net.layout().clone();
+            let pos = layout.random_point_in_cell(CellId(0), &mut rng);
+            let far = Point::new(pos.x + 900.0, pos.y);
+            let j = net.add_mobile(UserKind::Data, far, 1.0);
+            net.set_grant(
+                j,
+                Some(SchGrant {
+                    m: 16,
+                    forward: true,
+                    gamma_s: 1.0,
+                }),
+            );
+        }
+        for _ in 0..10 {
+            net.step(0.02);
+        }
+        assert!(
+            !net.overloaded_cells().is_empty(),
+            "12 max-rate edge bursts must overload some cell"
+        );
+        let pmax = net.config().max_bs_power_w;
+        for &p in net.forward_load_w() {
+            assert!(p <= pmax + 1e-9, "clamp failed: {p}");
+        }
+    }
+}

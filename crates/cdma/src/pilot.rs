@@ -1,0 +1,241 @@
+//! Pilot strength measurement and active-set maintenance.
+//!
+//! The forward pilot Ec/Io a mobile measures for cell k is
+//!
+//! `t^{FL}_{j,k} = (P_pilot · g_{j,k}) / I_total_j`
+//!
+//! where `I_total_j` is the total received forward power at the mobile plus
+//! noise. The FCH *active set* contains pilots above T_ADD, dropped below
+//! T_DROP (hysteresis), capped at `active_set_max`. The SCH uses the
+//! *reduced active set* — the strongest `reduced_active_set` pilots of the
+//! active set (cdma2000 footnote 4: "the set of the 2 base stations with the
+//! strongest pilot Ec/Io").
+
+use wcdma_geo::CellId;
+
+/// One pilot measurement: cell and linear Ec/Io.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PilotStrength {
+    /// Measured cell.
+    pub cell: CellId,
+    /// Linear Ec/Io.
+    pub ec_io: f64,
+}
+
+/// Computes forward pilot strengths for one mobile.
+///
+/// * `pilot_rx` — received pilot power from each cell (indexed by cell).
+/// * `total_rx` — total received forward power including noise.
+///
+/// Returns measurements sorted strongest-first.
+pub fn measure_pilots(pilot_rx: &[f64], total_rx: f64) -> Vec<PilotStrength> {
+    assert!(total_rx > 0.0, "total received power must be positive");
+    let mut v: Vec<PilotStrength> = pilot_rx
+        .iter()
+        .enumerate()
+        .map(|(k, &p)| PilotStrength {
+            cell: CellId(k as u32),
+            ec_io: p / total_rx,
+        })
+        .collect();
+    v.sort_by(|a, b| b.ec_io.partial_cmp(&a.ec_io).expect("finite Ec/Io"));
+    v
+}
+
+/// FCH active set with add/drop hysteresis.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ActiveSet {
+    members: Vec<CellId>,
+}
+
+impl ActiveSet {
+    /// Creates an empty active set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current members (unordered).
+    pub fn members(&self) -> &[CellId] {
+        &self.members
+    }
+
+    /// Whether `cell` is in the set.
+    pub fn contains(&self, cell: CellId) -> bool {
+        self.members.contains(&cell)
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Updates the set from fresh pilot measurements (strongest-first or
+    /// any order):
+    ///
+    /// 1. drop members whose pilot fell below `t_drop`;
+    /// 2. add non-members above `t_add`, strongest first, respecting
+    ///    `max_size`;
+    /// 3. guarantee non-emptiness by force-adding the strongest pilot.
+    pub fn update(
+        &mut self,
+        pilots: &[PilotStrength],
+        t_add: f64,
+        t_drop: f64,
+        max_size: usize,
+    ) {
+        debug_assert!(t_drop <= t_add, "hysteresis inverted");
+        assert!(max_size >= 1);
+        let strength = |c: CellId| {
+            pilots
+                .iter()
+                .find(|p| p.cell == c)
+                .map(|p| p.ec_io)
+                .unwrap_or(0.0)
+        };
+        // Drop phase.
+        self.members.retain(|&c| strength(c) >= t_drop);
+        // Add phase: strongest first.
+        let mut sorted: Vec<&PilotStrength> = pilots.iter().collect();
+        sorted.sort_by(|a, b| b.ec_io.partial_cmp(&a.ec_io).expect("finite"));
+        for p in &sorted {
+            if self.members.len() >= max_size {
+                break;
+            }
+            if p.ec_io >= t_add && !self.contains(p.cell) {
+                self.members.push(p.cell);
+            }
+        }
+        // Never empty: keep at least the best server.
+        if self.members.is_empty() {
+            if let Some(best) = sorted.first() {
+                self.members.push(best.cell);
+            }
+        }
+    }
+
+    /// The reduced active set for the SCH: the `n` members with the
+    /// strongest current pilots, strongest first.
+    pub fn reduced(&self, pilots: &[PilotStrength], n: usize) -> Vec<CellId> {
+        let mut scored: Vec<(CellId, f64)> = self
+            .members
+            .iter()
+            .map(|&c| {
+                let s = pilots
+                    .iter()
+                    .find(|p| p.cell == c)
+                    .map(|p| p.ec_io)
+                    .unwrap_or(0.0);
+                (c, s)
+            })
+            .collect();
+        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
+        scored.into_iter().take(n).map(|(c, _)| c).collect()
+    }
+
+    /// The strongest member ("best server") given current pilots.
+    pub fn best_server(&self, pilots: &[PilotStrength]) -> Option<CellId> {
+        self.reduced(pilots, 1).first().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(cell: u32, ec_io_db: f64) -> PilotStrength {
+        PilotStrength {
+            cell: CellId(cell),
+            ec_io: wcdma_math::db_to_lin(ec_io_db),
+        }
+    }
+
+    #[test]
+    fn measure_sorts_strongest_first() {
+        let pilots = measure_pilots(&[0.1, 0.5, 0.2], 10.0);
+        assert_eq!(pilots[0].cell, CellId(1));
+        assert_eq!(pilots[1].cell, CellId(2));
+        assert_eq!(pilots[2].cell, CellId(0));
+        assert!((pilots[0].ec_io - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn add_above_t_add_only() {
+        let mut a = ActiveSet::new();
+        let t_add = wcdma_math::db_to_lin(-14.0);
+        let t_drop = wcdma_math::db_to_lin(-16.0);
+        a.update(&[p(0, -10.0), p(1, -15.0), p(2, -20.0)], t_add, t_drop, 3);
+        assert!(a.contains(CellId(0)));
+        assert!(!a.contains(CellId(1)), "-15 dB is below T_ADD");
+        assert!(!a.contains(CellId(2)));
+    }
+
+    #[test]
+    fn hysteresis_keeps_member_between_thresholds() {
+        let mut a = ActiveSet::new();
+        let t_add = wcdma_math::db_to_lin(-14.0);
+        let t_drop = wcdma_math::db_to_lin(-16.0);
+        a.update(&[p(0, -10.0), p(1, -13.0)], t_add, t_drop, 3);
+        assert!(a.contains(CellId(1)));
+        // Pilot 1 decays to -15 dB: between T_DROP and T_ADD, stays.
+        a.update(&[p(0, -10.0), p(1, -15.0)], t_add, t_drop, 3);
+        assert!(a.contains(CellId(1)));
+        // Falls to -17 dB: dropped.
+        a.update(&[p(0, -10.0), p(1, -17.0)], t_add, t_drop, 3);
+        assert!(!a.contains(CellId(1)));
+    }
+
+    #[test]
+    fn capped_at_max_size_strongest_win() {
+        let mut a = ActiveSet::new();
+        let t_add = wcdma_math::db_to_lin(-14.0);
+        let t_drop = wcdma_math::db_to_lin(-16.0);
+        a.update(
+            &[p(0, -6.0), p(1, -7.0), p(2, -8.0), p(3, -9.0)],
+            t_add,
+            t_drop,
+            2,
+        );
+        assert_eq!(a.len(), 2);
+        assert!(a.contains(CellId(0)) && a.contains(CellId(1)));
+    }
+
+    #[test]
+    fn never_empty_even_in_deep_fade() {
+        let mut a = ActiveSet::new();
+        let t_add = wcdma_math::db_to_lin(-14.0);
+        let t_drop = wcdma_math::db_to_lin(-16.0);
+        a.update(&[p(0, -25.0), p(1, -30.0)], t_add, t_drop, 3);
+        assert_eq!(a.len(), 1);
+        assert!(a.contains(CellId(0)), "best server force-added");
+    }
+
+    #[test]
+    fn reduced_set_is_two_strongest() {
+        let mut a = ActiveSet::new();
+        let t_add = wcdma_math::db_to_lin(-14.0);
+        let t_drop = wcdma_math::db_to_lin(-16.0);
+        let pilots = [p(0, -9.0), p(1, -8.0), p(2, -13.0)];
+        a.update(&pilots, t_add, t_drop, 3);
+        assert_eq!(a.len(), 3);
+        let red = a.reduced(&pilots, 2);
+        assert_eq!(red, vec![CellId(1), CellId(0)]);
+        assert_eq!(a.best_server(&pilots), Some(CellId(1)));
+    }
+
+    #[test]
+    fn member_missing_from_report_gets_dropped() {
+        let mut a = ActiveSet::new();
+        let t_add = wcdma_math::db_to_lin(-14.0);
+        let t_drop = wcdma_math::db_to_lin(-16.0);
+        a.update(&[p(0, -10.0), p(1, -12.0)], t_add, t_drop, 3);
+        assert!(a.contains(CellId(1)));
+        // Next report omits cell 1 entirely → strength 0 → dropped.
+        a.update(&[p(0, -10.0)], t_add, t_drop, 3);
+        assert!(!a.contains(CellId(1)));
+    }
+}

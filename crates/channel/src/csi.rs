@@ -1,0 +1,124 @@
+//! Channel state information (CSI) estimation and feedback.
+//!
+//! Section 2.2: "Channel state information (CSI), which is estimated at the
+//! receiver, is feedback to the transmitter via a low-capacity feedback
+//! channel." The VTAOC mode decision therefore acts on a *delayed, noisy*
+//! version of the true instantaneous symbol energy-to-interference ratio.
+//!
+//! This module models the imperfections: a pipeline delay of `delay_samples`
+//! feedback intervals and a log-domain Gaussian estimation error. With both
+//! set to zero the estimator is ideal (the default for the headline
+//! experiments, matching the paper's assumption of pilot-aided coherent
+//! estimation); the failure-injection tests exercise the degraded modes.
+
+use std::collections::VecDeque;
+
+use wcdma_math::dist::Normal;
+use wcdma_math::rng::Xoshiro256pp;
+
+/// Models the CSI measurement/feedback pipeline.
+#[derive(Debug, Clone)]
+pub struct CsiEstimator {
+    /// Feedback pipeline: front = oldest (about to be delivered).
+    pipeline: VecDeque<f64>,
+    /// Number of feedback intervals of delay.
+    delay_samples: usize,
+    /// Log-domain (dB) estimation error standard deviation.
+    error_sigma_db: f64,
+    rng: Xoshiro256pp,
+}
+
+impl CsiEstimator {
+    /// Creates an estimator with `delay_samples` intervals of feedback delay
+    /// and `error_sigma_db` of dB-domain measurement noise.
+    pub fn new(delay_samples: usize, error_sigma_db: f64, rng: Xoshiro256pp) -> Self {
+        assert!(error_sigma_db >= 0.0, "error sigma must be non-negative");
+        Self {
+            pipeline: VecDeque::with_capacity(delay_samples + 1),
+            delay_samples,
+            error_sigma_db,
+            rng,
+        }
+    }
+
+    /// Ideal estimator: zero delay, zero error.
+    pub fn ideal() -> Self {
+        Self::new(0, 0.0, Xoshiro256pp::new(0))
+    }
+
+    /// Pushes the true instantaneous CSI `gamma` (linear Es/I0) measured at
+    /// the receiver and returns the CSI the *transmitter* sees this interval:
+    /// the value measured `delay_samples` intervals ago, corrupted by
+    /// estimation noise. Until the pipeline fills, the oldest available
+    /// measurement is returned.
+    pub fn observe(&mut self, gamma: f64) -> f64 {
+        debug_assert!(gamma >= 0.0, "CSI must be non-negative");
+        self.pipeline.push_back(gamma);
+        let delivered = if self.pipeline.len() > self.delay_samples {
+            self.pipeline.pop_front().expect("non-empty")
+        } else {
+            *self.pipeline.front().expect("just pushed")
+        };
+        if self.error_sigma_db == 0.0 {
+            delivered
+        } else {
+            let err_db = self.error_sigma_db * Normal::standard_sample(&mut self.rng);
+            delivered * wcdma_math::db_to_lin(err_db)
+        }
+    }
+
+    /// Configured delay in feedback intervals.
+    pub fn delay(&self) -> usize {
+        self.delay_samples
+    }
+
+    /// Configured dB error standard deviation.
+    pub fn error_sigma_db(&self) -> f64 {
+        self.error_sigma_db
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ideal_is_identity() {
+        let mut e = CsiEstimator::ideal();
+        for g in [0.1, 1.0, 7.5, 100.0] {
+            assert_eq!(e.observe(g), g);
+        }
+    }
+
+    #[test]
+    fn delay_shifts_sequence() {
+        let mut e = CsiEstimator::new(2, 0.0, Xoshiro256pp::new(1));
+        // Pipeline warm-up returns the oldest seen value.
+        assert_eq!(e.observe(1.0), 1.0);
+        assert_eq!(e.observe(2.0), 1.0);
+        // From now on: value from 2 intervals ago.
+        assert_eq!(e.observe(3.0), 1.0);
+        assert_eq!(e.observe(4.0), 2.0);
+        assert_eq!(e.observe(5.0), 3.0);
+    }
+
+    #[test]
+    fn noise_is_unbiased_in_db_domain() {
+        let mut e = CsiEstimator::new(0, 2.0, Xoshiro256pp::new(2));
+        let n = 100_000;
+        let mut sum_db = 0.0;
+        for _ in 0..n {
+            let obs = e.observe(1.0);
+            sum_db += wcdma_math::lin_to_db(obs);
+        }
+        let mean_db = sum_db / n as f64;
+        assert!(mean_db.abs() < 0.05, "mean error {mean_db} dB");
+    }
+
+    #[test]
+    fn zero_error_noisy_path_not_taken() {
+        let mut e = CsiEstimator::new(1, 0.0, Xoshiro256pp::new(3));
+        let _ = e.observe(4.0);
+        assert_eq!(e.observe(9.0), 4.0);
+    }
+}

@@ -1,0 +1,129 @@
+//! `wcdma-channel`: the wireless channel model of the paper's Section 2.1.
+//!
+//! The link gain between a mobile and a base station is the product of
+//! (eq. 1): `X(t) = X_l(t) · X_s(t)` where
+//!
+//! * `X_l` — *long-term* component: distance path loss × correlated
+//!   log-normal shadowing, coherence on the order of one to two seconds;
+//! * `X_s` — *short-term* Rayleigh fast fading from multipath superposition,
+//!   coherence on the order of a few milliseconds.
+//!
+//! Two fast-fading generators are provided: a Jakes/Clarke sum-of-sinusoids
+//! model (spectrally faithful) and a Gauss–Markov AR(1) complex process
+//! (cheap, used by the large sweeps). Both produce unit-mean power so the
+//! long-term component carries the absolute scale.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod csi;
+pub mod fading;
+pub mod nakagami;
+pub mod pathloss;
+pub mod shadowing;
+
+pub use csi::CsiEstimator;
+pub use fading::{ArFading, FastFading, JakesFading};
+pub use nakagami::NakagamiFading;
+pub use pathloss::PathLoss;
+pub use shadowing::Shadowing;
+
+use wcdma_math::rng::Xoshiro256pp;
+
+/// Complete per-link channel: path loss × shadowing × fast fading.
+///
+/// `gain()` returns the instantaneous *linear power gain* (≤ 1 in any sane
+/// configuration); `long_term_gain()` excludes fast fading — this is the
+/// "local mean" the burst admission layer and the power control loops see.
+#[derive(Debug, Clone)]
+pub struct ChannelLink {
+    pathloss: PathLoss,
+    shadowing: Shadowing,
+    fading: ArFading,
+}
+
+impl ChannelLink {
+    /// Creates a link with the given component models.
+    pub fn new(pathloss: PathLoss, shadowing: Shadowing, fading: ArFading) -> Self {
+        Self {
+            pathloss,
+            shadowing,
+            fading,
+        }
+    }
+
+    /// Creates a link with default urban parameters and a per-link RNG
+    /// substream derived from `seed`/`stream`.
+    pub fn with_defaults(seed: u64, stream: u64, doppler_hz: f64, sample_dt: f64) -> Self {
+        let rng = Xoshiro256pp::substream(seed, stream);
+        Self {
+            pathloss: PathLoss::urban_default(),
+            shadowing: Shadowing::urban_default(seed, stream ^ 0x5A5A),
+            fading: ArFading::new(rng, doppler_hz, sample_dt),
+        }
+    }
+
+    /// Advances the time-varying components by `dt` seconds for a mobile that
+    /// moved `dist_m` metres, then returns the instantaneous power gain for a
+    /// transmitter–receiver separation of `d_m` metres.
+    pub fn step(&mut self, d_m: f64, dist_moved_m: f64, dt: f64) -> f64 {
+        self.advance(dist_moved_m, dt);
+        self.gain(d_m)
+    }
+
+    /// Advances the time-varying components without computing a gain.
+    pub fn advance(&mut self, dist_moved_m: f64, dt: f64) {
+        self.shadowing.step(dist_moved_m, dt);
+        self.fading.step(dt);
+    }
+
+    /// Instantaneous power gain at distance `d_m` (no state advance).
+    pub fn gain(&self, d_m: f64) -> f64 {
+        self.long_term_gain(d_m) * self.fading.power()
+    }
+
+    /// Long-term ("local mean") power gain: path loss × shadowing.
+    pub fn long_term_gain(&self, d_m: f64) -> f64 {
+        self.pathloss.gain(d_m) * self.shadowing.gain()
+    }
+
+    /// Instantaneous fast-fading power (unit mean).
+    pub fn fading_power(&self) -> f64 {
+        self.fading.power()
+    }
+
+    /// Access to the path-loss model.
+    pub fn pathloss(&self) -> &PathLoss {
+        &self.pathloss
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn link_gain_is_product_of_components() {
+        let mut link = ChannelLink::with_defaults(7, 1, 10.0, 0.02);
+        let d = 500.0;
+        let g = link.step(d, 0.5, 0.02);
+        let lt = link.long_term_gain(d);
+        let ff = link.fading_power();
+        assert!((g - lt * ff).abs() / g < 1e-12);
+        assert!(g > 0.0 && g < 1.0);
+    }
+
+    #[test]
+    fn long_term_gain_decreases_with_distance_on_average() {
+        // Average over many shadowing realisations: gain at 2 km must be well
+        // below gain at 200 m.
+        let mut near = 0.0;
+        let mut far = 0.0;
+        for s in 0..200 {
+            let link = ChannelLink::with_defaults(s, 0, 10.0, 0.02);
+            near += link.long_term_gain(200.0);
+            far += link.long_term_gain(2000.0);
+        }
+        assert!(near / far > 100.0, "near/far {}", near / far);
+    }
+}

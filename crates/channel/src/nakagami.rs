@@ -1,0 +1,202 @@
+//! Nakagami-m fading and second-order fading statistics.
+//!
+//! Extensions beyond the paper's Rayleigh assumption:
+//!
+//! * [`NakagamiFading`] — the Nakagami-m family generalises Rayleigh
+//!   (`m = 1`) toward milder (`m > 1`, Rician-like) or harsher (`m < 1`)
+//!   fading; the VTAOC mode-occupancy analysis can be re-run under it to
+//!   test sensitivity to the fading law.
+//! * [`level_crossing_rate`] / [`avg_fade_duration`] — closed-form Rayleigh
+//!   second-order statistics (Jakes), used to validate the fading
+//!   generators' dynamics, not just their first-order distribution.
+
+use wcdma_math::dist::Normal;
+use wcdma_math::rng::Xoshiro256pp;
+
+/// Nakagami-m *power* sampler (unit mean): Gamma(shape = m, scale = 1/m).
+///
+/// The envelope is Nakagami-m distributed iff the power is Gamma(m, Ω/m);
+/// we fix Ω = 1 so the long-term component carries absolute scale, as
+/// everywhere else in the channel stack.
+#[derive(Debug, Clone)]
+pub struct NakagamiFading {
+    m: f64,
+    rng: Xoshiro256pp,
+}
+
+impl NakagamiFading {
+    /// Creates a sampler with shape `m ≥ 0.5`.
+    pub fn new(m: f64, rng: Xoshiro256pp) -> Self {
+        assert!(m >= 0.5, "Nakagami shape must be ≥ 0.5, got {m}");
+        Self { m, rng }
+    }
+
+    /// Shape parameter m.
+    pub fn m(&self) -> f64 {
+        self.m
+    }
+
+    /// Draws one unit-mean power sample.
+    pub fn sample_power(&mut self) -> f64 {
+        gamma_sample(self.m, &mut self.rng) / self.m
+    }
+}
+
+/// Marsaglia–Tsang Gamma(shape, 1) sampler (with the Johnk boost for
+/// shape < 1).
+fn gamma_sample(shape: f64, rng: &mut Xoshiro256pp) -> f64 {
+    if shape < 1.0 {
+        // Boost: Gamma(a) = Gamma(a+1) · U^{1/a}.
+        let g = gamma_sample(shape + 1.0, rng);
+        return g * rng.next_f64_open().powf(1.0 / shape);
+    }
+    let d = shape - 1.0 / 3.0;
+    let c = 1.0 / (9.0 * d).sqrt();
+    loop {
+        let x = Normal::standard_sample(rng);
+        let v = 1.0 + c * x;
+        if v <= 0.0 {
+            continue;
+        }
+        let v3 = v * v * v;
+        let u = rng.next_f64_open();
+        if u < 1.0 - 0.0331 * (x * x) * (x * x) {
+            return d * v3;
+        }
+        if u.ln() < 0.5 * x * x + d * (1.0 - v3 + v3.ln()) {
+            return d * v3;
+        }
+    }
+}
+
+/// Rayleigh level-crossing rate at normalised threshold `rho = R/R_rms`
+/// for maximum Doppler `fd` (Jakes): `LCR = √(2π)·fd·ρ·e^{−ρ²}`.
+pub fn level_crossing_rate(fd_hz: f64, rho: f64) -> f64 {
+    assert!(fd_hz >= 0.0 && rho > 0.0);
+    (2.0 * core::f64::consts::PI).sqrt() * fd_hz * rho * (-rho * rho).exp()
+}
+
+/// Rayleigh average fade duration below `rho`:
+/// `AFD = (e^{ρ²} − 1) / (ρ·fd·√(2π))`.
+pub fn avg_fade_duration(fd_hz: f64, rho: f64) -> f64 {
+    assert!(fd_hz > 0.0 && rho > 0.0);
+    ((rho * rho).exp() - 1.0) / (rho * fd_hz * (2.0 * core::f64::consts::PI).sqrt())
+}
+
+/// Empirically counts envelope down-crossings of `threshold` (on power
+/// `samples` at spacing `dt`) — used to validate generators against
+/// [`level_crossing_rate`].
+pub fn measure_lcr(powers: &[f64], threshold_power: f64, dt: f64) -> f64 {
+    assert!(dt > 0.0 && powers.len() > 1);
+    let mut crossings = 0usize;
+    for w in powers.windows(2) {
+        if w[0] >= threshold_power && w[1] < threshold_power {
+            crossings += 1;
+        }
+    }
+    crossings as f64 / ((powers.len() - 1) as f64 * dt)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fading::{FastFading, JakesFading};
+    use wcdma_math::Welford;
+
+    #[test]
+    fn nakagami_unit_mean_all_shapes() {
+        for &m in &[0.5, 1.0, 2.0, 4.0] {
+            let mut f = NakagamiFading::new(m, Xoshiro256pp::new(1));
+            let mut w = Welford::new();
+            for _ in 0..100_000 {
+                w.push(f.sample_power());
+            }
+            assert!(
+                (w.mean() - 1.0).abs() < 0.02,
+                "m = {m}: mean {}",
+                w.mean()
+            );
+            // Var of Gamma(m, 1/m)/... power variance = 1/m.
+            assert!(
+                (w.variance() - 1.0 / m).abs() < 0.05,
+                "m = {m}: var {}",
+                w.variance()
+            );
+        }
+    }
+
+    #[test]
+    fn nakagami_m1_is_rayleigh_power() {
+        // m = 1: power is Exp(1); P(X > 1) = e^{-1}.
+        let mut f = NakagamiFading::new(1.0, Xoshiro256pp::new(2));
+        let n = 200_000;
+        let tail = (0..n).filter(|_| f.sample_power() > 1.0).count() as f64 / n as f64;
+        assert!((tail - (-1.0f64).exp()).abs() < 0.01, "tail {tail}");
+    }
+
+    #[test]
+    fn higher_m_means_milder_fading() {
+        // Deep-fade probability P(X < 0.1) falls with m.
+        let deep = |m: f64| {
+            let mut f = NakagamiFading::new(m, Xoshiro256pp::new(3));
+            let n = 100_000;
+            (0..n).filter(|_| f.sample_power() < 0.1).count() as f64 / n as f64
+        };
+        let p1 = deep(1.0);
+        let p4 = deep(4.0);
+        assert!(p4 < p1 / 4.0, "m=4 deep fades {p4} vs m=1 {p1}");
+    }
+
+    #[test]
+    fn lcr_theory_peak_at_minus_3db() {
+        // LCR is maximised at ρ = 1/√2 (−3 dB): check local maximum.
+        let fd = 50.0;
+        let at = |rho: f64| level_crossing_rate(fd, rho);
+        let peak = 1.0 / 2f64.sqrt();
+        assert!(at(peak) > at(peak * 0.8));
+        assert!(at(peak) > at(peak * 1.25));
+    }
+
+    #[test]
+    fn jakes_lcr_matches_theory() {
+        // Measure LCR of the Jakes generator at ρ = 1 (threshold = RMS).
+        let fd = 40.0;
+        let dt = 1e-4;
+        let mut gen = JakesFading::new(Xoshiro256pp::new(4), fd, 64);
+        let n = 400_000;
+        let mut powers = Vec::with_capacity(n);
+        for _ in 0..n {
+            gen.step(dt);
+            powers.push(gen.power());
+        }
+        // Normalise the threshold by the measured mean power.
+        let mean_p: f64 = powers.iter().sum::<f64>() / n as f64;
+        let measured = measure_lcr(&powers, mean_p, dt);
+        let theory = level_crossing_rate(fd, 1.0);
+        assert!(
+            (measured - theory).abs() / theory < 0.15,
+            "LCR measured {measured} vs theory {theory}"
+        );
+    }
+
+    #[test]
+    fn afd_consistency_with_lcr() {
+        // Outage probability = LCR × AFD for a stationary process:
+        // P(X < ρ²) = 1 − e^{−ρ²} must equal LCR·AFD.
+        let fd = 30.0;
+        for &rho in &[0.3f64, 0.7, 1.0] {
+            let p_out = 1.0 - (-rho * rho).exp();
+            let product = level_crossing_rate(fd, rho) * avg_fade_duration(fd, rho);
+            assert!(
+                (product - p_out).abs() < 1e-12,
+                "rho {rho}: {product} vs {p_out}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "0.5")]
+    fn rejects_tiny_shape() {
+        let _ = NakagamiFading::new(0.3, Xoshiro256pp::new(5));
+    }
+}

@@ -1,0 +1,111 @@
+//! Distance path loss.
+//!
+//! Standard cellular exponent model: `PL(d) = PL(d0) + 10·n·log10(d/d0)` dB,
+//! with urban defaults matching the 3GPP macro-cell calibration
+//! (128.1 dB @ 1 km, exponent ≈ 3.76–4.0). The paper's simulation follows
+//! the Kumar–Nanda dynamic-simulation methodology which uses exactly this
+//! family.
+
+use wcdma_math::db::db_to_lin;
+
+/// Log-distance path-loss model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PathLoss {
+    /// Path-loss exponent `n`.
+    exponent: f64,
+    /// Loss in dB at the reference distance.
+    ref_loss_db: f64,
+    /// Reference distance in metres.
+    ref_dist_m: f64,
+    /// Close-in clamp: distances below this are treated as this distance,
+    /// preventing unbounded gain when a mobile walks over the BS.
+    min_dist_m: f64,
+}
+
+impl PathLoss {
+    /// Creates a path-loss model.
+    ///
+    /// # Panics
+    /// Panics on non-positive distances or exponent.
+    pub fn new(exponent: f64, ref_loss_db: f64, ref_dist_m: f64, min_dist_m: f64) -> Self {
+        assert!(exponent > 0.0, "exponent must be positive");
+        assert!(ref_dist_m > 0.0 && min_dist_m > 0.0, "distances must be positive");
+        Self {
+            exponent,
+            ref_loss_db,
+            ref_dist_m,
+            min_dist_m,
+        }
+    }
+
+    /// Urban macro defaults: n = 4.0, 128.1 dB at 1 km, 10 m clamp.
+    pub fn urban_default() -> Self {
+        Self::new(4.0, 128.1, 1000.0, 10.0)
+    }
+
+    /// Free-space-like suburban variant: n = 3.5, 120 dB at 1 km.
+    pub fn suburban() -> Self {
+        Self::new(3.5, 120.0, 1000.0, 10.0)
+    }
+
+    /// Path loss in dB at distance `d_m` metres.
+    pub fn loss_db(&self, d_m: f64) -> f64 {
+        let d = d_m.max(self.min_dist_m);
+        self.ref_loss_db + 10.0 * self.exponent * (d / self.ref_dist_m).log10()
+    }
+
+    /// Linear power gain (`10^{-loss/10}`) at distance `d_m`.
+    pub fn gain(&self, d_m: f64) -> f64 {
+        db_to_lin(-self.loss_db(d_m))
+    }
+
+    /// Path-loss exponent.
+    pub fn exponent(&self) -> f64 {
+        self.exponent
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_point() {
+        let pl = PathLoss::urban_default();
+        assert!((pl.loss_db(1000.0) - 128.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn slope_is_exponent() {
+        let pl = PathLoss::urban_default();
+        // 10x distance => 10*n dB more loss.
+        let d1 = pl.loss_db(100.0);
+        let d2 = pl.loss_db(1000.0);
+        assert!((d2 - d1 - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn monotone_decreasing_gain() {
+        let pl = PathLoss::urban_default();
+        let mut prev = f64::INFINITY;
+        for d in [10.0, 50.0, 100.0, 500.0, 1000.0, 3000.0] {
+            let g = pl.gain(d);
+            assert!(g < prev, "gain not decreasing at {d}");
+            assert!(g > 0.0);
+            prev = g;
+        }
+    }
+
+    #[test]
+    fn close_in_clamp() {
+        let pl = PathLoss::urban_default();
+        assert_eq!(pl.gain(0.0), pl.gain(10.0));
+        assert_eq!(pl.gain(5.0), pl.gain(10.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_bad_exponent() {
+        let _ = PathLoss::new(0.0, 128.0, 1000.0, 10.0);
+    }
+}

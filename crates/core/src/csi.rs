@@ -1,0 +1,112 @@
+//! SCH channel-state model: from achieved FCH quality to the relative
+//! average throughput `δβ̄_j` the scheduler optimises over.
+//!
+//! Eq. (3)–(5) chain: the SCH transmits at `X_s = γ_s·m·X_f`, so its
+//! *per-symbol* energy-to-interference ratio is `γ_s` times the FCH's,
+//! independent of `m` (the rate scales with `m` through the reduced
+//! spreading gain, not the symbol energy). The FCH symbol Es/I0 is its
+//! achieved Eb/I0 times its bits/symbol `β_f`. The reduced active set
+//! carries a combining adjustment: the SCH enjoys fewer soft hand-off legs
+//! than the FCH, so its effective symbol energy is scaled by
+//! `1/α` relative to the fully-combined FCH figure.
+//!
+//! The resulting local-mean SCH CSI `ε_j` feeds the VTAOC staircase
+//! ([`Vtaoc::avg_throughput`]) — or the fixed-mode baseline — to produce
+//! `δβ̄_j = β̄_s(ε_j)/β_f` (eq. 4). This is where the *channel-adaptive*
+//! part of JABA-SD enters: users in good conditions offer more bits per
+//! granted unit of `m` and the integer program sees that directly.
+
+use wcdma_phy::{FixedPhy, SpreadingConfig, Vtaoc};
+
+/// Which physical layer the scheduler assumes when converting CSI to
+/// throughput (the E5 ablation switches this).
+#[derive(Debug, Clone)]
+pub enum PhyModel {
+    /// The paper's adaptive VTAOC.
+    Adaptive(Vtaoc),
+    /// Fixed single-mode PHY designed for the same BER target.
+    Fixed(FixedPhy),
+}
+
+impl PhyModel {
+    /// Average throughput (bits/symbol) at local-mean CSI `eps`.
+    pub fn avg_throughput(&self, eps: f64) -> f64 {
+        match self {
+            PhyModel::Adaptive(v) => v.avg_throughput(eps),
+            PhyModel::Fixed(f) => f.avg_throughput(eps),
+        }
+    }
+}
+
+/// Computes the local-mean SCH symbol Es/I0 `ε_j` from the achieved FCH
+/// Eb/I0, the FCH bits/symbol, the SCH relative energy γ_s, and the
+/// reduced-active-set adjustment α (≥ 1 ⇒ fewer legs ⇒ less combining).
+pub fn sch_mean_csi(fch_ebi0: f64, fch_throughput: f64, gamma_s: f64, alpha: f64) -> f64 {
+    assert!(fch_ebi0 >= 0.0 && fch_throughput > 0.0 && gamma_s > 0.0 && alpha >= 1.0);
+    gamma_s * fch_ebi0 * fch_throughput / alpha
+}
+
+/// Relative average SCH throughput `δβ̄_j = β̄_s(ε_j)/β_f` (eq. 4).
+pub fn delta_beta(
+    phy: &PhyModel,
+    spreading: &SpreadingConfig,
+    fch_ebi0: f64,
+    gamma_s: f64,
+    alpha: f64,
+) -> f64 {
+    let eps = sch_mean_csi(fch_ebi0, spreading.fch_throughput, gamma_s, alpha);
+    phy.avg_throughput(eps) / spreading.fch_throughput
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wcdma_phy::BerModel;
+
+    #[test]
+    fn mean_csi_scales_linearly() {
+        let e1 = sch_mean_csi(5.0, 0.25, 1.0, 1.0);
+        assert!((e1 - 1.25).abs() < 1e-12);
+        assert!((sch_mean_csi(5.0, 0.25, 2.0, 1.0) - 2.5).abs() < 1e-12);
+        // More legs lost (alpha 2): half the energy.
+        assert!((sch_mean_csi(5.0, 0.25, 1.0, 2.0) - 0.625).abs() < 1e-12);
+    }
+
+    #[test]
+    fn delta_beta_monotone_in_fch_quality() {
+        let phy = PhyModel::Adaptive(Vtaoc::default_config());
+        let sp = SpreadingConfig::cdma2000_default();
+        let mut prev = -1.0;
+        for ebi0_db in (-6..=24).step_by(3) {
+            let e = wcdma_math::db_to_lin(ebi0_db as f64);
+            let db = delta_beta(&phy, &sp, e, 1.0, 1.0);
+            assert!(db >= prev, "not monotone at {ebi0_db} dB");
+            prev = db;
+        }
+    }
+
+    #[test]
+    fn adaptive_beats_fixed_away_from_design_point() {
+        let sp = SpreadingConfig::cdma2000_default();
+        let model = BerModel::orthogonal();
+        let design_eps = wcdma_math::db_to_lin(8.0);
+        let adaptive = PhyModel::Adaptive(Vtaoc::constant_ber(model, 1e-3));
+        let fixed = PhyModel::Fixed(FixedPhy::designed_for(model, 1e-3, design_eps));
+        for ebi0_db in [-3.0f64, 3.0, 9.0, 18.0] {
+            let e = wcdma_math::db_to_lin(ebi0_db);
+            let a = delta_beta(&adaptive, &sp, e, 1.0, 1.0);
+            let f = delta_beta(&fixed, &sp, e, 1.0, 1.0);
+            assert!(a >= f - 1e-12, "fixed wins at {ebi0_db} dB: {a} vs {f}");
+        }
+    }
+
+    #[test]
+    fn delta_beta_can_exceed_one() {
+        // A strong user's SCH runs above FCH throughput (up to 1/β_f = 4).
+        let phy = PhyModel::Adaptive(Vtaoc::default_config());
+        let sp = SpreadingConfig::cdma2000_default();
+        let db = delta_beta(&phy, &sp, wcdma_math::db_to_lin(25.0), 1.0, 1.0);
+        assert!(db > 1.0, "δβ {db}");
+        assert!(db <= 1.0 / sp.fch_throughput + 1e-12);
+    }
+}

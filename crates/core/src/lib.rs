@@ -1,0 +1,32 @@
+//! `wcdma-admission`: channel-adaptive multiple burst admission control —
+//! the paper's core contribution (Section 3).
+//!
+//! * [`measurement`] — the measurement sub-layer: forward (eq. 6–8) and
+//!   reverse (eq. 9–18) admissible regions built from the Figure-2 reports.
+//! * [`csi`] — the SCH channel-state model mapping achieved FCH quality to
+//!   the relative average VTAOC throughput `δβ̄_j` (eq. 3–5).
+//! * [`objective`] — J1/J2 objectives with the MAC-aware delay penalty
+//!   (eq. 19–23).
+//! * [`scheduler`] — the JABA-SD scheduler (exact integer-programming
+//!   solution over the spatial dimension) and the FCFS / equal-share
+//!   baselines it is evaluated against.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod csi;
+pub mod measurement;
+pub mod objective;
+pub mod scheduler;
+pub mod temporal;
+
+pub use csi::{delta_beta, sch_mean_csi, PhyModel};
+pub use measurement::{forward_region, region_problem, reverse_region, Region};
+pub use objective::{delay_penalty, Objective};
+pub use scheduler::{
+    Grant, Policy, RequestState, ScheduleOutcome, Scheduler, SchedulerConfig,
+};
+pub use temporal::{
+    spatial_only_value, temporal_exhaustive, temporal_greedy, Placement, TemporalConfig,
+    TemporalRequest, TemporalSchedule,
+};

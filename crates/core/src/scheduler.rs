@@ -1,0 +1,626 @@
+//! The scheduling sub-layer: JABA-SD and the baseline policies.
+//!
+//! Each frame, the pending burst requests of one link direction are turned
+//! into the integer program of Section 3.2 (admissible region from the
+//! measurement sub-layer, J1/J2 weights, duration bound eq. 24) and solved:
+//!
+//! * [`Policy::JabaSd`] — the paper's algorithm: the *optimal* multi-burst
+//!   grant vector via exact branch-and-bound (or the density greedy when
+//!   `exact` is off — experiment E7 quantifies the gap). Bursts start at
+//!   the next frame boundary; only the spatial dimension is scheduled, per
+//!   the paper's stated scope.
+//! * [`Policy::Fcfs`] — cdma2000 behaviour [ref 1]: requests served in
+//!   arrival order, each granted the largest spreading-gain ratio that still
+//!   fits, optionally limited to a single concurrent burst (the "first
+//!   phase" single-SCH mode).
+//! * [`Policy::EqualShare`] — the empirical scheme of [ref 8]: every
+//!   pending request gets the same `m` (capped by its own duration bound),
+//!   the largest equal share that fits the region.
+
+use wcdma_cdma::DataUserMeasurement;
+use wcdma_ilp::{branch_and_bound, greedy};
+use wcdma_mac::{LinkDir, MacTimers};
+use wcdma_phy::SpreadingConfig;
+
+use crate::csi::{delta_beta, PhyModel};
+use crate::measurement::{forward_region, region_problem, reverse_region, Region};
+use crate::objective::Objective;
+
+/// A pending burst request paired with its measurement report.
+#[derive(Debug, Clone)]
+pub struct RequestState {
+    /// The Figure-2 measurement report for this user.
+    pub meas: DataUserMeasurement,
+    /// Outstanding burst size Q_j (bits).
+    pub size_bits: f64,
+    /// Waiting time t_w (s).
+    pub waiting_s: f64,
+    /// Traffic-type priority Δ_j.
+    pub priority: f64,
+}
+
+/// A granted burst.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Grant {
+    /// Mobile index.
+    pub user: usize,
+    /// Granted spreading-gain ratio m_j ≥ 1.
+    pub m: u32,
+    /// The δβ̄_j used in the decision.
+    pub delta_beta: f64,
+    /// Expected SCH rate (bits/s) = R_f · m · δβ̄.
+    pub rate_bps: f64,
+    /// Expected burst duration Q_j / rate (s).
+    pub duration_s: f64,
+}
+
+/// Everything a schedule run produced (grants plus diagnostics).
+#[derive(Debug, Clone)]
+pub struct ScheduleOutcome {
+    /// Grants, one per admitted request.
+    pub grants: Vec<Grant>,
+    /// Full grant vector aligned with the input request order (0 = reject).
+    pub m: Vec<u32>,
+    /// Objective value achieved (in weight units).
+    pub objective_value: f64,
+    /// The admissible region that was enforced.
+    pub region: Region,
+    /// Whether the exact solver completed (always true for heuristics).
+    pub optimal: bool,
+}
+
+/// Scheduling policy.
+#[derive(Debug, Clone)]
+pub enum Policy {
+    /// The paper's jointly adaptive burst admission (spatial dimension).
+    JabaSd {
+        /// J1 or J2.
+        objective: Objective,
+        /// Exact branch-and-bound (true) or density greedy (false).
+        exact: bool,
+        /// Node cap for the exact solver (0 = unlimited).
+        node_limit: u64,
+    },
+    /// First-come-first-serve maximal grants (cdma2000 [1]).
+    Fcfs {
+        /// Maximum number of simultaneous bursts (None = unlimited;
+        /// Some(1) = the strict single-burst baseline).
+        max_concurrent: Option<usize>,
+    },
+    /// Equal sharing between requests (ref [8]).
+    EqualShare,
+}
+
+impl Policy {
+    /// The paper's headline configuration: exact JABA-SD under J2.
+    pub fn jaba_sd_default() -> Self {
+        Policy::JabaSd {
+            objective: Objective::j2_default(),
+            exact: true,
+            node_limit: 200_000,
+        }
+    }
+}
+
+/// Static scheduler configuration.
+#[derive(Debug, Clone)]
+pub struct SchedulerConfig {
+    /// Spreading/rate parameters (eq. 2/4/5).
+    pub spreading: SpreadingConfig,
+    /// PHY model used for δβ̄ (adaptive VTAOC or fixed baseline).
+    pub phy: PhyModel,
+    /// MAC timers for the J2 waiting-time term.
+    pub timers: MacTimers,
+    /// Minimum justified burst duration T1 (s) — eq. 24.
+    pub t1_min_burst_s: f64,
+    /// Minimum useful δβ̄: below this the channel is treated as outage and
+    /// the request is not grantable (a burst must repay its signalling).
+    pub min_delta_beta: f64,
+    /// Forward power budget P_max (W).
+    pub pmax_w: f64,
+    /// Reverse interference limit L_max (W).
+    pub lmax_w: f64,
+    /// Neighbour-projection shadowing margin κ (linear).
+    pub kappa: f64,
+}
+
+impl SchedulerConfig {
+    /// Defaults consistent with `CdmaConfig::default_system()`.
+    pub fn default_config() -> Self {
+        let cdma = wcdma_cdma::CdmaConfig::default_system();
+        Self {
+            spreading: SpreadingConfig::cdma2000_default(),
+            phy: PhyModel::Adaptive(wcdma_phy::Vtaoc::default_config()),
+            timers: MacTimers::default_timers(),
+            t1_min_burst_s: 0.04,
+            min_delta_beta: 0.01,
+            pmax_w: cdma.max_bs_power_w,
+            lmax_w: cdma.reverse_limit_w(),
+            kappa: cdma.kappa_margin,
+        }
+    }
+}
+
+/// The per-frame burst scheduler.
+#[derive(Debug, Clone)]
+pub struct Scheduler {
+    cfg: SchedulerConfig,
+    policy: Policy,
+}
+
+impl Scheduler {
+    /// Creates a scheduler with the given configuration and policy.
+    pub fn new(cfg: SchedulerConfig, policy: Policy) -> Self {
+        Self { cfg, policy }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &SchedulerConfig {
+        &self.cfg
+    }
+
+    /// The policy.
+    pub fn policy(&self) -> &Policy {
+        &self.policy
+    }
+
+    /// δβ̄ for one request in the given direction.
+    pub fn request_delta_beta(&self, meas: &DataUserMeasurement, dir: LinkDir) -> f64 {
+        let ebi0 = match dir {
+            LinkDir::Forward => meas.fch_ebi0_fwd,
+            LinkDir::Reverse => meas.fch_ebi0_rev,
+        };
+        let alpha = match dir {
+            LinkDir::Forward => meas.alpha_fl,
+            LinkDir::Reverse => meas.alpha_rl,
+        };
+        delta_beta(
+            &self.cfg.phy,
+            &self.cfg.spreading,
+            ebi0,
+            self.cfg.spreading.gamma_s,
+            alpha.max(1.0),
+        )
+    }
+
+    /// Grant upper bound from eq. (24): the burst must last at least T1, so
+    /// `m ≤ Q/(T1 · δβ̄ · R_f)`; clamped to `[1, M]` so a queued burst is
+    /// never starved outright (the final burst of a transfer may run short).
+    fn grant_bounds(&self, size_bits: f64, delta_beta: f64) -> (u32, u32) {
+        let m_max = self.cfg.spreading.max_gain_ratio;
+        if delta_beta < self.cfg.min_delta_beta {
+            return (1, 0); // inadmissible: channel effectively in outage
+        }
+        let dur_cap =
+            size_bits / (self.cfg.t1_min_burst_s * delta_beta * self.cfg.spreading.fch_rate);
+        let hi = (dur_cap.floor() as i64).clamp(1, m_max as i64) as u32;
+        (1, hi)
+    }
+
+    /// Runs the policy over the pending requests of one direction.
+    ///
+    /// * `fwd_load_w` / `rev_load_w` — current per-cell loads `P_k` / `L_k`;
+    /// * `requests` — pending requests (column order preserved).
+    pub fn schedule(
+        &self,
+        dir: LinkDir,
+        fwd_load_w: &[f64],
+        rev_load_w: &[f64],
+        requests: &[RequestState],
+    ) -> ScheduleOutcome {
+        let n = requests.len();
+        let meas: Vec<&DataUserMeasurement> = requests.iter().map(|r| &r.meas).collect();
+        let gamma_s = self.cfg.spreading.gamma_s;
+        let region = match dir {
+            LinkDir::Forward => forward_region(fwd_load_w, self.cfg.pmax_w, gamma_s, &meas),
+            LinkDir::Reverse => {
+                reverse_region(rev_load_w, self.cfg.lmax_w, gamma_s, self.cfg.kappa, &meas)
+            }
+        };
+        let dbetas: Vec<f64> = requests
+            .iter()
+            .map(|r| self.request_delta_beta(&r.meas, dir))
+            .collect();
+        let bounds: Vec<(u32, u32)> = requests
+            .iter()
+            .zip(&dbetas)
+            .map(|(r, &db)| self.grant_bounds(r.size_bits, db))
+            .collect();
+
+        let (m, optimal, objective_value) = match &self.policy {
+            Policy::JabaSd {
+                objective,
+                exact,
+                node_limit,
+            } => {
+                let c: Vec<f64> = requests
+                    .iter()
+                    .zip(&dbetas)
+                    .map(|(r, &db)| {
+                        objective.weight(db, r.priority, r.waiting_s, &self.cfg.timers)
+                    })
+                    .collect();
+                let lo: Vec<u32> = bounds.iter().map(|b| b.0).collect();
+                let hi: Vec<u32> = bounds.iter().map(|b| b.1).collect();
+                let problem = region_problem(&region, c, lo, hi);
+                if *exact {
+                    let (sol, complete) = branch_and_bound(&problem, *node_limit);
+                    (sol.m, complete, sol.objective)
+                } else {
+                    let sol = greedy(&problem);
+                    (sol.m, true, sol.objective)
+                }
+            }
+            Policy::Fcfs { max_concurrent } => {
+                let m = self.fcfs(&region, requests, &bounds, *max_concurrent);
+                let value = value_of(&m, &dbetas);
+                (m, true, value)
+            }
+            Policy::EqualShare => {
+                let m = self.equal_share(&region, &bounds);
+                let value = value_of(&m, &dbetas);
+                (m, true, value)
+            }
+        };
+
+        debug_assert!(region.admits(&m), "policy produced inadmissible grants");
+        let mut grants = Vec::new();
+        for j in 0..n {
+            if m[j] >= 1 {
+                let rate = self.cfg.spreading.fch_rate * m[j] as f64 * dbetas[j];
+                grants.push(Grant {
+                    user: requests[j].meas.mobile,
+                    m: m[j],
+                    delta_beta: dbetas[j],
+                    rate_bps: rate,
+                    duration_s: if rate > 0.0 {
+                        requests[j].size_bits / rate
+                    } else {
+                        f64::INFINITY
+                    },
+                });
+            }
+        }
+        ScheduleOutcome {
+            grants,
+            m,
+            objective_value,
+            region,
+            optimal,
+        }
+    }
+
+    /// FCFS: oldest request first, maximal feasible grant each.
+    fn fcfs(
+        &self,
+        region: &Region,
+        requests: &[RequestState],
+        bounds: &[(u32, u32)],
+        max_concurrent: Option<usize>,
+    ) -> Vec<u32> {
+        let n = requests.len();
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by(|&x, &y| {
+            requests[y]
+                .waiting_s
+                .partial_cmp(&requests[x].waiting_s)
+                .expect("finite waits")
+        });
+        let mut m = vec![0u32; n];
+        let mut slack = region.b.clone();
+        let mut granted = 0usize;
+        for &j in &order {
+            if let Some(cap) = max_concurrent {
+                if granted >= cap {
+                    break;
+                }
+            }
+            let (lo, hi) = bounds[j];
+            if hi < lo {
+                continue;
+            }
+            let max_fit = region
+                .a
+                .iter()
+                .zip(&slack)
+                .filter(|(row, _)| row[j] > 0.0)
+                .map(|(row, &s)| (s / row[j]).floor().max(0.0))
+                .fold(f64::INFINITY, f64::min);
+            let cap_m = if max_fit.is_finite() {
+                (max_fit as u32).min(hi)
+            } else {
+                hi
+            };
+            if cap_m >= lo {
+                m[j] = cap_m;
+                for (row, sk) in region.a.iter().zip(slack.iter_mut()) {
+                    *sk -= row[j] * cap_m as f64;
+                }
+                granted += 1;
+            }
+        }
+        m
+    }
+
+    /// Equal sharing: the largest common m (capped per-user by eq. 24) that
+    /// keeps the whole grant vector admissible.
+    fn equal_share(&self, region: &Region, bounds: &[(u32, u32)]) -> Vec<u32> {
+        let n = bounds.len();
+        let m_max = self.cfg.spreading.max_gain_ratio;
+        let mut best = vec![0u32; n];
+        for share in 1..=m_max {
+            let candidate: Vec<u32> = bounds
+                .iter()
+                .map(|&(lo, hi)| {
+                    if hi < lo {
+                        0
+                    } else {
+                        share.min(hi)
+                    }
+                })
+                .collect();
+            if region.admits(&candidate) {
+                best = candidate;
+            } else {
+                break;
+            }
+        }
+        best
+    }
+}
+
+fn value_of(m: &[u32], dbetas: &[f64]) -> f64 {
+    m.iter()
+        .zip(dbetas)
+        .map(|(&mj, &db)| mj as f64 * db)
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wcdma_geo::CellId;
+
+    fn meas_at(mobile: usize, cell: u32, fch_power: f64, ebi0_db: f64) -> DataUserMeasurement {
+        DataUserMeasurement {
+            mobile,
+            active_set: vec![CellId(cell)],
+            reduced_set: vec![CellId(cell)],
+            fch_fwd_power: vec![(CellId(cell), fch_power)],
+            alpha_fl: 1.0,
+            alpha_rl: 1.0,
+            zeta: 2.0,
+            rev_pilot_ecio: vec![(CellId(cell), 0.01)],
+            fwd_pilot_ecio: vec![(CellId(cell), 0.05)],
+            fch_ebi0_fwd: wcdma_math::db_to_lin(ebi0_db),
+            fch_ebi0_rev: wcdma_math::db_to_lin(ebi0_db),
+        }
+    }
+
+    fn req(mobile: usize, cell: u32, fch_power: f64, ebi0_db: f64, bits: f64, wait: f64) -> RequestState {
+        RequestState {
+            meas: meas_at(mobile, cell, fch_power, ebi0_db),
+            size_bits: bits,
+            waiting_s: wait,
+            priority: 0.0,
+        }
+    }
+
+    fn sched(policy: Policy) -> Scheduler {
+        Scheduler::new(SchedulerConfig::default_config(), policy)
+    }
+
+    fn loads(n: usize, fwd: f64) -> (Vec<f64>, Vec<f64>) {
+        let lmax = SchedulerConfig::default_config().lmax_w;
+        (vec![fwd; n], vec![lmax / 4.0; n])
+    }
+
+    #[test]
+    fn jaba_grants_within_region() {
+        let s = sched(Policy::jaba_sd_default());
+        let (fwd, rev) = loads(2, 10.0);
+        let reqs = vec![
+            req(0, 0, 0.2, 10.0, 1e6, 0.1),
+            req(1, 0, 0.5, 6.0, 1e6, 0.5),
+            req(2, 1, 0.3, 8.0, 1e6, 0.0),
+        ];
+        let out = s.schedule(LinkDir::Forward, &fwd, &rev, &reqs);
+        assert!(out.optimal);
+        assert!(out.region.admits(&out.m));
+        assert!(!out.grants.is_empty(), "headroom exists, must grant");
+        for g in &out.grants {
+            assert!(g.m >= 1 && g.m <= 16);
+            assert!(g.rate_bps > 0.0);
+        }
+    }
+
+    #[test]
+    fn jaba_prefers_cheap_good_channel_users() {
+        // Same cell, same queue: user 0 has better channel (higher δβ) and
+        // cheaper FCH power. Tight budget: JABA-SD must favour user 0.
+        let s = sched(Policy::JabaSd {
+            objective: Objective::J1,
+            exact: true,
+            node_limit: 0,
+        });
+        let (mut fwd, rev) = loads(1, 19.0); // 1 W headroom
+        fwd[0] = 19.0;
+        let reqs = vec![
+            req(0, 0, 0.05, 15.0, 1e7, 0.0), // cheap, strong
+            req(1, 0, 0.5, 0.0, 1e7, 0.0),   // expensive, weak
+        ];
+        let out = s.schedule(LinkDir::Forward, &fwd, &rev, &reqs);
+        assert!(out.m[0] > 0, "good user must be granted");
+        assert!(
+            out.m[0] >= out.m[1],
+            "weak user must not out-rank strong user: {:?}",
+            out.m
+        );
+    }
+
+    #[test]
+    fn j2_rescues_starving_user() {
+        // Under J1 the stronger user wins the whole budget; under J2 with a
+        // long-waiting weaker user, the weaker one must get something.
+        let (fwd, rev) = loads(1, 19.2); // 0.8 W headroom
+        let reqs = vec![
+            req(0, 0, 0.05, 12.0, 1e7, 0.0),  // strong, fresh
+            req(1, 0, 0.055, 2.0, 1e7, 10.0), // weak, starving
+        ];
+        let j1 = sched(Policy::JabaSd {
+            objective: Objective::J1,
+            exact: true,
+            node_limit: 0,
+        })
+        .schedule(LinkDir::Forward, &fwd, &rev, &reqs);
+        let j2 = sched(Policy::JabaSd {
+            objective: Objective::J2 {
+                lambda: 40.0,
+                mu: 1.0,
+            },
+            exact: true,
+            node_limit: 0,
+        })
+        .schedule(LinkDir::Forward, &fwd, &rev, &reqs);
+        // J1: all to the strong user.
+        assert_eq!(j1.m[1], 0, "J1 should starve the weak user: {:?}", j1.m);
+        // J2 with heavy urgency: the starving user is served.
+        assert!(j2.m[1] > 0, "J2 must rescue the waiting user: {:?}", j2.m);
+    }
+
+    #[test]
+    fn fcfs_grants_in_arrival_order() {
+        let s = sched(Policy::Fcfs {
+            max_concurrent: None,
+        });
+        let (fwd, rev) = loads(1, 19.0);
+        // Oldest request is the *expensive weak* user: FCFS serves it first
+        // anyway (that is its pathology).
+        let reqs = vec![
+            req(0, 0, 0.4, 2.0, 1e7, 5.0),  // old, expensive
+            req(1, 0, 0.05, 15.0, 1e7, 0.1), // fresh, cheap
+        ];
+        let out = s.schedule(LinkDir::Forward, &fwd, &rev, &reqs);
+        assert!(out.m[0] > 0, "FCFS must serve the oldest: {:?}", out.m);
+        assert!(out.region.admits(&out.m));
+    }
+
+    #[test]
+    fn fcfs_single_burst_limit() {
+        let s = sched(Policy::Fcfs {
+            max_concurrent: Some(1),
+        });
+        let (fwd, rev) = loads(1, 5.0); // plenty of headroom
+        let reqs = vec![
+            req(0, 0, 0.05, 10.0, 1e7, 1.0),
+            req(1, 0, 0.05, 10.0, 1e7, 0.5),
+            req(2, 0, 0.05, 10.0, 1e7, 0.1),
+        ];
+        let out = s.schedule(LinkDir::Forward, &fwd, &rev, &reqs);
+        let granted = out.m.iter().filter(|&&m| m > 0).count();
+        assert_eq!(granted, 1, "single-burst mode grants exactly one: {:?}", out.m);
+        assert!(out.m[0] > 0, "and it is the oldest");
+    }
+
+    #[test]
+    fn equal_share_splits_evenly() {
+        let s = sched(Policy::EqualShare);
+        let (fwd, rev) = loads(1, 10.0);
+        let reqs = vec![
+            req(0, 0, 0.1, 10.0, 1e7, 0.0),
+            req(1, 0, 0.1, 10.0, 1e7, 0.0),
+            req(2, 0, 0.1, 10.0, 1e7, 0.0),
+        ];
+        let out = s.schedule(LinkDir::Forward, &fwd, &rev, &reqs);
+        assert!(out.region.admits(&out.m));
+        let nonzero: Vec<u32> = out.m.iter().copied().filter(|&m| m > 0).collect();
+        assert_eq!(nonzero.len(), 3, "all three share: {:?}", out.m);
+        assert!(
+            nonzero.windows(2).all(|w| w[0] == w[1]),
+            "shares must be equal: {:?}",
+            out.m
+        );
+    }
+
+    #[test]
+    fn jaba_beats_or_ties_baselines_on_objective() {
+        // On the same instance, the exact optimiser's J1 value must be ≥
+        // both baselines' (it optimises exactly that).
+        let (fwd, rev) = loads(2, 17.0);
+        let reqs = vec![
+            req(0, 0, 0.15, 12.0, 1e7, 0.4),
+            req(1, 0, 0.35, 4.0, 1e7, 1.2),
+            req(2, 1, 0.10, 9.0, 1e7, 0.1),
+            req(3, 1, 0.25, 7.0, 1e7, 0.9),
+        ];
+        let j1 = sched(Policy::JabaSd {
+            objective: Objective::J1,
+            exact: true,
+            node_limit: 0,
+        });
+        let out_opt = j1.schedule(LinkDir::Forward, &fwd, &rev, &reqs);
+        for policy in [
+            Policy::Fcfs {
+                max_concurrent: None,
+            },
+            Policy::Fcfs {
+                max_concurrent: Some(1),
+            },
+            Policy::EqualShare,
+        ] {
+            let out_base = sched(policy.clone()).schedule(LinkDir::Forward, &fwd, &rev, &reqs);
+            assert!(
+                out_opt.objective_value >= out_base.objective_value - 1e-9,
+                "JABA-SD lost to {policy:?}: {} vs {}",
+                out_opt.objective_value,
+                out_base.objective_value
+            );
+        }
+    }
+
+    #[test]
+    fn reverse_direction_uses_interference_region() {
+        let s = sched(Policy::jaba_sd_default());
+        let cfg = SchedulerConfig::default_config();
+        let fwd = vec![10.0; 2];
+        // Reverse loads near the limit: little headroom.
+        let rev = vec![cfg.lmax_w * 0.95; 2];
+        let reqs = vec![req(0, 0, 0.1, 10.0, 1e7, 0.0)];
+        let out = s.schedule(LinkDir::Reverse, &fwd, &rev, &reqs);
+        assert!(out.region.admits(&out.m));
+        // Near-full reverse: grants are small or zero.
+        let total: u32 = out.m.iter().sum();
+        assert!(total <= 4, "reverse near limit must grant little: {:?}", out.m);
+    }
+
+    #[test]
+    fn outage_user_rejected() {
+        let s = sched(Policy::jaba_sd_default());
+        let (fwd, rev) = loads(1, 5.0);
+        // FCH Eb/I0 of -30 dB: δβ̄ ≈ 0 → inadmissible.
+        let reqs = vec![req(0, 0, 0.1, -30.0, 1e7, 0.0)];
+        let out = s.schedule(LinkDir::Forward, &fwd, &rev, &reqs);
+        assert!(out.grants.is_empty(), "outage user cannot burst");
+    }
+
+    #[test]
+    fn duration_bound_caps_small_bursts() {
+        let s = sched(Policy::jaba_sd_default());
+        let (fwd, rev) = loads(1, 5.0);
+        // Tiny 2 kbit burst: eq. 24 caps m well below M.
+        let reqs = vec![req(0, 0, 0.05, 12.0, 2_000.0, 0.0)];
+        let out = s.schedule(LinkDir::Forward, &fwd, &rev, &reqs);
+        assert_eq!(out.grants.len(), 1);
+        let g = out.grants[0];
+        assert!(g.m < 16, "tiny burst must not get max rate: m = {}", g.m);
+    }
+
+    #[test]
+    fn empty_request_list() {
+        let s = sched(Policy::jaba_sd_default());
+        let (fwd, rev) = loads(1, 5.0);
+        let out = s.schedule(LinkDir::Forward, &fwd, &rev, &[]);
+        assert!(out.grants.is_empty());
+        assert!(out.m.is_empty());
+    }
+}

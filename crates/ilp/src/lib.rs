@@ -1,0 +1,23 @@
+//! `wcdma-ilp`: integer-programming substrate for the scheduling sub-layer.
+//!
+//! The paper formulates multiple-burst admission as an integer program
+//! (Section 3.2). This crate provides the solvers:
+//!
+//! * [`problem::Problem`] — `max c'm, A m ≤ b, m_j ∈ {0} ∪ [lo_j, hi_j]`
+//!   (the semi-continuous domain encodes the minimum-burst-duration rule,
+//!   eq. 24).
+//! * [`solvers::branch_and_bound`] — exact solver (JABA-SD's engine).
+//! * [`solvers::exhaustive`] — enumeration oracle for verification.
+//! * [`solvers::greedy`] — density heuristic, quantified against the exact
+//!   solver in experiment E7.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod problem;
+pub mod simplex;
+pub mod solvers;
+
+pub use problem::{Problem, Solution};
+pub use simplex::{lp_relaxation, simplex_max, LpSolution};
+pub use solvers::{branch_and_bound, exhaustive, greedy};

@@ -1,0 +1,220 @@
+//! Problem definition for the burst-scheduling integer program.
+//!
+//! The scheduling sub-layer (Section 3.2) produces exactly this shape:
+//!
+//! ```text
+//! maximize    c' m
+//! subject to  A m ≤ b          (admissible region, eq. 7 / 17)
+//!             m_j ∈ {0} ∪ [lo_j, hi_j] ⊂ ℤ   (duration bound, eq. 24)
+//! ```
+//!
+//! The *semi-continuous* integer domain (`0` = reject, otherwise at least
+//! `lo_j`) encodes the paper's signalling-overhead rule: a burst too short
+//! to justify its setup cost is not granted at all.
+
+/// A bounded-variable integer linear program with ≤ constraints.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Problem {
+    /// Objective coefficients, length n.
+    pub c: Vec<f64>,
+    /// Constraint matrix, row-major: `a[k][j]`, K rows × n columns.
+    pub a: Vec<Vec<f64>>,
+    /// Right-hand sides, length K.
+    pub b: Vec<f64>,
+    /// Per-variable minimum granted value (≥ 1), length n.
+    pub lo: Vec<u32>,
+    /// Per-variable maximum value, length n.
+    pub hi: Vec<u32>,
+}
+
+/// A candidate solution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Solution {
+    /// Granted values, length n (0 = rejected).
+    pub m: Vec<u32>,
+    /// Objective value `c' m`.
+    pub objective: f64,
+}
+
+impl Problem {
+    /// Creates and validates a problem.
+    ///
+    /// # Panics
+    /// Panics on shape mismatches, negative constraint coefficients, or
+    /// non-positive rhs budgets paired with positive coefficients would make
+    /// everything infeasible — those are caught by `validate`.
+    pub fn new(c: Vec<f64>, a: Vec<Vec<f64>>, b: Vec<f64>, lo: Vec<u32>, hi: Vec<u32>) -> Self {
+        let p = Self { c, a, b, lo, hi };
+        p.validate().expect("invalid problem");
+        p
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.c.len()
+    }
+
+    /// Number of constraints.
+    pub fn num_constraints(&self) -> usize {
+        self.b.len()
+    }
+
+    /// Validates shapes and value ranges.
+    pub fn validate(&self) -> Result<(), String> {
+        let n = self.c.len();
+        if self.lo.len() != n || self.hi.len() != n {
+            return Err("bounds length mismatch".into());
+        }
+        if self.a.len() != self.b.len() {
+            return Err("constraint rows / rhs mismatch".into());
+        }
+        for (k, row) in self.a.iter().enumerate() {
+            if row.len() != n {
+                return Err(format!("row {k} has wrong width"));
+            }
+            if row.iter().any(|&x| x < 0.0 || !x.is_finite()) {
+                return Err(format!("row {k} has negative/non-finite coefficient"));
+            }
+        }
+        if self.b.iter().any(|&x| !x.is_finite()) {
+            return Err("non-finite rhs".into());
+        }
+        if self.c.iter().any(|&x| !x.is_finite()) {
+            return Err("non-finite objective coefficient".into());
+        }
+        for j in 0..n {
+            if self.lo[j] == 0 {
+                return Err(format!("lo[{j}] must be ≥ 1 (0 is the reject value)"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Whether variable `j` can take any admitted value at all
+    /// (`lo_j ≤ hi_j`); otherwise it is forced to 0.
+    pub fn admissible(&self, j: usize) -> bool {
+        self.lo[j] <= self.hi[j]
+    }
+
+    /// Checks `A m ≤ b` and the domain constraints for an assignment.
+    pub fn is_feasible(&self, m: &[u32]) -> bool {
+        if m.len() != self.num_vars() {
+            return false;
+        }
+        for j in 0..m.len() {
+            if m[j] != 0 && (m[j] < self.lo[j] || m[j] > self.hi[j]) {
+                return false;
+            }
+        }
+        for (row, &bk) in self.a.iter().zip(&self.b) {
+            let lhs: f64 = row.iter().zip(m).map(|(&a, &mj)| a * mj as f64).sum();
+            // Purely relative tolerance: constraint values range from watts
+            // (~1e1) down to received powers (~1e-13); an absolute floor
+            // would swamp the small-scale rows.
+            if lhs > bk + 1e-9 * (bk.abs() + lhs.abs()) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Objective value of an assignment.
+    pub fn objective(&self, m: &[u32]) -> f64 {
+        self.c.iter().zip(m).map(|(&c, &mj)| c * mj as f64).sum()
+    }
+
+    /// Wraps an assignment into a [`Solution`].
+    pub fn solution(&self, m: Vec<u32>) -> Solution {
+        let objective = self.objective(&m);
+        Solution { m, objective }
+    }
+
+    /// The all-reject solution (always feasible when `b ≥ 0`).
+    pub fn reject_all(&self) -> Solution {
+        self.solution(vec![0; self.num_vars()])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Problem {
+        // Two users, one budget row: m1 + 2 m2 ≤ 10, m ∈ {0} ∪ [1,4].
+        Problem::new(
+            vec![1.0, 3.0],
+            vec![vec![1.0, 2.0]],
+            vec![10.0],
+            vec![1, 1],
+            vec![4, 4],
+        )
+    }
+
+    #[test]
+    fn feasibility_checks() {
+        let p = toy();
+        assert!(p.is_feasible(&[0, 0]));
+        assert!(p.is_feasible(&[4, 3])); // 4 + 6 = 10 ≤ 10
+        assert!(!p.is_feasible(&[4, 4])); // 12 > 10
+        assert!(!p.is_feasible(&[5, 0])); // above hi
+        assert!(p.is_feasible(&[1, 0]));
+        assert!(!p.is_feasible(&[0])); // wrong arity
+    }
+
+    #[test]
+    fn objective_and_solution() {
+        let p = toy();
+        assert_eq!(p.objective(&[2, 3]), 2.0 + 9.0);
+        let s = p.solution(vec![2, 3]);
+        assert_eq!(s.objective, 11.0);
+        assert_eq!(p.reject_all().objective, 0.0);
+    }
+
+    #[test]
+    fn semi_continuous_domain() {
+        // lo = 2: m = 1 is not allowed.
+        let p = Problem::new(
+            vec![1.0],
+            vec![vec![1.0]],
+            vec![10.0],
+            vec![2],
+            vec![5],
+        );
+        assert!(p.is_feasible(&[0]));
+        assert!(!p.is_feasible(&[1]));
+        assert!(p.is_feasible(&[2]));
+    }
+
+    #[test]
+    fn inadmissible_variable() {
+        // lo > hi: variable can only be 0.
+        let p = Problem::new(
+            vec![1.0],
+            vec![vec![1.0]],
+            vec![10.0],
+            vec![5],
+            vec![3],
+        );
+        assert!(!p.admissible(0));
+        assert!(p.is_feasible(&[0]));
+        assert!(!p.is_feasible(&[4]));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid problem")]
+    fn rejects_negative_constraint_coefficient() {
+        let _ = Problem::new(
+            vec![1.0],
+            vec![vec![-1.0]],
+            vec![10.0],
+            vec![1],
+            vec![3],
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid problem")]
+    fn rejects_zero_lo() {
+        let _ = Problem::new(vec![1.0], vec![vec![1.0]], vec![10.0], vec![0], vec![3]);
+    }
+}

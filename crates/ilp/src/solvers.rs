@@ -1,0 +1,469 @@
+//! Solvers for the burst-scheduling integer program.
+//!
+//! * [`exhaustive`] — enumerates the full domain; the correctness oracle for
+//!   property tests and the small-`N_d` reference in experiment E7.
+//! * [`branch_and_bound`] — exact solver: depth-first search ordered by
+//!   utility density, pruned with the minimum of two valid upper bounds
+//!   (per-variable independent bound and a surrogate fractional-knapsack
+//!   bound). This is the JABA-SD optimal scheduler's engine.
+//! * [`greedy`] — density-ordered heuristic with a final top-up pass;
+//!   near-optimal at a fraction of the cost (quantified by E7).
+
+use crate::problem::{Problem, Solution};
+
+/// Exhaustively enumerates all assignments. Exponential; intended for
+/// `n · log(hi)` small enough that `Π (hi_j - lo_j + 2)` stays ≤ ~10⁷.
+pub fn exhaustive(p: &Problem) -> Solution {
+    let n = p.num_vars();
+    let mut best = p.reject_all();
+    let mut m = vec![0u32; n];
+    // Candidate values per variable: 0 and lo..=hi.
+    fn rec(p: &Problem, j: usize, m: &mut Vec<u32>, best: &mut Solution) {
+        if j == p.num_vars() {
+            if p.is_feasible(m) {
+                let obj = p.objective(m);
+                if obj > best.objective {
+                    *best = Solution {
+                        m: m.clone(),
+                        objective: obj,
+                    };
+                }
+            }
+            return;
+        }
+        m[j] = 0;
+        rec(p, j + 1, m, best);
+        if p.admissible(j) {
+            for v in p.lo[j]..=p.hi[j] {
+                m[j] = v;
+                rec(p, j + 1, m, best);
+            }
+            m[j] = 0;
+        }
+    }
+    rec(p, 0, &mut m, &mut best);
+    best
+}
+
+/// Node state for branch and bound.
+struct Bb<'a> {
+    p: &'a Problem,
+    /// Variable processing order (by density, best first).
+    order: Vec<usize>,
+    /// Surrogate weights: column sums of A (λ = 1 row combination).
+    surrogate: Vec<f64>,
+    best: Solution,
+    nodes: u64,
+    node_limit: u64,
+}
+
+/// Exact branch-and-bound solution.
+///
+/// `node_limit` caps the search (0 = unlimited); on hitting the cap the best
+/// incumbent so far is returned together with `optimal = false`.
+pub fn branch_and_bound(p: &Problem, node_limit: u64) -> (Solution, bool) {
+    let n = p.num_vars();
+    // Density order: c_j per unit surrogate weight, descending.
+    let surrogate: Vec<f64> = (0..n)
+        .map(|j| p.a.iter().map(|row| row[j]).sum::<f64>())
+        .collect();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&x, &y| {
+        let dx = density(p.c[x], surrogate[x]);
+        let dy = density(p.c[y], surrogate[y]);
+        dy.partial_cmp(&dx).expect("finite densities")
+    });
+
+    let mut bb = Bb {
+        p,
+        order,
+        surrogate,
+        best: greedy(p), // warm start with the greedy incumbent
+        nodes: 0,
+        node_limit,
+    };
+    let mut m = vec![0u32; n];
+    let slack: Vec<f64> = p.b.clone();
+    let complete = bb.search(0, &mut m, slack, 0.0);
+    (bb.best, complete)
+}
+
+fn density(c: f64, w: f64) -> f64 {
+    if w <= 0.0 {
+        if c > 0.0 {
+            f64::INFINITY
+        } else {
+            0.0
+        }
+    } else {
+        c / w
+    }
+}
+
+impl Bb<'_> {
+    /// Depth-first search. Returns false if the node limit tripped.
+    fn search(&mut self, depth: usize, m: &mut Vec<u32>, slack: Vec<f64>, value: f64) -> bool {
+        self.nodes += 1;
+        if self.node_limit != 0 && self.nodes > self.node_limit {
+            return false;
+        }
+        if depth == self.order.len() {
+            if value > self.best.objective {
+                self.best = Solution {
+                    m: m.clone(),
+                    objective: value,
+                };
+            }
+            return true;
+        }
+        // Prune: current value + optimistic bound on the remainder.
+        let ub = value + self.upper_bound(depth, &slack);
+        if ub <= self.best.objective + 1e-12 {
+            return true;
+        }
+        let j = self.order[depth];
+        let mut complete = true;
+
+        // Highest feasible value first (good incumbents early).
+        if self.p.admissible(j) && self.p.c[j] > 0.0 {
+            let max_by_slack = self
+                .p
+                .a
+                .iter()
+                .zip(&slack)
+                .filter(|(row, _)| row[j] > 0.0)
+                .map(|(row, &s)| (s / row[j]).floor())
+                .fold(f64::INFINITY, f64::min);
+            let cap = if max_by_slack.is_finite() {
+                (max_by_slack.max(0.0) as u32).min(self.p.hi[j])
+            } else {
+                self.p.hi[j]
+            };
+            if cap >= self.p.lo[j] {
+                for v in (self.p.lo[j]..=cap).rev() {
+                    let mut s2 = slack.clone();
+                    let mut ok = true;
+                    for ((row, sk), bk) in
+                        self.p.a.iter().zip(s2.iter_mut()).zip(&self.p.b)
+                    {
+                        *sk -= row[j] * v as f64;
+                        if *sk < -1e-9 * bk.abs() {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    if !ok {
+                        continue;
+                    }
+                    m[j] = v;
+                    complete &=
+                        self.search(depth + 1, m, s2, value + self.p.c[j] * v as f64);
+                    m[j] = 0;
+                }
+            }
+        }
+        // The reject branch.
+        complete &= self.search(depth + 1, m, slack, value);
+        complete
+    }
+
+    /// Valid optimistic bound for variables order[depth..]: the minimum of
+    /// (a) each variable independently maxed against current slack and
+    /// (b) a fractional knapsack on the surrogate constraint.
+    fn upper_bound(&self, depth: usize, slack: &[f64]) -> f64 {
+        let mut independent = 0.0;
+        let mut surrogate_slack: f64 = slack.iter().sum();
+        if surrogate_slack < 0.0 {
+            surrogate_slack = 0.0;
+        }
+        // (a) independent bound.
+        for &j in &self.order[depth..] {
+            if !self.p.admissible(j) || self.p.c[j] <= 0.0 {
+                continue;
+            }
+            let cap = self
+                .p
+                .a
+                .iter()
+                .zip(slack)
+                .filter(|(row, _)| row[j] > 0.0)
+                .map(|(row, &s)| (s / row[j]).floor().max(0.0))
+                .fold(f64::INFINITY, f64::min);
+            let cap = if cap.is_finite() {
+                (cap as u32).min(self.p.hi[j])
+            } else {
+                self.p.hi[j]
+            };
+            if cap >= self.p.lo[j] {
+                independent += self.p.c[j] * cap as f64;
+            }
+        }
+        // (b) fractional knapsack on λ=1 surrogate (order is density-sorted).
+        let mut knap = 0.0;
+        let mut budget = surrogate_slack;
+        for &j in &self.order[depth..] {
+            if !self.p.admissible(j) || self.p.c[j] <= 0.0 {
+                continue;
+            }
+            let w = self.surrogate[j];
+            if w <= 0.0 {
+                // Free variable: take it whole.
+                knap += self.p.c[j] * self.p.hi[j] as f64;
+                continue;
+            }
+            let want = self.p.hi[j] as f64;
+            let afford = budget / w;
+            let take = want.min(afford);
+            knap += self.p.c[j] * take;
+            budget -= take * w;
+            if budget <= 0.0 {
+                break;
+            }
+        }
+        independent.min(knap)
+    }
+}
+
+/// Density-greedy heuristic with a top-up pass.
+pub fn greedy(p: &Problem) -> Solution {
+    let n = p.num_vars();
+    let surrogate: Vec<f64> = (0..n)
+        .map(|j| p.a.iter().map(|row| row[j]).sum::<f64>())
+        .collect();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&x, &y| {
+        let dx = density(p.c[x], surrogate[x]);
+        let dy = density(p.c[y], surrogate[y]);
+        dy.partial_cmp(&dx).expect("finite densities")
+    });
+    let mut m = vec![0u32; n];
+    let mut slack = p.b.clone();
+    for &j in &order {
+        if !p.admissible(j) || p.c[j] <= 0.0 {
+            continue;
+        }
+        let cap = p
+            .a
+            .iter()
+            .zip(&slack)
+            .filter(|(row, _)| row[j] > 0.0)
+            .map(|(row, &s)| (s / row[j]).floor().max(0.0))
+            .fold(f64::INFINITY, f64::min);
+        let cap = if cap.is_finite() {
+            (cap as u32).min(p.hi[j])
+        } else {
+            p.hi[j]
+        };
+        if cap >= p.lo[j] {
+            m[j] = cap;
+            for (row, sk) in p.a.iter().zip(slack.iter_mut()) {
+                *sk -= row[j] * cap as f64;
+            }
+        }
+    }
+    // Top-up: raise any variable still below hi while slack allows
+    // (covers cases where a later variable freed by rounding fits).
+    let mut improved = true;
+    while improved {
+        improved = false;
+        for &j in &order {
+            if m[j] == 0 || m[j] >= p.hi[j] || p.c[j] <= 0.0 {
+                continue;
+            }
+            let fits = p
+                .a
+                .iter()
+                .zip(&slack)
+                .zip(&p.b)
+                .all(|((row, &s), &bk)| row[j] <= s + 1e-12 * bk.abs());
+            if fits {
+                m[j] += 1;
+                for (row, sk) in p.a.iter().zip(slack.iter_mut()) {
+                    *sk -= row[j];
+                }
+                improved = true;
+            }
+        }
+    }
+    p.solution(m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Problem {
+        Problem::new(
+            vec![1.0, 3.0, 2.0],
+            vec![vec![1.0, 2.0, 1.5], vec![0.5, 1.0, 2.0]],
+            vec![10.0, 8.0],
+            vec![1, 1, 1],
+            vec![4, 4, 4],
+        )
+    }
+
+    #[test]
+    fn exhaustive_finds_known_optimum() {
+        // Single constraint, obvious answer: pack the dense variable.
+        let p = Problem::new(
+            vec![1.0, 10.0],
+            vec![vec![1.0, 1.0]],
+            vec![4.0],
+            vec![1, 1],
+            vec![4, 4],
+        );
+        let s = exhaustive(&p);
+        assert_eq!(s.m, vec![0, 4]);
+        assert_eq!(s.objective, 40.0);
+    }
+
+    #[test]
+    fn bb_matches_exhaustive_on_toy() {
+        let p = toy();
+        let e = exhaustive(&p);
+        let (b, complete) = branch_and_bound(&p, 0);
+        assert!(complete);
+        assert!(
+            (b.objective - e.objective).abs() < 1e-9,
+            "bb {} vs exhaustive {}",
+            b.objective,
+            e.objective
+        );
+        assert!(p.is_feasible(&b.m));
+    }
+
+    #[test]
+    fn bb_matches_exhaustive_randomised() {
+        use wcdma_math_test_rng::rng_problems;
+        for (i, p) in rng_problems(40, 5, 6).into_iter().enumerate() {
+            let e = exhaustive(&p);
+            let (b, complete) = branch_and_bound(&p, 0);
+            assert!(complete, "instance {i} incomplete");
+            assert!(
+                (b.objective - e.objective).abs() < 1e-9,
+                "instance {i}: bb {} vs exhaustive {}",
+                b.objective,
+                e.objective
+            );
+            assert!(p.is_feasible(&b.m), "instance {i} infeasible");
+        }
+    }
+
+    #[test]
+    fn greedy_feasible_and_not_terrible() {
+        let p = toy();
+        let g = greedy(&p);
+        assert!(p.is_feasible(&g.m));
+        let e = exhaustive(&p);
+        assert!(
+            g.objective >= 0.5 * e.objective,
+            "greedy {} too far from optimum {}",
+            g.objective,
+            e.objective
+        );
+    }
+
+    #[test]
+    fn node_limit_returns_incumbent() {
+        let p = toy();
+        let (s, complete) = branch_and_bound(&p, 2);
+        assert!(!complete);
+        assert!(p.is_feasible(&s.m));
+        // Warm start means the incumbent is at least the greedy value.
+        assert!(s.objective >= greedy(&p).objective - 1e-12);
+    }
+
+    #[test]
+    fn zero_budget_rejects_all() {
+        let p = Problem::new(
+            vec![5.0, 5.0],
+            vec![vec![1.0, 1.0]],
+            vec![0.0],
+            vec![1, 1],
+            vec![4, 4],
+        );
+        let (s, complete) = branch_and_bound(&p, 0);
+        assert!(complete);
+        assert_eq!(s.m, vec![0, 0]);
+        assert_eq!(s.objective, 0.0);
+    }
+
+    #[test]
+    fn negative_objective_never_selected() {
+        let p = Problem::new(
+            vec![-1.0, 2.0],
+            vec![vec![1.0, 1.0]],
+            vec![10.0],
+            vec![1, 1],
+            vec![4, 4],
+        );
+        let (s, _) = branch_and_bound(&p, 0);
+        assert_eq!(s.m[0], 0, "negative-value variable must be rejected");
+        assert_eq!(s.m[1], 4);
+    }
+
+    #[test]
+    fn semi_continuous_lower_bound_respected() {
+        // Budget 3, lo = 4: can't afford the minimum grant → reject.
+        let p = Problem::new(
+            vec![10.0],
+            vec![vec![1.0]],
+            vec![3.0],
+            vec![4],
+            vec![8],
+        );
+        let (s, _) = branch_and_bound(&p, 0);
+        assert_eq!(s.m, vec![0]);
+        let e = exhaustive(&p);
+        assert_eq!(e.m, vec![0]);
+    }
+
+    #[test]
+    fn unconstrained_column_takes_hi() {
+        // A variable with zero weight in every row is free.
+        let p = Problem::new(
+            vec![1.0, 1.0],
+            vec![vec![1.0, 0.0]],
+            vec![2.0],
+            vec![1, 1],
+            vec![4, 16],
+        );
+        let (s, complete) = branch_and_bound(&p, 0);
+        assert!(complete);
+        assert_eq!(s.m[1], 16);
+        assert_eq!(s.m[0], 2);
+    }
+
+    /// Tiny deterministic random-instance generator for cross-checks.
+    mod wcdma_math_test_rng {
+        use crate::problem::Problem;
+
+        pub fn rng_problems(count: usize, max_vars: usize, max_hi: u32) -> Vec<Problem> {
+            // Simple LCG to avoid a dev-dependency cycle.
+            let mut state = 0x2545_F491_4F6C_DD1Du64;
+            let mut next = move || {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                (state >> 33) as f64 / (1u64 << 31) as f64
+            };
+            (0..count)
+                .map(|_| {
+                    let n = 2 + (next() * (max_vars - 1) as f64) as usize;
+                    let k = 1 + (next() * 3.0) as usize;
+                    let c: Vec<f64> = (0..n).map(|_| (next() * 10.0).round() / 2.0).collect();
+                    let a: Vec<Vec<f64>> = (0..k)
+                        .map(|_| (0..n).map(|_| (next() * 4.0).round() / 2.0).collect())
+                        .collect();
+                    let b: Vec<f64> = (0..k).map(|_| 2.0 + (next() * 12.0).round()).collect();
+                    let lo: Vec<u32> = (0..n).map(|_| 1 + (next() * 2.0) as u32).collect();
+                    let hi: Vec<u32> = lo
+                        .iter()
+                        .map(|&l| l + (next() * max_hi as f64) as u32)
+                        .collect();
+                    Problem::new(c, a, b, lo, hi)
+                })
+                .collect()
+        }
+    }
+}

@@ -1,0 +1,238 @@
+//! Burst requests and the pending-request queue.
+//!
+//! A data user with `Q_j` bits queued sends a supplemental channel request
+//! message (SCRM); the request waits in the scheduling queue until the
+//! admission algorithm grants it a spreading-gain ratio `m_j ≥ 1` or it is
+//! carried over to the next frame. The queue tracks each request's waiting
+//! time `t_w` — the input both to the J2 delay penalty and to the MAC
+//! setup-delay step function.
+
+use crate::states::MacTimers;
+
+/// Link direction of a burst (the paper handles them independently).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LinkDir {
+    /// Base station → mobile.
+    Forward,
+    /// Mobile → base station.
+    Reverse,
+}
+
+/// A pending burst request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BurstRequest {
+    /// Requesting data user (mobile index).
+    pub user: usize,
+    /// Link direction.
+    pub dir: LinkDir,
+    /// Burst packet size Q_j in bits still to send.
+    pub size_bits: f64,
+    /// Simulation time the request was issued (s).
+    pub arrival_s: f64,
+    /// Traffic-type priority Δ_j (eq. 19–20); 0 for best effort.
+    pub priority: f64,
+}
+
+impl BurstRequest {
+    /// Waiting time `t_w` at simulation time `now`.
+    pub fn waiting_time(&self, now: f64) -> f64 {
+        (now - self.arrival_s).max(0.0)
+    }
+
+    /// Overall request delay `w = t_w + D_s(t_w)` (eq. 22).
+    pub fn overall_delay(&self, now: f64, timers: &MacTimers) -> f64 {
+        timers.overall_delay(self.waiting_time(now))
+    }
+}
+
+/// FIFO-ordered queue of pending burst requests, one per user per direction.
+#[derive(Debug, Clone, Default)]
+pub struct RequestQueue {
+    pending: Vec<BurstRequest>,
+}
+
+impl RequestQueue {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Pending requests in arrival order.
+    pub fn pending(&self) -> &[BurstRequest] {
+        &self.pending
+    }
+
+    /// Number of pending requests.
+    pub fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    /// Submits a request. If the user already has a pending request in the
+    /// same direction, the new bits are merged into it (the SCRM reports the
+    /// updated queue depth) and the original arrival time is kept.
+    pub fn submit(&mut self, req: BurstRequest) {
+        assert!(req.size_bits > 0.0, "empty burst request");
+        if let Some(existing) = self
+            .pending
+            .iter_mut()
+            .find(|r| r.user == req.user && r.dir == req.dir)
+        {
+            existing.size_bits += req.size_bits;
+            existing.priority = existing.priority.max(req.priority);
+        } else {
+            self.pending.push(req);
+        }
+    }
+
+    /// Removes and returns the request of `user` in `dir`, if any.
+    pub fn take(&mut self, user: usize, dir: LinkDir) -> Option<BurstRequest> {
+        let idx = self
+            .pending
+            .iter()
+            .position(|r| r.user == user && r.dir == dir)?;
+        Some(self.pending.remove(idx))
+    }
+
+    /// Reduces the outstanding size of a user's request by `bits` (bits were
+    /// delivered by a granted burst); removes the request when fully served.
+    /// Returns the remaining bits, or `None` if no such request exists.
+    pub fn consume(&mut self, user: usize, dir: LinkDir, bits: f64) -> Option<f64> {
+        assert!(bits >= 0.0);
+        let idx = self
+            .pending
+            .iter()
+            .position(|r| r.user == user && r.dir == dir)?;
+        let remaining = self.pending[idx].size_bits - bits;
+        if remaining <= 1e-9 {
+            self.pending.remove(idx);
+            Some(0.0)
+        } else {
+            self.pending[idx].size_bits = remaining;
+            Some(remaining)
+        }
+    }
+
+    /// Requests in `dir`, FIFO order.
+    pub fn in_direction(&self, dir: LinkDir) -> Vec<&BurstRequest> {
+        self.pending.iter().filter(|r| r.dir == dir).collect()
+    }
+
+    /// Oldest pending request in `dir` (FCFS order), if any.
+    pub fn oldest(&self, dir: LinkDir) -> Option<&BurstRequest> {
+        // `pending` is arrival-ordered except merges keep original arrival,
+        // so a scan is needed.
+        self.pending
+            .iter()
+            .filter(|r| r.dir == dir)
+            .min_by(|a, b| a.arrival_s.partial_cmp(&b.arrival_s).expect("finite"))
+    }
+
+    /// Maximum waiting time across pending requests at time `now`.
+    pub fn max_waiting(&self, now: f64) -> f64 {
+        self.pending
+            .iter()
+            .map(|r| r.waiting_time(now))
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(user: usize, dir: LinkDir, bits: f64, at: f64) -> BurstRequest {
+        BurstRequest {
+            user,
+            dir,
+            size_bits: bits,
+            arrival_s: at,
+            priority: 0.0,
+        }
+    }
+
+    #[test]
+    fn waiting_time_and_overall_delay() {
+        let r = req(0, LinkDir::Forward, 1e4, 10.0);
+        assert_eq!(r.waiting_time(10.0), 0.0);
+        assert!((r.waiting_time(10.7) - 0.7).abs() < 1e-12);
+        let timers = MacTimers::default_timers();
+        // 0.7 s waiting → Suspended → +D1.
+        assert!((r.overall_delay(10.7, &timers) - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn submit_merges_same_user_direction() {
+        let mut q = RequestQueue::new();
+        q.submit(req(1, LinkDir::Forward, 1000.0, 1.0));
+        q.submit(req(1, LinkDir::Forward, 500.0, 2.0));
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pending()[0].size_bits, 1500.0);
+        assert_eq!(q.pending()[0].arrival_s, 1.0, "keeps original arrival");
+        // Different direction is a separate request.
+        q.submit(req(1, LinkDir::Reverse, 2000.0, 3.0));
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn consume_partial_and_full() {
+        let mut q = RequestQueue::new();
+        q.submit(req(2, LinkDir::Reverse, 1000.0, 0.0));
+        assert_eq!(q.consume(2, LinkDir::Reverse, 400.0), Some(600.0));
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.consume(2, LinkDir::Reverse, 600.0), Some(0.0));
+        assert!(q.is_empty());
+        assert_eq!(q.consume(2, LinkDir::Reverse, 1.0), None);
+    }
+
+    #[test]
+    fn take_removes_matching_only() {
+        let mut q = RequestQueue::new();
+        q.submit(req(1, LinkDir::Forward, 100.0, 0.0));
+        q.submit(req(2, LinkDir::Forward, 200.0, 0.5));
+        let r = q.take(1, LinkDir::Forward).expect("present");
+        assert_eq!(r.user, 1);
+        assert_eq!(q.len(), 1);
+        assert!(q.take(1, LinkDir::Forward).is_none());
+    }
+
+    #[test]
+    fn oldest_is_fcfs_even_after_merge() {
+        let mut q = RequestQueue::new();
+        q.submit(req(5, LinkDir::Forward, 100.0, 2.0));
+        q.submit(req(6, LinkDir::Forward, 100.0, 1.0));
+        // Merge into user 5 keeps its 2.0 arrival.
+        q.submit(req(5, LinkDir::Forward, 50.0, 3.0));
+        assert_eq!(q.oldest(LinkDir::Forward).expect("some").user, 6);
+    }
+
+    #[test]
+    fn direction_filter() {
+        let mut q = RequestQueue::new();
+        q.submit(req(1, LinkDir::Forward, 100.0, 0.0));
+        q.submit(req(2, LinkDir::Reverse, 100.0, 0.0));
+        q.submit(req(3, LinkDir::Forward, 100.0, 0.0));
+        assert_eq!(q.in_direction(LinkDir::Forward).len(), 2);
+        assert_eq!(q.in_direction(LinkDir::Reverse).len(), 1);
+    }
+
+    #[test]
+    fn max_waiting() {
+        let mut q = RequestQueue::new();
+        assert_eq!(q.max_waiting(5.0), 0.0);
+        q.submit(req(1, LinkDir::Forward, 100.0, 1.0));
+        q.submit(req(2, LinkDir::Forward, 100.0, 4.0));
+        assert!((q.max_waiting(5.0) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty burst")]
+    fn rejects_empty_request() {
+        let mut q = RequestQueue::new();
+        q.submit(req(1, LinkDir::Forward, 0.0, 0.0));
+    }
+}

@@ -1,0 +1,132 @@
+//! Minimal complex arithmetic for the Jakes fading simulator.
+//!
+//! Only the handful of operations the sum-of-sinusoids generator needs; not a
+//! general-purpose complex library.
+
+use core::ops::{Add, AddAssign, Mul, Sub};
+
+/// A complex number with `f64` components.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct C64 {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl C64 {
+    /// Creates a complex number.
+    #[inline]
+    pub const fn new(re: f64, im: f64) -> Self {
+        Self { re, im }
+    }
+
+    /// `e^{iθ}` on the unit circle.
+    #[inline]
+    pub fn cis(theta: f64) -> Self {
+        let (s, c) = theta.sin_cos();
+        Self { re: c, im: s }
+    }
+
+    /// Squared magnitude `|z|²`.
+    #[inline]
+    pub fn norm_sq(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Magnitude `|z|`.
+    #[inline]
+    pub fn abs(self) -> f64 {
+        self.norm_sq().sqrt()
+    }
+
+    /// Complex conjugate.
+    #[inline]
+    pub fn conj(self) -> Self {
+        Self {
+            re: self.re,
+            im: -self.im,
+        }
+    }
+
+    /// Scales by a real factor.
+    #[inline]
+    pub fn scale(self, k: f64) -> Self {
+        Self {
+            re: self.re * k,
+            im: self.im * k,
+        }
+    }
+}
+
+impl Add for C64 {
+    type Output = C64;
+    #[inline]
+    fn add(self, rhs: C64) -> C64 {
+        C64::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl AddAssign for C64 {
+    #[inline]
+    fn add_assign(&mut self, rhs: C64) {
+        self.re += rhs.re;
+        self.im += rhs.im;
+    }
+}
+
+impl Sub for C64 {
+    type Output = C64;
+    #[inline]
+    fn sub(self, rhs: C64) -> C64 {
+        C64::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl Mul for C64 {
+    type Output = C64;
+    #[inline]
+    fn mul(self, rhs: C64) -> C64 {
+        C64::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_identities() {
+        let a = C64::new(1.0, 2.0);
+        let b = C64::new(-3.0, 0.5);
+        assert_eq!(a + b, C64::new(-2.0, 2.5));
+        assert_eq!(a - b, C64::new(4.0, 1.5));
+        // (1+2i)(-3+0.5i) = -3 + 0.5i - 6i + i² = -4 - 5.5i
+        assert_eq!(a * b, C64::new(-4.0, -5.5));
+        assert_eq!(a.conj(), C64::new(1.0, -2.0));
+        assert!((a.norm_sq() - 5.0).abs() < 1e-15);
+        assert!((a.abs() - 5f64.sqrt()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn cis_on_unit_circle() {
+        for k in 0..16 {
+            let th = k as f64 * core::f64::consts::PI / 8.0;
+            let z = C64::cis(th);
+            assert!((z.abs() - 1.0).abs() < 1e-12);
+        }
+        let z = C64::cis(core::f64::consts::FRAC_PI_2);
+        assert!(z.re.abs() < 1e-12 && (z.im - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mul_by_conj_is_norm_sq() {
+        let a = C64::new(0.3, -0.7);
+        let p = a * a.conj();
+        assert!((p.re - a.norm_sq()).abs() < 1e-15);
+        assert!(p.im.abs() < 1e-15);
+    }
+}

@@ -1,0 +1,96 @@
+//! Decibel/linear conversions and link-budget helpers.
+//!
+//! Every quantity in the admission layer is a ratio (Eb/I0, Ec/Io, loading
+//! fractions); the channel layer mixes dB-domain shadowing with linear-domain
+//! fading. These helpers keep the conversions in one audited place.
+
+/// Converts a linear power ratio to decibels.
+#[inline]
+pub fn lin_to_db(lin: f64) -> f64 {
+    debug_assert!(lin > 0.0, "lin_to_db: non-positive input {lin}");
+    10.0 * lin.log10()
+}
+
+/// Converts decibels to a linear power ratio.
+#[inline]
+pub fn db_to_lin(db: f64) -> f64 {
+    10f64.powf(db / 10.0)
+}
+
+/// Converts dBm to watts.
+#[inline]
+pub fn dbm_to_watt(dbm: f64) -> f64 {
+    db_to_lin(dbm - 30.0)
+}
+
+/// Converts watts to dBm.
+#[inline]
+pub fn watt_to_dbm(w: f64) -> f64 {
+    lin_to_db(w) + 30.0
+}
+
+/// Sums powers given in dB, returning dB (log-sum-exp in base 10).
+pub fn db_power_sum(dbs: &[f64]) -> f64 {
+    if dbs.is_empty() {
+        return f64::NEG_INFINITY;
+    }
+    let max = dbs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    if max == f64::NEG_INFINITY {
+        return f64::NEG_INFINITY;
+    }
+    let sum: f64 = dbs.iter().map(|&d| db_to_lin(d - max)).sum();
+    max + lin_to_db(sum)
+}
+
+/// Thermal noise power in watts over bandwidth `bw_hz` at temperature 290 K
+/// with the given receiver noise figure in dB.
+///
+/// kT = -174 dBm/Hz at 290 K.
+pub fn thermal_noise_watt(bw_hz: f64, noise_figure_db: f64) -> f64 {
+    debug_assert!(bw_hz > 0.0);
+    let ktb_dbm = -174.0 + 10.0 * bw_hz.log10() + noise_figure_db;
+    dbm_to_watt(ktb_dbm)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        for &db in &[-30.0, -3.0, 0.0, 3.0, 10.0, 33.3] {
+            assert!((lin_to_db(db_to_lin(db)) - db).abs() < 1e-10);
+        }
+        for &lin in &[1e-9, 0.5, 1.0, 2.0, 1e6] {
+            assert!((db_to_lin(lin_to_db(lin)) - lin).abs() / lin < 1e-10);
+        }
+    }
+
+    #[test]
+    fn known_values() {
+        assert!((db_to_lin(3.0) - 1.9952623149688795).abs() < 1e-12);
+        assert!((db_to_lin(10.0) - 10.0).abs() < 1e-12);
+        assert!((lin_to_db(100.0) - 20.0).abs() < 1e-12);
+        assert!((dbm_to_watt(30.0) - 1.0).abs() < 1e-12);
+        assert!((watt_to_dbm(0.001) - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn power_sum_of_equal_terms() {
+        // Two equal powers: +3.0103 dB.
+        let s = db_power_sum(&[10.0, 10.0]);
+        assert!((s - 13.010299956639813).abs() < 1e-9);
+        // Dominant term wins when the other is tiny.
+        let s2 = db_power_sum(&[0.0, -100.0]);
+        assert!((s2 - 0.0).abs() < 1e-4);
+        assert_eq!(db_power_sum(&[]), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn thermal_noise_3g_bandwidth() {
+        // 3.6864 MHz, NF 5 dB: about -103.3 dBm.
+        let n = thermal_noise_watt(3.6864e6, 5.0);
+        let dbm = watt_to_dbm(n);
+        assert!((dbm - (-103.33)).abs() < 0.1, "noise floor {dbm} dBm");
+    }
+}

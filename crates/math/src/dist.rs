@@ -1,0 +1,408 @@
+//! Random-variate distributions used by the channel, traffic, and mobility
+//! models.
+//!
+//! All samplers draw from [`Xoshiro256pp`] so that every stochastic process
+//! in the simulator is reproducible from its seed. The set is deliberately
+//! small — exactly what the paper's simulation methodology needs:
+//!
+//! * [`Exponential`] — voice on/off holding times, web reading times,
+//!   Poisson inter-arrivals.
+//! * [`Pareto`] — heavy-tailed web burst (file) sizes.
+//! * [`Normal`] / [`LogNormal`] — shadowing in dB / linear domain.
+//! * [`Rayleigh`] — fast-fading envelope.
+
+use crate::rng::Xoshiro256pp;
+
+/// A distribution from which `f64` variates can be drawn.
+pub trait Distribution {
+    /// Draws one sample.
+    fn sample(&self, rng: &mut Xoshiro256pp) -> f64;
+
+    /// Theoretical mean, if finite.
+    fn mean(&self) -> f64;
+}
+
+/// Exponential distribution with rate `lambda` (mean `1/lambda`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exponential {
+    lambda: f64,
+}
+
+impl Exponential {
+    /// Creates an exponential distribution with the given rate.
+    ///
+    /// # Panics
+    /// Panics if `lambda` is not strictly positive and finite.
+    pub fn new(lambda: f64) -> Self {
+        assert!(
+            lambda.is_finite() && lambda > 0.0,
+            "Exponential rate must be positive, got {lambda}"
+        );
+        Self { lambda }
+    }
+
+    /// Creates an exponential distribution with the given mean.
+    pub fn with_mean(mean: f64) -> Self {
+        assert!(
+            mean.is_finite() && mean > 0.0,
+            "Exponential mean must be positive, got {mean}"
+        );
+        Self::new(1.0 / mean)
+    }
+
+    /// The rate parameter λ.
+    pub fn rate(&self) -> f64 {
+        self.lambda
+    }
+}
+
+impl Distribution for Exponential {
+    #[inline]
+    fn sample(&self, rng: &mut Xoshiro256pp) -> f64 {
+        -rng.next_f64_open().ln() / self.lambda
+    }
+
+    fn mean(&self) -> f64 {
+        1.0 / self.lambda
+    }
+}
+
+/// Pareto (type I) distribution with shape `alpha` and scale `xm > 0`.
+///
+/// Heavy-tailed; mean is finite only for `alpha > 1`. Used for web-traffic
+/// burst sizes, the standard model in the dynamic-simulation literature the
+/// paper builds on (Kumar & Nanda).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Pareto {
+    alpha: f64,
+    xm: f64,
+}
+
+impl Pareto {
+    /// Creates a Pareto distribution with shape `alpha` and scale (minimum
+    /// value) `xm`.
+    ///
+    /// # Panics
+    /// Panics if parameters are not strictly positive and finite.
+    pub fn new(alpha: f64, xm: f64) -> Self {
+        assert!(
+            alpha.is_finite() && alpha > 0.0,
+            "Pareto shape must be positive, got {alpha}"
+        );
+        assert!(
+            xm.is_finite() && xm > 0.0,
+            "Pareto scale must be positive, got {xm}"
+        );
+        Self { alpha, xm }
+    }
+
+    /// Creates a Pareto with shape `alpha > 1` chosen to hit a target mean.
+    pub fn with_mean(alpha: f64, mean: f64) -> Self {
+        assert!(alpha > 1.0, "mean only finite for alpha > 1, got {alpha}");
+        let xm = mean * (alpha - 1.0) / alpha;
+        Self::new(alpha, xm)
+    }
+
+    /// Shape parameter α.
+    pub fn shape(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Scale (minimum) parameter.
+    pub fn scale(&self) -> f64 {
+        self.xm
+    }
+}
+
+impl Distribution for Pareto {
+    #[inline]
+    fn sample(&self, rng: &mut Xoshiro256pp) -> f64 {
+        self.xm / rng.next_f64_open().powf(1.0 / self.alpha)
+    }
+
+    fn mean(&self) -> f64 {
+        if self.alpha > 1.0 {
+            self.alpha * self.xm / (self.alpha - 1.0)
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+/// Normal (Gaussian) distribution via the Marsaglia polar method.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal {
+    mu: f64,
+    sigma: f64,
+}
+
+impl Normal {
+    /// Creates a normal distribution with mean `mu` and standard deviation
+    /// `sigma >= 0`.
+    pub fn new(mu: f64, sigma: f64) -> Self {
+        assert!(
+            sigma.is_finite() && sigma >= 0.0,
+            "Normal sigma must be non-negative, got {sigma}"
+        );
+        assert!(mu.is_finite(), "Normal mu must be finite");
+        Self { mu, sigma }
+    }
+
+    /// Draws a standard-normal variate.
+    #[inline]
+    pub fn standard_sample(rng: &mut Xoshiro256pp) -> f64 {
+        // Marsaglia polar method; rejection loop accepts with prob π/4.
+        loop {
+            let u = 2.0 * rng.next_f64() - 1.0;
+            let v = 2.0 * rng.next_f64() - 1.0;
+            let s = u * u + v * v;
+            if s > 0.0 && s < 1.0 {
+                return u * (-2.0 * s.ln() / s).sqrt();
+            }
+        }
+    }
+}
+
+impl Distribution for Normal {
+    #[inline]
+    fn sample(&self, rng: &mut Xoshiro256pp) -> f64 {
+        self.mu + self.sigma * Self::standard_sample(rng)
+    }
+
+    fn mean(&self) -> f64 {
+        self.mu
+    }
+}
+
+/// Log-normal distribution: `exp(N(mu, sigma))`.
+///
+/// `mu`/`sigma` are in log (natural) domain. For dB-domain shadowing with
+/// standard deviation `sigma_db`, use [`LogNormal::from_db`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogNormal {
+    normal: Normal,
+}
+
+/// `ln(10)/10`, converts dB to natural-log (neper-ish) scale.
+pub const DB_TO_NAT: f64 = core::f64::consts::LN_10 / 10.0;
+
+impl LogNormal {
+    /// Creates a log-normal with log-domain parameters.
+    pub fn new(mu: f64, sigma: f64) -> Self {
+        Self {
+            normal: Normal::new(mu, sigma),
+        }
+    }
+
+    /// Creates a log-normal describing a linear gain whose dB value is
+    /// `N(mu_db, sigma_db^2)` — the standard shadow-fading model.
+    pub fn from_db(mu_db: f64, sigma_db: f64) -> Self {
+        Self::new(mu_db * DB_TO_NAT, sigma_db * DB_TO_NAT)
+    }
+}
+
+impl Distribution for LogNormal {
+    #[inline]
+    fn sample(&self, rng: &mut Xoshiro256pp) -> f64 {
+        self.normal.sample(rng).exp()
+    }
+
+    fn mean(&self) -> f64 {
+        (self.normal.mu + 0.5 * self.normal.sigma * self.normal.sigma).exp()
+    }
+}
+
+/// Rayleigh distribution with scale `sigma` (mode).
+///
+/// If `X, Y ~ N(0, sigma^2)` then `sqrt(X^2+Y^2)` is Rayleigh(σ). The fast
+/// fading *power* `X_s = envelope^2 / E[envelope^2]` is then unit-mean
+/// exponential, which is what the VTAOC CSI model consumes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Rayleigh {
+    sigma: f64,
+}
+
+impl Rayleigh {
+    /// Creates a Rayleigh distribution with scale `sigma > 0`.
+    pub fn new(sigma: f64) -> Self {
+        assert!(
+            sigma.is_finite() && sigma > 0.0,
+            "Rayleigh sigma must be positive, got {sigma}"
+        );
+        Self { sigma }
+    }
+
+    /// Rayleigh with unit *mean-square* (so envelope² has mean 1).
+    pub fn unit_power() -> Self {
+        Self::new(core::f64::consts::FRAC_1_SQRT_2)
+    }
+}
+
+impl Distribution for Rayleigh {
+    #[inline]
+    fn sample(&self, rng: &mut Xoshiro256pp) -> f64 {
+        self.sigma * (-2.0 * rng.next_f64_open().ln()).sqrt()
+    }
+
+    fn mean(&self) -> f64 {
+        self.sigma * (core::f64::consts::PI / 2.0).sqrt()
+    }
+}
+
+/// Samples a Poisson-distributed count with mean `lambda` (Knuth's method;
+/// fine for the small per-frame arrival rates used here).
+pub fn poisson(rng: &mut Xoshiro256pp, lambda: f64) -> u64 {
+    assert!(
+        lambda.is_finite() && lambda >= 0.0,
+        "poisson lambda must be non-negative, got {lambda}"
+    );
+    if lambda == 0.0 {
+        return 0;
+    }
+    if lambda < 30.0 {
+        let l = (-lambda).exp();
+        let mut k = 0u64;
+        let mut p = 1.0;
+        loop {
+            p *= rng.next_f64_open();
+            if p <= l {
+                return k;
+            }
+            k += 1;
+        }
+    } else {
+        // Normal approximation for large lambda, clamped at zero.
+        let x = lambda + lambda.sqrt() * Normal::standard_sample(rng);
+        x.max(0.0).round() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> Xoshiro256pp {
+        Xoshiro256pp::new(0xC0FFEE)
+    }
+
+    fn sample_mean<D: Distribution>(d: &D, n: usize) -> f64 {
+        let mut r = rng();
+        (0..n).map(|_| d.sample(&mut r)).sum::<f64>() / n as f64
+    }
+
+    #[test]
+    fn exponential_mean_and_positivity() {
+        let d = Exponential::with_mean(2.5);
+        assert!((d.mean() - 2.5).abs() < 1e-12);
+        let m = sample_mean(&d, 200_000);
+        assert!((m - 2.5).abs() < 0.05, "sample mean {m}");
+        let mut r = rng();
+        for _ in 0..1000 {
+            assert!(d.sample(&mut r) > 0.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn exponential_rejects_zero_rate() {
+        let _ = Exponential::new(0.0);
+    }
+
+    #[test]
+    fn pareto_mean_matches_target() {
+        let d = Pareto::with_mean(1.7, 12_000.0);
+        assert!((d.mean() - 12_000.0).abs() < 1e-6);
+        // alpha=1.7 has infinite variance: use a generous tolerance and many
+        // samples; the median check is tighter.
+        let m = sample_mean(&d, 2_000_000);
+        assert!(
+            (m - 12_000.0).abs() / 12_000.0 < 0.25,
+            "sample mean {m} (heavy tail)"
+        );
+    }
+
+    #[test]
+    fn pareto_min_is_scale() {
+        let d = Pareto::new(2.0, 5.0);
+        let mut r = rng();
+        for _ in 0..10_000 {
+            assert!(d.sample(&mut r) >= 5.0);
+        }
+    }
+
+    #[test]
+    fn pareto_median_known() {
+        // Median of Pareto(alpha, xm) is xm * 2^(1/alpha).
+        let d = Pareto::new(1.7, 1.0);
+        let mut r = rng();
+        let mut xs: Vec<f64> = (0..100_001).map(|_| d.sample(&mut r)).collect();
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let med = xs[50_000];
+        let expect = 2f64.powf(1.0 / 1.7);
+        assert!((med - expect).abs() / expect < 0.02, "median {med} vs {expect}");
+    }
+
+    #[test]
+    fn normal_moments() {
+        let d = Normal::new(3.0, 2.0);
+        let mut r = rng();
+        let n = 200_000;
+        let xs: Vec<f64> = (0..n).map(|_| d.sample(&mut r)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() < 0.03, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.1, "var {var}");
+    }
+
+    #[test]
+    fn lognormal_db_mean() {
+        // 8 dB shadowing: E[10^(N(0,8^2)/10)] = exp(0.5*(8*ln10/10)^2).
+        let d = LogNormal::from_db(0.0, 8.0);
+        let expect = (0.5 * (8.0 * DB_TO_NAT).powi(2)).exp();
+        assert!((d.mean() - expect).abs() < 1e-12);
+        let m = sample_mean(&d, 500_000);
+        assert!((m - expect).abs() / expect < 0.1, "sample mean {m} vs {expect}");
+    }
+
+    #[test]
+    fn rayleigh_unit_power_gives_unit_mean_square() {
+        let d = Rayleigh::unit_power();
+        let mut r = rng();
+        let n = 200_000;
+        let ms = (0..n)
+            .map(|_| {
+                let x = d.sample(&mut r);
+                x * x
+            })
+            .sum::<f64>()
+            / n as f64;
+        assert!((ms - 1.0).abs() < 0.02, "mean square {ms}");
+    }
+
+    #[test]
+    fn rayleigh_envelope_squared_is_exponential() {
+        // envelope^2 of unit-power Rayleigh should be Exp(1): P(X > 1) = e^-1.
+        let d = Rayleigh::unit_power();
+        let mut r = rng();
+        let n = 200_000;
+        let tail = (0..n)
+            .filter(|_| {
+                let x = d.sample(&mut r);
+                x * x > 1.0
+            })
+            .count() as f64
+            / n as f64;
+        assert!((tail - (-1.0f64).exp()).abs() < 0.01, "tail {tail}");
+    }
+
+    #[test]
+    fn poisson_mean_small_and_large() {
+        let mut r = rng();
+        for lambda in [0.5, 4.0, 80.0] {
+            let n = 100_000;
+            let m = (0..n).map(|_| poisson(&mut r, lambda) as f64).sum::<f64>() / n as f64;
+            assert!((m - lambda).abs() / lambda < 0.05, "lambda {lambda} mean {m}");
+        }
+        assert_eq!(poisson(&mut r, 0.0), 0);
+    }
+}

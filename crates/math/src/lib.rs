@@ -1,0 +1,28 @@
+//! `wcdma-math`: numeric substrate for the JABA-SD reproduction.
+//!
+//! Self-contained (no external dependencies) so that every stochastic
+//! process in the simulator is reproducible bit-for-bit from a `u64` seed:
+//!
+//! * [`rng`] — SplitMix64 / xoshiro256++ deterministic generators with
+//!   substream derivation for parallel replications.
+//! * [`dist`] — the distributions the channel/traffic/mobility models need.
+//! * [`db`] — decibel/linear conversions and link-budget helpers.
+//! * [`special`] — erf / Q-function / inverse-Q for BER threshold design.
+//! * [`stats`] — streaming statistics (Welford, P² quantiles, histograms,
+//!   replication confidence intervals).
+//! * [`complex`] — minimal complex arithmetic for the Jakes fading model.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod complex;
+pub mod db;
+pub mod dist;
+pub mod rng;
+pub mod special;
+pub mod stats;
+
+pub use complex::C64;
+pub use db::{db_to_lin, lin_to_db};
+pub use rng::{mix_seed, SplitMix64, Xoshiro256pp};
+pub use stats::Welford;

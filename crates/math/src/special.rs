@@ -1,0 +1,186 @@
+//! Special functions for BER/outage analysis: `erf`, `erfc`, the Gaussian
+//! Q-function and its inverse.
+//!
+//! The VTAOC constant-BER threshold design inverts BER(γ) curves; the
+//! coverage analysis needs log-normal outage probabilities, both of which
+//! reduce to Q and Q⁻¹.
+
+/// Error function, accurate to ~1e-14: Maclaurin series for |x| ≤ 2,
+/// continued-fraction `erfc` beyond (where the series loses digits to
+/// cancellation).
+pub fn erf(x: f64) -> f64 {
+    if x == 0.0 {
+        return 0.0;
+    }
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let ax = x.abs();
+    if ax <= 2.0 {
+        // erf(x) = 2/sqrt(pi) * sum_{n>=0} (-1)^n x^(2n+1) / (n! (2n+1))
+        let x2 = ax * ax;
+        let mut term = ax;
+        let mut sum = ax;
+        for n in 1..64 {
+            term *= -x2 / n as f64;
+            let add = term / (2 * n + 1) as f64;
+            sum += add;
+            if add.abs() < 1e-17 * sum.abs() {
+                break;
+            }
+        }
+        sign * core::f64::consts::FRAC_2_SQRT_PI * sum
+    } else {
+        sign * (1.0 - erfc_tail(ax))
+    }
+}
+
+/// Complementary error function, accurate in the tail (no cancellation).
+pub fn erfc(x: f64) -> f64 {
+    if x < -2.0 {
+        2.0 - erfc_tail(-x)
+    } else if x <= 2.0 {
+        1.0 - erf(x)
+    } else {
+        erfc_tail(x)
+    }
+}
+
+/// Continued-fraction erfc for x > 2 (Lentz's algorithm):
+/// `erfc(x) = exp(-x²)/(x√π) · 1/(1 + q/(1 + 2q/(1 + 3q/...)))`, q = 1/(2x²).
+fn erfc_tail(x: f64) -> f64 {
+    debug_assert!(x > 2.0);
+    let q = 0.5 / (x * x);
+    // Evaluate the CF bottom-up with a fixed depth; 60 levels is far more
+    // than needed for x > 2.
+    let mut f = 1.0;
+    for n in (1..=60).rev() {
+        f = 1.0 + n as f64 * q / f;
+    }
+    (-x * x).exp() / (x * core::f64::consts::PI.sqrt() * f)
+}
+
+/// Gaussian Q-function: `P(N(0,1) > x)`.
+#[inline]
+pub fn q_function(x: f64) -> f64 {
+    0.5 * erfc(x / core::f64::consts::SQRT_2)
+}
+
+/// Inverse of the standard normal CDF (Acklam's algorithm, |ε| < 1.15e-9
+/// relative).
+pub fn norm_inv_cdf(p: f64) -> f64 {
+    assert!(
+        p > 0.0 && p < 1.0,
+        "norm_inv_cdf: p must be in (0,1), got {p}"
+    );
+    const A: [f64; 6] = [
+        -3.969683028665376e+01,
+        2.209460984245205e+02,
+        -2.759285104469687e+02,
+        1.383_577_518_672_69e2,
+        -3.066479806614716e+01,
+        2.506628277459239e+00,
+    ];
+    const B: [f64; 5] = [
+        -5.447609879822406e+01,
+        1.615858368580409e+02,
+        -1.556989798598866e+02,
+        6.680131188771972e+01,
+        -1.328068155288572e+01,
+    ];
+    const C: [f64; 6] = [
+        -7.784894002430293e-03,
+        -3.223964580411365e-01,
+        -2.400758277161838e+00,
+        -2.549732539343734e+00,
+        4.374664141464968e+00,
+        2.938163982698783e+00,
+    ];
+    const D: [f64; 4] = [
+        7.784695709041462e-03,
+        3.224671290700398e-01,
+        2.445134137142996e+00,
+        3.754408661907416e+00,
+    ];
+    const P_LOW: f64 = 0.02425;
+
+    let x = if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - P_LOW {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    };
+
+    // One Halley refinement step using the high-accuracy erfc.
+    let e = 0.5 * erfc(-x / core::f64::consts::SQRT_2) - p;
+    let u = e * (2.0 * core::f64::consts::PI).sqrt() * (x * x / 2.0).exp();
+    x - u / (1.0 + x * u / 2.0)
+}
+
+/// Inverse Q-function: `q_inv(q_function(x)) == x`.
+#[inline]
+pub fn q_inv(p: f64) -> f64 {
+    -norm_inv_cdf(p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn erf_known_values() {
+        // erf(0) = 0, erf(1) ≈ 0.8427007929, erf(-1) = -erf(1).
+        assert!(erf(0.0).abs() < 1e-15);
+        assert!((erf(1.0) - 0.842_700_792_949_715).abs() < 1e-12);
+        assert!((erf(-1.0) + erf(1.0)).abs() < 1e-15);
+        assert!((erf(2.0) - 0.995_322_265_018_953).abs() < 1e-12);
+        assert!((erf(3.0) - 0.999_977_909_503_001).abs() < 1e-12);
+        assert!(erf(6.0) > 0.999_999_999);
+    }
+
+    #[test]
+    fn erfc_tail_accuracy() {
+        // erfc(3) = 2.20904969985854e-5, erfc(5) = 1.53745979442803e-12.
+        assert!((erfc(3.0) - 2.209_049_699_858_54e-5).abs() / 2.2e-5 < 1e-10);
+        assert!((erfc(5.0) - 1.537_459_794_428_03e-12).abs() / 1.5e-12 < 1e-9);
+        // erfc(-3) = 2 - erfc(3).
+        assert!((erfc(-3.0) - (2.0 - 2.209_049_699_858_54e-5)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn q_function_known_values() {
+        assert!((q_function(0.0) - 0.5).abs() < 1e-15);
+        assert!((q_function(1.0) - 0.158_655_253_931_457).abs() < 1e-12);
+        assert!((q_function(3.0) - 1.349_898_031_630_09e-3).abs() < 1e-12);
+        // symmetry
+        assert!((q_function(-1.0) + q_function(1.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inverse_roundtrip() {
+        for &x in &[-3.0, -1.5, -0.5, 0.0, 0.5, 1.5, 3.0, 4.0] {
+            let p = q_function(x);
+            let back = q_inv(p);
+            assert!((back - x).abs() < 1e-5, "x {x} -> p {p} -> {back}");
+        }
+    }
+
+    #[test]
+    fn norm_inv_cdf_median_and_quartiles() {
+        assert!(norm_inv_cdf(0.5).abs() < 1e-9);
+        assert!((norm_inv_cdf(0.975) - 1.959_964).abs() < 1e-4);
+        assert!((norm_inv_cdf(0.025) + 1.959_964).abs() < 1e-4);
+    }
+
+    #[test]
+    #[should_panic(expected = "(0,1)")]
+    fn norm_inv_cdf_rejects_bounds() {
+        let _ = norm_inv_cdf(1.0);
+    }
+}

@@ -1,0 +1,535 @@
+//! Streaming statistics: Welford accumulators, histograms, P² quantile
+//! estimation, and batch-means confidence intervals.
+//!
+//! Simulations run for millions of frames; per-packet delays cannot all be
+//! stored. Everything here is O(1) memory per tracked metric.
+
+/// Welford online accumulator for mean/variance/min/max.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Welford {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Welford {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds an observation.
+    #[inline]
+    pub fn push(&mut self, x: f64) {
+        debug_assert!(x.is_finite(), "Welford::push of non-finite value {x}");
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        if x < self.min {
+            self.min = x;
+        }
+        if x > self.max {
+            self.max = x;
+        }
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Unbiased sample variance (0 with < 2 observations).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Minimum observation (`+inf` if empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Maximum observation (`-inf` if empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Sum of observations.
+    pub fn sum(&self) -> f64 {
+        self.mean() * self.n as f64
+    }
+
+    /// Merges another accumulator into this one (parallel reduction).
+    pub fn merge(&mut self, other: &Welford) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n1 = self.n as f64;
+        let n2 = other.n as f64;
+        let delta = other.mean - self.mean;
+        let n = n1 + n2;
+        self.mean += delta * n2 / n;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / n;
+        self.n += other.n;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// P² (Jain & Chlamtac 1985) streaming quantile estimator.
+///
+/// Tracks a single quantile `p` in O(1) memory with five markers.
+#[derive(Debug, Clone)]
+pub struct P2Quantile {
+    p: f64,
+    /// Marker heights.
+    q: [f64; 5],
+    /// Marker positions (1-based as in the paper).
+    n: [f64; 5],
+    /// Desired positions.
+    np: [f64; 5],
+    /// Position increments.
+    dn: [f64; 5],
+    count: u64,
+    init: Vec<f64>,
+}
+
+impl P2Quantile {
+    /// Creates an estimator for quantile `p ∈ (0,1)`.
+    pub fn new(p: f64) -> Self {
+        assert!(p > 0.0 && p < 1.0, "quantile must be in (0,1), got {p}");
+        Self {
+            p,
+            q: [0.0; 5],
+            n: [1.0, 2.0, 3.0, 4.0, 5.0],
+            np: [1.0, 1.0 + 2.0 * p, 1.0 + 4.0 * p, 3.0 + 2.0 * p, 5.0],
+            dn: [0.0, p / 2.0, p, (1.0 + p) / 2.0, 1.0],
+            count: 0,
+            init: Vec::with_capacity(5),
+        }
+    }
+
+    /// Adds an observation.
+    pub fn push(&mut self, x: f64) {
+        debug_assert!(x.is_finite());
+        self.count += 1;
+        if self.init.len() < 5 {
+            self.init.push(x);
+            if self.init.len() == 5 {
+                self.init
+                    .sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+                for i in 0..5 {
+                    self.q[i] = self.init[i];
+                }
+            }
+            return;
+        }
+
+        // Find cell k such that q[k] <= x < q[k+1], adjusting extremes.
+        let k = if x < self.q[0] {
+            self.q[0] = x;
+            0
+        } else if x >= self.q[4] {
+            self.q[4] = x;
+            3
+        } else {
+            let mut k = 0;
+            for i in 0..4 {
+                if self.q[i] <= x && x < self.q[i + 1] {
+                    k = i;
+                    break;
+                }
+            }
+            k
+        };
+
+        for i in (k + 1)..5 {
+            self.n[i] += 1.0;
+        }
+        for i in 0..5 {
+            self.np[i] += self.dn[i];
+        }
+
+        // Adjust interior markers with parabolic (fallback linear) moves.
+        for i in 1..4 {
+            let d = self.np[i] - self.n[i];
+            if (d >= 1.0 && self.n[i + 1] - self.n[i] > 1.0)
+                || (d <= -1.0 && self.n[i - 1] - self.n[i] < -1.0)
+            {
+                let ds = d.signum();
+                let qp = self.parabolic(i, ds);
+                self.q[i] = if self.q[i - 1] < qp && qp < self.q[i + 1] {
+                    qp
+                } else {
+                    self.linear(i, ds)
+                };
+                self.n[i] += ds;
+            }
+        }
+    }
+
+    fn parabolic(&self, i: usize, d: f64) -> f64 {
+        let q = &self.q;
+        let n = &self.n;
+        q[i] + d / (n[i + 1] - n[i - 1])
+            * ((n[i] - n[i - 1] + d) * (q[i + 1] - q[i]) / (n[i + 1] - n[i])
+                + (n[i + 1] - n[i] - d) * (q[i] - q[i - 1]) / (n[i] - n[i - 1]))
+    }
+
+    fn linear(&self, i: usize, d: f64) -> f64 {
+        let j = if d > 0.0 { i + 1 } else { i - 1 };
+        self.q[i] + d * (self.q[j] - self.q[i]) / (self.n[j] - self.n[i])
+    }
+
+    /// Current quantile estimate.
+    pub fn value(&self) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        if self.init.len() < 5 && (self.init.len() as u64) == self.count {
+            // Fewer than five samples: exact order statistic.
+            let mut v = self.init.clone();
+            v.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+            let idx = ((v.len() as f64 - 1.0) * self.p).round() as usize;
+            return v[idx];
+        }
+        self.q[2]
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+}
+
+/// Fixed-bin histogram over `[lo, hi)` with under/overflow buckets.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    bins: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+    total: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `nbins` equal-width bins over `[lo, hi)`.
+    pub fn new(lo: f64, hi: f64, nbins: usize) -> Self {
+        assert!(hi > lo, "Histogram: hi must exceed lo");
+        assert!(nbins > 0, "Histogram: need at least one bin");
+        Self {
+            lo,
+            hi,
+            bins: vec![0; nbins],
+            underflow: 0,
+            overflow: 0,
+            total: 0,
+        }
+    }
+
+    /// Adds an observation.
+    #[inline]
+    pub fn push(&mut self, x: f64) {
+        self.total += 1;
+        if x < self.lo {
+            self.underflow += 1;
+        } else if x >= self.hi {
+            self.overflow += 1;
+        } else {
+            let w = (self.hi - self.lo) / self.bins.len() as f64;
+            let idx = ((x - self.lo) / w) as usize;
+            let idx = idx.min(self.bins.len() - 1);
+            self.bins[idx] += 1;
+        }
+    }
+
+    /// Bin counts (excluding under/overflow).
+    pub fn bins(&self) -> &[u64] {
+        &self.bins
+    }
+
+    /// Count of observations below range.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Count of observations at/above range top.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Total observations.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Quantile estimate by linear interpolation within bins.
+    pub fn quantile(&self, p: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&p));
+        if self.total == 0 {
+            return self.lo;
+        }
+        let target = p * self.total as f64;
+        let mut acc = self.underflow as f64;
+        if acc >= target {
+            return self.lo;
+        }
+        let w = (self.hi - self.lo) / self.bins.len() as f64;
+        for (i, &c) in self.bins.iter().enumerate() {
+            let next = acc + c as f64;
+            if next >= target && c > 0 {
+                let frac = (target - acc) / c as f64;
+                return self.lo + w * (i as f64 + frac);
+            }
+            acc = next;
+        }
+        self.hi
+    }
+
+    /// Merges another histogram with identical shape.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(self.bins.len(), other.bins.len(), "histogram shape mismatch");
+        assert!(
+            (self.lo - other.lo).abs() < 1e-12 && (self.hi - other.hi).abs() < 1e-12,
+            "histogram range mismatch"
+        );
+        for (a, b) in self.bins.iter_mut().zip(&other.bins) {
+            *a += b;
+        }
+        self.underflow += other.underflow;
+        self.overflow += other.overflow;
+        self.total += other.total;
+    }
+}
+
+/// Student-t 97.5% critical values for small df; 1.96 asymptote beyond.
+fn t_975(df: u64) -> f64 {
+    const TABLE: [f64; 30] = [
+        12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179,
+        2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064,
+        2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+    ];
+    match df {
+        0 => f64::INFINITY,
+        d if d <= 30 => TABLE[(d - 1) as usize],
+        d if d <= 60 => 2.00,
+        d if d <= 120 => 1.98,
+        _ => 1.96,
+    }
+}
+
+/// Mean with a 95% confidence half-width from independent replications.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MeanCi {
+    /// Point estimate.
+    pub mean: f64,
+    /// 95% confidence half-width.
+    pub half_width: f64,
+    /// Number of replications.
+    pub n: u64,
+}
+
+impl MeanCi {
+    /// Computes a t-based CI from per-replication means.
+    pub fn from_samples(xs: &[f64]) -> Self {
+        let mut w = Welford::new();
+        for &x in xs {
+            w.push(x);
+        }
+        let n = w.count();
+        let hw = if n >= 2 {
+            t_975(n - 1) * w.std_dev() / (n as f64).sqrt()
+        } else {
+            f64::INFINITY
+        };
+        Self {
+            mean: w.mean(),
+            half_width: hw,
+            n,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Xoshiro256pp;
+
+    #[test]
+    fn welford_matches_two_pass() {
+        let xs = [1.0, 2.0, 4.0, 8.0, 16.0, -3.5];
+        let mut w = Welford::new();
+        for &x in &xs {
+            w.push(x);
+        }
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var =
+            xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (xs.len() - 1) as f64;
+        assert!((w.mean() - mean).abs() < 1e-12);
+        assert!((w.variance() - var).abs() < 1e-12);
+        assert_eq!(w.min(), -3.5);
+        assert_eq!(w.max(), 16.0);
+        assert_eq!(w.count(), 6);
+    }
+
+    #[test]
+    fn welford_merge_equals_sequential() {
+        let mut a = Welford::new();
+        let mut b = Welford::new();
+        let mut all = Welford::new();
+        let mut r = Xoshiro256pp::new(1);
+        for i in 0..1000 {
+            let x = r.next_f64() * 10.0 - 5.0;
+            if i % 2 == 0 {
+                a.push(x);
+            } else {
+                b.push(x);
+            }
+            all.push(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), all.count());
+        assert!((a.mean() - all.mean()).abs() < 1e-10);
+        assert!((a.variance() - all.variance()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn welford_empty_merge() {
+        let mut a = Welford::new();
+        let b = Welford::new();
+        a.merge(&b);
+        assert_eq!(a.count(), 0);
+        let mut c = Welford::new();
+        c.push(5.0);
+        let mut d = Welford::new();
+        d.merge(&c);
+        assert_eq!(d.count(), 1);
+        assert_eq!(d.mean(), 5.0);
+    }
+
+    #[test]
+    fn p2_median_of_uniform() {
+        let mut est = P2Quantile::new(0.5);
+        let mut r = Xoshiro256pp::new(2);
+        for _ in 0..100_000 {
+            est.push(r.next_f64());
+        }
+        assert!((est.value() - 0.5).abs() < 0.01, "median {}", est.value());
+    }
+
+    #[test]
+    fn p2_p95_of_exponential() {
+        use crate::dist::{Distribution, Exponential};
+        let d = Exponential::new(1.0);
+        let mut est = P2Quantile::new(0.95);
+        let mut r = Xoshiro256pp::new(3);
+        for _ in 0..200_000 {
+            est.push(d.sample(&mut r));
+        }
+        // True p95 of Exp(1) = ln(20) ≈ 2.9957.
+        assert!(
+            (est.value() - 2.9957).abs() < 0.1,
+            "p95 {} vs 2.9957",
+            est.value()
+        );
+    }
+
+    #[test]
+    fn p2_few_samples_exact() {
+        let mut est = P2Quantile::new(0.5);
+        est.push(10.0);
+        assert_eq!(est.value(), 10.0);
+        est.push(20.0);
+        est.push(0.0);
+        // 3 samples, median = 10.
+        assert_eq!(est.value(), 10.0);
+    }
+
+    #[test]
+    fn histogram_counts_and_quantile() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        for i in 0..100 {
+            h.push(i as f64 / 10.0); // 0.0 .. 9.9 uniformly
+        }
+        assert_eq!(h.total(), 100);
+        assert_eq!(h.underflow(), 0);
+        assert_eq!(h.overflow(), 0);
+        assert!(h.bins().iter().all(|&c| c == 10));
+        let med = h.quantile(0.5);
+        assert!((med - 5.0).abs() < 0.5, "median {med}");
+        h.push(-1.0);
+        h.push(100.0);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 1);
+    }
+
+    #[test]
+    fn histogram_merge() {
+        let mut a = Histogram::new(0.0, 1.0, 4);
+        let mut b = Histogram::new(0.0, 1.0, 4);
+        a.push(0.1);
+        b.push(0.9);
+        a.merge(&b);
+        assert_eq!(a.total(), 2);
+        assert_eq!(a.bins()[0], 1);
+        assert_eq!(a.bins()[3], 1);
+    }
+
+    #[test]
+    fn ci_contains_true_mean_usually() {
+        // 20 replications of mean-5 exponential; CI should be finite and
+        // bracket 5 for this fixed seed.
+        use crate::dist::{Distribution, Exponential};
+        let d = Exponential::with_mean(5.0);
+        let mut r = Xoshiro256pp::new(4);
+        let reps: Vec<f64> = (0..20)
+            .map(|_| (0..500).map(|_| d.sample(&mut r)).sum::<f64>() / 500.0)
+            .collect();
+        let ci = MeanCi::from_samples(&reps);
+        assert_eq!(ci.n, 20);
+        assert!(ci.half_width.is_finite() && ci.half_width > 0.0);
+        assert!(
+            (ci.mean - ci.half_width..ci.mean + ci.half_width).contains(&5.0),
+            "CI [{} ± {}] misses 5",
+            ci.mean,
+            ci.half_width
+        );
+    }
+
+    #[test]
+    fn ci_single_sample_infinite() {
+        let ci = MeanCi::from_samples(&[1.0]);
+        assert!(ci.half_width.is_infinite());
+    }
+}

@@ -1,0 +1,148 @@
+//! Parametric BER model for the variable-throughput orthogonal coded
+//! modulation.
+//!
+//! The exact performance curves of the VTAOC codes live in Lau [3],[7],
+//! which are not reproducible without the full coded-modulation design. We
+//! substitute the standard exponential error model for orthogonal/noncoherent
+//! signalling families:
+//!
+//! `BER_q(γ_s) = ½·exp(−c · γ_s / β_q)`
+//!
+//! where `γ_s` is the instantaneous symbol energy-to-interference ratio
+//! (eq. 3: `γ = X_f(t)·ε_s`), `β_q` the mode's bits/symbol, and `c` a
+//! detector constant (`c = ½` is exact for noncoherent orthogonal FSK,
+//! DPSK-like detectors have `c = 1`). Dividing by `β_q` captures the energy
+//! *per information bit* growing as the rate drops — exactly the
+//! redundancy-vs-throughput dial the adaptive coder turns.
+//!
+//! Every property the admission layer depends on is preserved:
+//! monotonically decreasing BER in γ, monotonically increasing required γ in
+//! mode index, and closed-form constant-BER threshold inversion
+//! (`ξ_q = β_q·ln(1/(2·P_b))/c`, a geometric threshold ladder).
+
+use crate::modes::{mode_throughput, NUM_MODES};
+
+/// Exponential BER model with detector constant `c`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BerModel {
+    c: f64,
+}
+
+impl BerModel {
+    /// Creates a model with detector constant `c > 0`.
+    pub fn new(c: f64) -> Self {
+        assert!(c.is_finite() && c > 0.0, "detector constant must be positive");
+        Self { c }
+    }
+
+    /// Uncoded noncoherent orthogonal detection, `c = 1/2`.
+    pub fn orthogonal() -> Self {
+        Self::new(0.5)
+    }
+
+    /// Coded orthogonal modulation, `c = 2` (≈ 6 dB of coding gain over the
+    /// uncoded detector — representative of the convolutionally coded
+    /// schemes of refs [3],[7] and the default used by the system-level
+    /// experiments).
+    pub fn coded() -> Self {
+        Self::new(2.0)
+    }
+
+    /// Instantaneous BER of mode `q` at symbol SIR `gamma` (linear).
+    pub fn ber(&self, q: u8, gamma: f64) -> f64 {
+        assert!(gamma >= 0.0, "gamma must be non-negative");
+        0.5 * (-self.c * gamma / mode_throughput(q)).exp()
+    }
+
+    /// Minimum symbol SIR at which mode `q` meets `target_ber`:
+    /// the constant-BER adaptation threshold ξ_q.
+    pub fn threshold(&self, q: u8, target_ber: f64) -> f64 {
+        assert!(
+            target_ber > 0.0 && target_ber < 0.5,
+            "target BER must be in (0, 0.5), got {target_ber}"
+        );
+        mode_throughput(q) * (0.5 / target_ber).ln() / self.c
+    }
+
+    /// All `NUM_MODES` thresholds `ξ_0 < ξ_1 < … < ξ_5` for a target BER.
+    pub fn thresholds(&self, target_ber: f64) -> [f64; NUM_MODES] {
+        let mut t = [0.0; NUM_MODES];
+        for (q, slot) in t.iter_mut().enumerate() {
+            *slot = self.threshold(q as u8, target_ber);
+        }
+        t
+    }
+
+    /// Detector constant.
+    pub fn c(&self) -> f64 {
+        self.c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ber_decreases_with_gamma() {
+        let m = BerModel::orthogonal();
+        let mut prev = 0.5;
+        for g in [0.0, 0.5, 1.0, 2.0, 5.0, 20.0] {
+            let b = m.ber(3, g);
+            assert!(b <= prev, "BER not decreasing at gamma {g}");
+            prev = b;
+        }
+        assert_eq!(m.ber(3, 0.0), 0.5);
+    }
+
+    #[test]
+    fn higher_modes_need_more_energy() {
+        let m = BerModel::orthogonal();
+        let g = 2.0;
+        for q in 0..5u8 {
+            assert!(
+                m.ber(q, g) < m.ber(q + 1, g),
+                "mode {q} should outperform {} at equal gamma",
+                q + 1
+            );
+        }
+    }
+
+    #[test]
+    fn threshold_inversion_is_exact() {
+        let m = BerModel::orthogonal();
+        let pb = 1e-3;
+        for q in 0..NUM_MODES as u8 {
+            let xi = m.threshold(q, pb);
+            let b = m.ber(q, xi);
+            assert!((b - pb).abs() / pb < 1e-12, "mode {q}: BER at threshold {b}");
+        }
+    }
+
+    #[test]
+    fn thresholds_are_geometric_ladder() {
+        let m = BerModel::orthogonal();
+        let t = m.thresholds(1e-3);
+        for q in 0..NUM_MODES - 1 {
+            assert!((t[q + 1] / t[q] - 2.0).abs() < 1e-12, "ratio at {q}");
+        }
+        // ξ_0 = (1/32)·ln(500)/0.5 ≈ 0.3884.
+        assert!((t[0] - (1.0 / 32.0) * 500f64.ln() / 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stricter_ber_raises_thresholds() {
+        let m = BerModel::orthogonal();
+        let loose = m.thresholds(1e-2);
+        let strict = m.thresholds(1e-5);
+        for q in 0..NUM_MODES {
+            assert!(strict[q] > loose[q]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "target BER")]
+    fn rejects_silly_target() {
+        let _ = BerModel::orthogonal().threshold(0, 0.7);
+    }
+}

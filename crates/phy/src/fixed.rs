@@ -1,0 +1,161 @@
+//! Fixed-throughput (non-adaptive) physical layer — the ablation baseline.
+//!
+//! "Traditional physical layer delivers a constant throughput in that the
+//! amount of error protection incorporated into a packet is fixed without
+//! regard to the time varying channel condition."
+//!
+//! A fixed PHY picks one mode at design time. To keep the comparison fair it
+//! is designed for the same target BER: transmission only succeeds when the
+//! instantaneous CSI is above that one mode's threshold, otherwise the frame
+//! slot is lost (the classic fixed-rate outage cliff). Its average
+//! throughput is therefore `β_q · P(γ ≥ ξ_q)` — strictly below the adaptive
+//! staircase everywhere except at the design point.
+
+use crate::ber::BerModel;
+use crate::modes::{mode_throughput, TxMode, NUM_MODES};
+use crate::vtaoc::Vtaoc;
+
+/// A non-adaptive single-mode PHY operating at the same constant-BER target.
+#[derive(Debug, Clone)]
+pub struct FixedPhy {
+    mode: u8,
+    threshold: f64,
+    target_ber: f64,
+}
+
+impl FixedPhy {
+    /// Creates a fixed PHY locked to mode `q` for the given target BER.
+    pub fn new(ber_model: BerModel, mode: u8, target_ber: f64) -> Self {
+        assert!((mode as usize) < NUM_MODES, "mode {mode} out of range");
+        Self {
+            mode,
+            threshold: ber_model.threshold(mode, target_ber),
+            target_ber,
+        }
+    }
+
+    /// Picks the mode that maximises average throughput at the design
+    /// local-mean CSI `eps_design` — how a competent fixed-rate system would
+    /// be provisioned (e.g. for the cell edge).
+    pub fn designed_for(ber_model: BerModel, target_ber: f64, eps_design: f64) -> Self {
+        let mut best = (0u8, -1.0);
+        for q in 0..NUM_MODES as u8 {
+            let xi = ber_model.threshold(q, target_ber);
+            let avg = mode_throughput(q) * (-xi / eps_design).exp();
+            if avg > best.1 {
+                best = (q, avg);
+            }
+        }
+        Self::new(ber_model, best.0, target_ber)
+    }
+
+    /// The locked mode index.
+    pub fn mode(&self) -> u8 {
+        self.mode
+    }
+
+    /// The outage threshold of the locked mode.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// Target BER.
+    pub fn target_ber(&self) -> f64 {
+        self.target_ber
+    }
+
+    /// Transmission decision at instantaneous CSI `gamma`.
+    pub fn mode_for(&self, gamma: f64) -> TxMode {
+        if gamma >= self.threshold {
+            TxMode::Active(self.mode)
+        } else {
+            TxMode::Outage
+        }
+    }
+
+    /// Instantaneous throughput at CSI `gamma`.
+    pub fn throughput_at(&self, gamma: f64) -> f64 {
+        self.mode_for(gamma).throughput()
+    }
+
+    /// Average throughput at local-mean CSI `eps` under exponential fading:
+    /// `β_q · e^{−ξ_q/ε}`.
+    pub fn avg_throughput(&self, eps: f64) -> f64 {
+        assert!(eps >= 0.0);
+        if eps == 0.0 {
+            return 0.0;
+        }
+        mode_throughput(self.mode) * (-self.threshold / eps).exp()
+    }
+}
+
+/// Convenience: the adaptive coder and a fixed baseline designed for the same
+/// BER at design CSI, for side-by-side ablation.
+pub fn adaptive_vs_fixed(target_ber: f64, eps_design: f64) -> (Vtaoc, FixedPhy) {
+    let model = BerModel::orthogonal();
+    (
+        Vtaoc::constant_ber(model, target_ber),
+        FixedPhy::designed_for(model, target_ber, eps_design),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adaptive_dominates_fixed_everywhere() {
+        // The paper's core PHY claim: adaptive ≥ fixed average throughput at
+        // every mean CSI when both meet the same BER target.
+        let (v, f) = adaptive_vs_fixed(1e-3, wcdma_math::db_to_lin(6.0));
+        for eps_db in (-10..=30).step_by(1) {
+            let eps = wcdma_math::db_to_lin(eps_db as f64);
+            let a = v.avg_throughput(eps);
+            let x = f.avg_throughput(eps);
+            assert!(
+                a >= x - 1e-12,
+                "fixed beats adaptive at {eps_db} dB: {a} vs {x}"
+            );
+        }
+    }
+
+    #[test]
+    fn design_point_picks_reasonable_mode() {
+        let model = BerModel::orthogonal();
+        // Weak design CSI → low mode; strong design CSI → high mode.
+        let weak = FixedPhy::designed_for(model, 1e-3, wcdma_math::db_to_lin(-3.0));
+        let strong = FixedPhy::designed_for(model, 1e-3, wcdma_math::db_to_lin(25.0));
+        assert!(weak.mode() < strong.mode());
+        assert_eq!(strong.mode(), 5, "very strong channel should pick top mode");
+    }
+
+    #[test]
+    fn outage_below_threshold() {
+        let f = FixedPhy::new(BerModel::orthogonal(), 3, 1e-3);
+        assert_eq!(f.mode_for(f.threshold() * 0.99), TxMode::Outage);
+        assert_eq!(f.mode_for(f.threshold() * 1.01), TxMode::Active(3));
+        assert_eq!(f.throughput_at(0.0), 0.0);
+    }
+
+    #[test]
+    fn avg_throughput_closed_form() {
+        let f = FixedPhy::new(BerModel::orthogonal(), 2, 1e-3);
+        let eps = wcdma_math::db_to_lin(10.0);
+        let expect = mode_throughput(2) * (-f.threshold() / eps).exp();
+        assert!((f.avg_throughput(eps) - expect).abs() < 1e-15);
+        assert_eq!(f.avg_throughput(0.0), 0.0);
+    }
+
+    #[test]
+    fn fixed_gain_cliff_vs_adaptive_grace() {
+        // Below its design point the fixed PHY collapses much faster than
+        // the adaptive one: ratio adaptive/fixed grows as CSI drops.
+        let (v, f) = adaptive_vs_fixed(1e-3, wcdma_math::db_to_lin(15.0));
+        let at = |db: f64| {
+            let eps = wcdma_math::db_to_lin(db);
+            v.avg_throughput(eps) / f.avg_throughput(eps).max(1e-300)
+        };
+        assert!(at(-5.0) > at(5.0));
+        assert!(at(5.0) > at(15.0) * 0.999);
+    }
+}

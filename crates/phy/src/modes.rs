@@ -1,0 +1,95 @@
+//! VTAOC transmission modes.
+//!
+//! Section 2.2: a 6-mode (symbol-by-symbol) variable-throughput adaptive
+//! orthogonal coding scheme. The instantaneous throughput — information bits
+//! carried per modulation symbol — ranges over a geometric ladder
+//! `β_q = 2^{q-5} ∈ {1/32, 1/16, 1/8, 1/4, 1/2, 1}` for modes `q = 0..5`:
+//! lower modes use longer orthogonal codewords (more bandwidth expansion,
+//! more protection), higher modes carry more bits per symbol.
+//!
+//! Below the lowest adaptation threshold the transmitter stays silent
+//! ([`TxMode::Outage`]); per the paper's footnote 1, the penalty of a bad
+//! channel under constant-BER adaptation is *lower offered throughput*, never
+//! a higher error rate.
+
+/// Number of active transmission modes.
+pub const NUM_MODES: usize = 6;
+
+/// A VTAOC transmission decision for one symbol interval.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TxMode {
+    /// Channel below the lowest threshold: no transmission this symbol.
+    Outage,
+    /// Active mode `q ∈ 0..=5`.
+    Active(u8),
+}
+
+impl TxMode {
+    /// Throughput β in information bits per modulation symbol (0 in outage).
+    #[inline]
+    pub fn throughput(self) -> f64 {
+        match self {
+            TxMode::Outage => 0.0,
+            TxMode::Active(q) => mode_throughput(q),
+        }
+    }
+
+    /// Mode index as an `Option`.
+    #[inline]
+    pub fn index(self) -> Option<u8> {
+        match self {
+            TxMode::Outage => None,
+            TxMode::Active(q) => Some(q),
+        }
+    }
+}
+
+/// Throughput of active mode `q`: `2^{q-5}` bits/symbol.
+///
+/// # Panics
+/// Panics if `q >= 6`.
+#[inline]
+pub fn mode_throughput(q: u8) -> f64 {
+    assert!((q as usize) < NUM_MODES, "mode index {q} out of range");
+    // 2^(q-5): q=0 -> 1/32 ... q=5 -> 1.
+    (1u32 << q) as f64 / 32.0
+}
+
+/// All active modes, lowest (most protected) first.
+pub fn all_modes() -> impl Iterator<Item = u8> {
+    0..NUM_MODES as u8
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ladder_values() {
+        let expect = [1.0 / 32.0, 1.0 / 16.0, 1.0 / 8.0, 1.0 / 4.0, 1.0 / 2.0, 1.0];
+        for (q, &e) in expect.iter().enumerate() {
+            assert_eq!(mode_throughput(q as u8), e);
+        }
+    }
+
+    #[test]
+    fn monotone_doubling() {
+        for q in 0..5u8 {
+            assert_eq!(mode_throughput(q + 1), 2.0 * mode_throughput(q));
+        }
+    }
+
+    #[test]
+    fn outage_has_zero_throughput() {
+        assert_eq!(TxMode::Outage.throughput(), 0.0);
+        assert_eq!(TxMode::Outage.index(), None);
+        assert_eq!(TxMode::Active(3).index(), Some(3));
+        assert_eq!(TxMode::Active(5).throughput(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn mode_bounds_checked() {
+        let _ = mode_throughput(6);
+    }
+}

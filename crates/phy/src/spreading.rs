@@ -1,0 +1,200 @@
+//! The spreading stage and the FCH/SCH rate & power relations —
+//! Section 2.2, eq. (2), (4), (5).
+//!
+//! * Overall processing gain (eq. 2): `θ = W/R_b = g/β` — bandwidth over bit
+//!   rate equals spreading gain over VTAOC throughput.
+//! * SCH relative rate (eq. 4): `δR_b = R_s/R_f = m·δβ̄`, where `m = g_f/g_s`
+//!   is the spreading-gain ratio granted by the admission layer and
+//!   `δβ̄ = β̄_s/β_f` the relative average VTAOC throughput at the user's
+//!   local-mean CSI.
+//! * SCH/FCH power ratio (eq. 5): `X_s/X_f = γ_s·m`, with `γ_s` a *fixed*
+//!   constant set by the target error levels of the two channels
+//!   (independent of the local-mean CSI and the SCH bit rate — this is what
+//!   makes the admission constraints linear in `m`).
+
+use crate::vtaoc::Vtaoc;
+
+/// System-wide spreading parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpreadingConfig {
+    /// System (chip) bandwidth W in chips/s.
+    pub chip_rate: f64,
+    /// Fundamental channel information bit rate R_f (bits/s).
+    pub fch_rate: f64,
+    /// Fixed VTAOC throughput of the FCH, β_f (bits/symbol).
+    pub fch_throughput: f64,
+    /// Maximum spreading-gain ratio M (m_j ∈ {0} ∪ [1, M]).
+    pub max_gain_ratio: u32,
+    /// Relative SCH/FCH symbol-energy requirement γ_s (linear).
+    pub gamma_s: f64,
+}
+
+impl SpreadingConfig {
+    /// cdma2000-flavoured defaults: 3.6864 Mcps, 9.6 kbps FCH at β_f = 1/4,
+    /// M = 16, γ_s = 1 (equal per-symbol energy requirements).
+    pub fn cdma2000_default() -> Self {
+        Self {
+            chip_rate: 3.686_4e6,
+            fch_rate: 9_600.0,
+            fch_throughput: 0.25,
+            max_gain_ratio: 16,
+            gamma_s: 1.0,
+        }
+    }
+
+    /// Validates invariants; call after manual construction.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(self.chip_rate > 0.0) {
+            return Err(format!("chip rate must be positive: {}", self.chip_rate));
+        }
+        if !(self.fch_rate > 0.0) {
+            return Err(format!("FCH rate must be positive: {}", self.fch_rate));
+        }
+        if !(self.fch_throughput > 0.0 && self.fch_throughput <= 1.0) {
+            return Err(format!(
+                "FCH throughput must be in (0,1]: {}",
+                self.fch_throughput
+            ));
+        }
+        if self.max_gain_ratio == 0 {
+            return Err("max gain ratio must be at least 1".into());
+        }
+        if !(self.gamma_s > 0.0) {
+            return Err(format!("gamma_s must be positive: {}", self.gamma_s));
+        }
+        let g = self.fch_spreading_gain();
+        if g < 1.0 {
+            return Err(format!("FCH spreading gain below 1: {g}"));
+        }
+        Ok(())
+    }
+
+    /// FCH overall processing gain θ_f = W / R_f.
+    pub fn fch_processing_gain(&self) -> f64 {
+        self.chip_rate / self.fch_rate
+    }
+
+    /// FCH spreading-stage gain g_f = θ_f · β_f (from eq. 2, g = θ·β).
+    pub fn fch_spreading_gain(&self) -> f64 {
+        self.fch_processing_gain() * self.fch_throughput
+    }
+
+    /// SCH spreading gain for grant `m`: g_s = g_f / m.
+    pub fn sch_spreading_gain(&self, m: u32) -> f64 {
+        assert!(m >= 1 && m <= self.max_gain_ratio, "invalid gain ratio {m}");
+        self.fch_spreading_gain() / m as f64
+    }
+
+    /// SCH instantaneous bit rate for grant `m` when the VTAOC offers
+    /// throughput `beta_s` (eq. 4): `R_s = R_f · m · (β_s/β_f)`.
+    pub fn sch_rate(&self, m: u32, beta_s: f64) -> f64 {
+        assert!(beta_s >= 0.0);
+        self.fch_rate * m as f64 * (beta_s / self.fch_throughput)
+    }
+
+    /// Expected SCH bit rate for grant `m` at local-mean CSI `eps`,
+    /// averaging the VTAOC staircase over fast fading.
+    pub fn sch_avg_rate(&self, m: u32, vtaoc: &Vtaoc, eps: f64) -> f64 {
+        self.sch_rate(m, vtaoc.avg_throughput(eps))
+    }
+
+    /// Relative average throughput δβ̄ = β̄_s(ε)/β_f used by the scheduler.
+    pub fn delta_beta(&self, vtaoc: &Vtaoc, eps: f64) -> f64 {
+        vtaoc.avg_throughput(eps) / self.fch_throughput
+    }
+
+    /// SCH transmit power relative to the user's FCH power for grant `m`
+    /// (eq. 5): `X_s/X_f = γ_s·m`.
+    pub fn sch_power_ratio(&self, m: u32) -> f64 {
+        assert!(m <= self.max_gain_ratio, "invalid gain ratio {m}");
+        self.gamma_s * m as f64
+    }
+
+    /// Maximum SCH peak rate the system can grant (m = M, top mode).
+    pub fn peak_sch_rate(&self) -> f64 {
+        self.sch_rate(self.max_gain_ratio, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> SpreadingConfig {
+        SpreadingConfig::cdma2000_default()
+    }
+
+    #[test]
+    fn default_validates() {
+        cfg().validate().expect("default config must be valid");
+    }
+
+    #[test]
+    fn processing_gain_identity() {
+        // eq. (2): θ = g/β ⇔ g = θ·β.
+        let c = cfg();
+        let theta = c.fch_processing_gain();
+        assert!((theta - 384.0).abs() < 1e-9, "theta {theta}");
+        assert!((c.fch_spreading_gain() - 96.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sch_gain_halves_as_m_doubles() {
+        let c = cfg();
+        assert!((c.sch_spreading_gain(1) - 96.0).abs() < 1e-9);
+        assert!((c.sch_spreading_gain(2) - 48.0).abs() < 1e-9);
+        assert!((c.sch_spreading_gain(16) - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sch_rate_scales_with_m_and_beta() {
+        let c = cfg();
+        // m=4, β_s = β_f: rate = 4×FCH.
+        assert!((c.sch_rate(4, 0.25) - 38_400.0).abs() < 1e-9);
+        // top everything: m=16, β_s=1 (4× FCH throughput): 16·4·9600 = 614.4k.
+        assert!((c.peak_sch_rate() - 614_400.0).abs() < 1e-6);
+        // zero throughput → zero rate.
+        assert_eq!(c.sch_rate(8, 0.0), 0.0);
+    }
+
+    #[test]
+    fn power_ratio_linear_in_m() {
+        let c = cfg();
+        for m in 1..=16u32 {
+            assert!((c.sch_power_ratio(m) - m as f64).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn avg_rate_uses_vtaoc_staircase() {
+        let c = cfg();
+        let v = Vtaoc::default_config();
+        let eps = wcdma_math::db_to_lin(10.0);
+        let r = c.sch_avg_rate(4, &v, eps);
+        let expect = c.fch_rate * 4.0 * v.avg_throughput(eps) / c.fch_throughput;
+        assert!((r - expect).abs() < 1e-9);
+        assert!(r > 0.0);
+    }
+
+    #[test]
+    fn validation_catches_errors() {
+        let mut c = cfg();
+        c.fch_throughput = 0.0;
+        assert!(c.validate().is_err());
+        let mut c2 = cfg();
+        c2.gamma_s = -1.0;
+        assert!(c2.validate().is_err());
+        let mut c3 = cfg();
+        c3.max_gain_ratio = 0;
+        assert!(c3.validate().is_err());
+        let mut c4 = cfg();
+        c4.fch_rate = c4.chip_rate * 2.0; // spreading gain < 1
+        assert!(c4.validate().is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid gain ratio")]
+    fn sch_gain_rejects_m_above_max() {
+        let _ = cfg().sch_spreading_gain(17);
+    }
+}

@@ -1,0 +1,266 @@
+//! The Variable Throughput Adaptive Orthogonal Coding (VTAOC) scheme —
+//! Section 2.2 and Figure 1.
+//!
+//! Operated in *constant-BER mode*: adaptation thresholds `{ξ_0 … ξ_5}` are
+//! set so that every active mode meets the target BER; "transmission mode-q
+//! is chosen for the current information bit if the feedback CSI falls within
+//! the adaptation thresholds (ξ_q, ξ_{q+1})". Under a good channel the
+//! scheme rides up the mode ladder and throughput rises; under a bad channel
+//! it backs down — the penalty is lower throughput, not errors.
+//!
+//! The key quantity the burst-admission layer consumes is
+//! [`Vtaoc::avg_throughput`]: the expected bits/symbol at a given *local
+//! mean* CSI `ε_s`, averaging the mode staircase over the Rayleigh fast
+//! fading that the symbol-by-symbol adaptation rides (closed form, since
+//! `γ = X_s·ε_s` with `X_s ~ Exp(1)`).
+
+use crate::ber::BerModel;
+use crate::modes::{mode_throughput, TxMode, NUM_MODES};
+
+/// A configured VTAOC adaptive coder.
+#[derive(Debug, Clone)]
+pub struct Vtaoc {
+    thresholds: [f64; NUM_MODES],
+    target_ber: f64,
+    ber_model: BerModel,
+}
+
+impl Vtaoc {
+    /// Builds a constant-BER VTAOC for the given target error level.
+    pub fn constant_ber(ber_model: BerModel, target_ber: f64) -> Self {
+        let thresholds = ber_model.thresholds(target_ber);
+        Self {
+            thresholds,
+            target_ber,
+            ber_model,
+        }
+    }
+
+    /// Default configuration used throughout the reproduction:
+    /// coded orthogonal modulation, target BER `10⁻³`.
+    pub fn default_config() -> Self {
+        Self::constant_ber(BerModel::coded(), 1e-3)
+    }
+
+    /// Adaptation thresholds `ξ_0 … ξ_5` (linear SIR).
+    pub fn thresholds(&self) -> &[f64; NUM_MODES] {
+        &self.thresholds
+    }
+
+    /// Target BER the thresholds were designed for.
+    pub fn target_ber(&self) -> f64 {
+        self.target_ber
+    }
+
+    /// The underlying BER model.
+    pub fn ber_model(&self) -> &BerModel {
+        &self.ber_model
+    }
+
+    /// Mode selected for instantaneous (fed-back) CSI `gamma`.
+    pub fn mode_for(&self, gamma: f64) -> TxMode {
+        debug_assert!(gamma >= 0.0);
+        if gamma < self.thresholds[0] {
+            return TxMode::Outage;
+        }
+        // Linear scan is faster than binary search for 6 entries.
+        let mut q = 0u8;
+        for (i, &xi) in self.thresholds.iter().enumerate().skip(1) {
+            if gamma >= xi {
+                q = i as u8;
+            } else {
+                break;
+            }
+        }
+        TxMode::Active(q)
+    }
+
+    /// Instantaneous throughput (bits/symbol) at CSI `gamma`.
+    pub fn throughput_at(&self, gamma: f64) -> f64 {
+        self.mode_for(gamma).throughput()
+    }
+
+    /// Expected throughput (bits/symbol) at local-mean CSI `eps` under
+    /// unit-mean exponential fast fading:
+    /// `b̄(ε) = Σ_q β_q·[e^{−ξ_q/ε} − e^{−ξ_{q+1}/ε}]`.
+    pub fn avg_throughput(&self, eps: f64) -> f64 {
+        assert!(eps >= 0.0, "mean CSI must be non-negative");
+        if eps == 0.0 {
+            return 0.0;
+        }
+        let mut sum = 0.0;
+        for q in 0..NUM_MODES {
+            let lo = (-self.thresholds[q] / eps).exp();
+            let hi = if q + 1 < NUM_MODES {
+                (-self.thresholds[q + 1] / eps).exp()
+            } else {
+                0.0
+            };
+            sum += mode_throughput(q as u8) * (lo - hi);
+        }
+        sum
+    }
+
+    /// Probability of each mode (index 0 = outage, 1..=6 = modes 0..=5) at
+    /// local-mean CSI `eps` under exponential fading.
+    pub fn mode_occupancy(&self, eps: f64) -> [f64; NUM_MODES + 1] {
+        assert!(eps >= 0.0);
+        let mut p = [0.0; NUM_MODES + 1];
+        if eps == 0.0 {
+            p[0] = 1.0;
+            return p;
+        }
+        p[0] = 1.0 - (-self.thresholds[0] / eps).exp();
+        for q in 0..NUM_MODES {
+            let lo = (-self.thresholds[q] / eps).exp();
+            let hi = if q + 1 < NUM_MODES {
+                (-self.thresholds[q + 1] / eps).exp()
+            } else {
+                0.0
+            };
+            p[q + 1] = lo - hi;
+        }
+        p
+    }
+
+    /// Expected *delivered* BER at local-mean CSI `eps`: the throughput-
+    /// weighted BER over modes, which stays at or below the design target by
+    /// construction (each mode only transmits above its own threshold).
+    ///
+    /// Exposed for validation experiments (F1); returns the design target
+    /// when no transmission happens.
+    pub fn avg_ber(&self, eps: f64, samples: usize, seed: u64) -> f64 {
+        use wcdma_math::rng::Xoshiro256pp;
+        let mut rng = Xoshiro256pp::new(seed);
+        let mut err_weighted = 0.0;
+        let mut bits = 0.0;
+        for _ in 0..samples {
+            let x = -rng.next_f64_open().ln(); // Exp(1) fading power
+            let gamma = x * eps;
+            if let TxMode::Active(q) = self.mode_for(gamma) {
+                let beta = mode_throughput(q);
+                err_weighted += beta * self.ber_model.ber(q, gamma);
+                bits += beta;
+            }
+        }
+        if bits == 0.0 {
+            self.target_ber
+        } else {
+            err_weighted / bits
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v() -> Vtaoc {
+        Vtaoc::default_config()
+    }
+
+    #[test]
+    fn mode_selection_respects_thresholds() {
+        let v = v();
+        let t = *v.thresholds();
+        assert_eq!(v.mode_for(0.0), TxMode::Outage);
+        assert_eq!(v.mode_for(t[0] * 0.999), TxMode::Outage);
+        assert_eq!(v.mode_for(t[0]), TxMode::Active(0));
+        assert_eq!(v.mode_for(t[3] * 1.5), TxMode::Active(3));
+        assert_eq!(v.mode_for(t[5]), TxMode::Active(5));
+        assert_eq!(v.mode_for(t[5] * 100.0), TxMode::Active(5));
+    }
+
+    #[test]
+    fn avg_throughput_monotone_in_mean_csi() {
+        let v = v();
+        let mut prev = -1.0;
+        for eps_db in (-10..=30).step_by(2) {
+            let eps = wcdma_math::db_to_lin(eps_db as f64);
+            let b = v.avg_throughput(eps);
+            assert!(b > prev, "not monotone at {eps_db} dB");
+            prev = b;
+        }
+    }
+
+    #[test]
+    fn avg_throughput_limits() {
+        let v = v();
+        assert_eq!(v.avg_throughput(0.0), 0.0);
+        // Very strong channel: saturates at max mode throughput 1.
+        assert!((v.avg_throughput(1e6) - 1.0).abs() < 1e-3);
+        // Very weak channel: approaches 0.
+        assert!(v.avg_throughput(1e-4) < 1e-3);
+    }
+
+    #[test]
+    fn avg_throughput_matches_monte_carlo() {
+        let v = v();
+        use wcdma_math::rng::Xoshiro256pp;
+        let mut rng = Xoshiro256pp::new(42);
+        for eps_db in [0.0f64, 6.0, 12.0] {
+            let eps = wcdma_math::db_to_lin(eps_db);
+            let n = 200_000;
+            let mc: f64 = (0..n)
+                .map(|_| {
+                    let x = -rng.next_f64_open().ln();
+                    v.throughput_at(x * eps)
+                })
+                .sum::<f64>()
+                / n as f64;
+            let analytic = v.avg_throughput(eps);
+            assert!(
+                (mc - analytic).abs() / analytic < 0.02,
+                "at {eps_db} dB: MC {mc} vs analytic {analytic}"
+            );
+        }
+    }
+
+    #[test]
+    fn occupancy_sums_to_one() {
+        let v = v();
+        for eps_db in [-5.0f64, 0.0, 10.0, 20.0] {
+            let occ = v.mode_occupancy(wcdma_math::db_to_lin(eps_db));
+            let s: f64 = occ.iter().sum();
+            assert!((s - 1.0).abs() < 1e-12, "sum {s} at {eps_db} dB");
+            assert!(occ.iter().all(|&p| (0.0..=1.0).contains(&p)));
+        }
+        let occ0 = v.mode_occupancy(0.0);
+        assert_eq!(occ0[0], 1.0);
+    }
+
+    #[test]
+    fn occupancy_shifts_up_with_csi() {
+        let v = v();
+        let low = v.mode_occupancy(wcdma_math::db_to_lin(-3.0));
+        let high = v.mode_occupancy(wcdma_math::db_to_lin(20.0));
+        // Outage probability falls, top-mode probability rises.
+        assert!(low[0] > high[0]);
+        assert!(high[NUM_MODES] > low[NUM_MODES]);
+    }
+
+    #[test]
+    fn constant_ber_property_holds() {
+        // Delivered BER never exceeds the design target (it is strictly
+        // better because each mode operates above its own threshold).
+        let v = v();
+        for eps_db in [0.0f64, 6.0, 12.0, 20.0] {
+            let b = v.avg_ber(wcdma_math::db_to_lin(eps_db), 100_000, 7);
+            assert!(
+                b <= v.target_ber() * 1.05,
+                "avg BER {b} exceeds target at {eps_db} dB"
+            );
+        }
+    }
+
+    #[test]
+    fn occupancy_consistent_with_throughput() {
+        let v = v();
+        let eps = wcdma_math::db_to_lin(8.0);
+        let occ = v.mode_occupancy(eps);
+        let b_from_occ: f64 = (0..NUM_MODES)
+            .map(|q| occ[q + 1] * mode_throughput(q as u8))
+            .sum();
+        assert!((b_from_occ - v.avg_throughput(eps)).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,301 @@
+//! Simulation scenario configuration.
+
+use wcdma_admission::{Objective, PhyModel, Policy, SchedulerConfig};
+use wcdma_cdma::CdmaConfig;
+use wcdma_mac::{LinkDir, MacTimers};
+use wcdma_phy::{BerModel, FixedPhy, SpreadingConfig, Vtaoc};
+
+/// Which physical layer the scenario runs (the E5 ablation axis).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PhyKind {
+    /// The paper's channel-adaptive VTAOC.
+    Adaptive,
+    /// Fixed single-mode PHY designed for the cell-median CSI.
+    Fixed,
+}
+
+/// Web-browsing traffic parameters (truncated-Pareto burst sizes with
+/// exponential reading time — the Kumar–Nanda dynamic-simulation workload).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrafficConfig {
+    /// Pareto shape α (> 1 for finite mean).
+    pub pareto_shape: f64,
+    /// Mean burst size in bits (before truncation).
+    pub mean_burst_bits: f64,
+    /// Truncation cap in bits (heavy tail clamp).
+    pub max_burst_bits: f64,
+    /// Mean reading (think) time between bursts, seconds.
+    pub mean_reading_s: f64,
+    /// Probability a burst is forward-link (else reverse).
+    pub p_forward: f64,
+}
+
+impl TrafficConfig {
+    /// Defaults: α = 1.7, mean 12 kB (= 96 kbit), cap 200 kB, 4 s reading.
+    pub fn web_default() -> Self {
+        Self {
+            pareto_shape: 1.7,
+            mean_burst_bits: 96_000.0,
+            max_burst_bits: 1_600_000.0,
+            mean_reading_s: 4.0,
+            p_forward: 1.0,
+        }
+    }
+
+    /// Validates parameters.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(self.pareto_shape > 1.0) {
+            return Err("Pareto shape must exceed 1".into());
+        }
+        if !(self.mean_burst_bits > 0.0 && self.max_burst_bits >= self.mean_burst_bits) {
+            return Err("burst sizes inconsistent".into());
+        }
+        if !(self.mean_reading_s > 0.0) {
+            return Err("reading time must be positive".into());
+        }
+        if !(0.0..=1.0).contains(&self.p_forward) {
+            return Err("p_forward must be a probability".into());
+        }
+        Ok(())
+    }
+}
+
+/// Full scenario description.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Air-interface / network parameters.
+    pub cdma: CdmaConfig,
+    /// Spreading / SCH parameters.
+    pub spreading: SpreadingConfig,
+    /// MAC timers.
+    pub timers: MacTimers,
+    /// Hex layout rings (1 ⇒ 7 cells, 2 ⇒ 19 cells).
+    pub rings: u32,
+    /// Cell radius (m).
+    pub cell_radius_m: f64,
+    /// Number of background voice users (whole system).
+    pub n_voice: usize,
+    /// Number of data users (whole system).
+    pub n_data: usize,
+    /// Mobile speed (m/s) used for all users.
+    pub speed_ms: f64,
+    /// Traffic model.
+    pub traffic: TrafficConfig,
+    /// PHY under test.
+    pub phy: PhyKind,
+    /// Target BER of the PHY.
+    pub target_ber: f64,
+    /// Design-point mean CSI (dB) for the fixed PHY baseline.
+    pub fixed_design_csi_db: f64,
+    /// Scheduling policy under test.
+    pub policy: Policy,
+    /// Minimum justified burst duration T1 (s).
+    pub t1_min_burst_s: f64,
+    /// Simulated time (s).
+    pub duration_s: f64,
+    /// Warm-up time excluded from statistics (s).
+    pub warmup_s: f64,
+    /// Master seed.
+    pub seed: u64,
+    /// CSI feedback estimation error σ (dB) seen by the scheduler
+    /// (0 = ideal). Bits are always delivered at the *true* channel rate;
+    /// only the admission decisions are degraded.
+    pub csi_error_sigma_db: f64,
+    /// CSI feedback delay in frames seen by the scheduler (0 = ideal).
+    pub csi_delay_frames: usize,
+}
+
+impl SimConfig {
+    /// Baseline scenario: 7-cell layout, pedestrian users, web traffic,
+    /// JABA-SD(J2) over the adaptive PHY.
+    pub fn baseline() -> Self {
+        Self {
+            cdma: CdmaConfig::default_system(),
+            spreading: SpreadingConfig::cdma2000_default(),
+            timers: MacTimers::default_timers(),
+            rings: 1,
+            cell_radius_m: 1000.0,
+            n_voice: 40,
+            n_data: 8,
+            speed_ms: 3.0 / 3.6,
+            traffic: TrafficConfig::web_default(),
+            phy: PhyKind::Adaptive,
+            target_ber: 1e-3,
+            fixed_design_csi_db: 3.0,
+            policy: Policy::jaba_sd_default(),
+            t1_min_burst_s: 0.04,
+            duration_s: 60.0,
+            warmup_s: 5.0,
+            seed: 0x1CE_BEEF,
+            csi_error_sigma_db: 0.0,
+            csi_delay_frames: 0,
+        }
+    }
+
+    /// The PHY model instance for the scheduler.
+    pub fn phy_model(&self) -> PhyModel {
+        let model = BerModel::coded();
+        match self.phy {
+            PhyKind::Adaptive => PhyModel::Adaptive(Vtaoc::constant_ber(model, self.target_ber)),
+            PhyKind::Fixed => PhyModel::Fixed(FixedPhy::designed_for(
+                model,
+                self.target_ber,
+                wcdma_math::db_to_lin(self.fixed_design_csi_db),
+            )),
+        }
+    }
+
+    /// Assembles the scheduler configuration for this scenario.
+    pub fn scheduler_config(&self) -> SchedulerConfig {
+        SchedulerConfig {
+            spreading: self.spreading,
+            phy: self.phy_model(),
+            timers: self.timers,
+            t1_min_burst_s: self.t1_min_burst_s,
+            min_delta_beta: 0.01,
+            pmax_w: self.cdma.max_bs_power_w,
+            lmax_w: self.cdma.reverse_limit_w(),
+            kappa: self.cdma.kappa_margin,
+        }
+    }
+
+    /// Number of simulation frames.
+    pub fn n_frames(&self) -> usize {
+        (self.duration_s / self.cdma.frame_s).round() as usize
+    }
+
+    /// Validates the whole scenario.
+    pub fn validate(&self) -> Result<(), String> {
+        self.cdma.validate()?;
+        self.spreading.validate()?;
+        self.timers.validate()?;
+        self.traffic.validate()?;
+        if self.duration_s <= self.warmup_s {
+            return Err("duration must exceed warm-up".into());
+        }
+        if !(self.target_ber > 0.0 && self.target_ber < 0.5) {
+            return Err("target BER out of range".into());
+        }
+        if self.rings == 0 {
+            return Err("need at least one ring".into());
+        }
+        if !(self.csi_error_sigma_db >= 0.0) {
+            return Err("CSI error sigma must be non-negative".into());
+        }
+        Ok(())
+    }
+
+    /// Returns a copy with a different policy (sweep helper).
+    pub fn with_policy(&self, policy: Policy) -> Self {
+        let mut c = self.clone();
+        c.policy = policy;
+        c
+    }
+
+    /// Returns a copy with a different data-user count (sweep helper).
+    pub fn with_n_data(&self, n_data: usize) -> Self {
+        let mut c = self.clone();
+        c.n_data = n_data;
+        c
+    }
+
+    /// Returns a copy with all traffic on the given link.
+    pub fn with_direction(&self, dir: LinkDir) -> Self {
+        let mut c = self.clone();
+        c.traffic.p_forward = match dir {
+            LinkDir::Forward => 1.0,
+            LinkDir::Reverse => 0.0,
+        };
+        c
+    }
+
+    /// Returns a copy with a different seed (replication helper).
+    pub fn with_seed(&self, seed: u64) -> Self {
+        let mut c = self.clone();
+        c.seed = seed;
+        c
+    }
+
+    /// Named policies for the comparison experiments.
+    pub fn comparison_policies() -> Vec<(&'static str, Policy)> {
+        vec![
+            ("jaba-sd-j2", Policy::jaba_sd_default()),
+            (
+                "jaba-sd-j1",
+                Policy::JabaSd {
+                    objective: Objective::J1,
+                    exact: true,
+                    node_limit: 200_000,
+                },
+            ),
+            (
+                "fcfs",
+                Policy::Fcfs {
+                    max_concurrent: None,
+                },
+            ),
+            (
+                "fcfs-1",
+                Policy::Fcfs {
+                    max_concurrent: Some(1),
+                },
+            ),
+            ("equal-share", Policy::EqualShare),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_validates() {
+        SimConfig::baseline().validate().expect("valid baseline");
+    }
+
+    #[test]
+    fn sweep_helpers() {
+        let base = SimConfig::baseline();
+        assert_eq!(base.with_n_data(20).n_data, 20);
+        assert_eq!(
+            base.with_direction(LinkDir::Reverse).traffic.p_forward,
+            0.0
+        );
+        assert_eq!(base.with_seed(9).seed, 9);
+        assert_eq!(base.n_frames(), 3000);
+    }
+
+    #[test]
+    fn traffic_validation() {
+        let mut t = TrafficConfig::web_default();
+        t.pareto_shape = 1.0;
+        assert!(t.validate().is_err());
+        let mut t2 = TrafficConfig::web_default();
+        t2.p_forward = 1.5;
+        assert!(t2.validate().is_err());
+    }
+
+    #[test]
+    fn phy_model_switches() {
+        let mut c = SimConfig::baseline();
+        c.phy = PhyKind::Fixed;
+        // Fixed PHY below adaptive at high CSI.
+        let eps = wcdma_math::db_to_lin(20.0);
+        let fixed_tput = c.phy_model().avg_throughput(eps);
+        c.phy = PhyKind::Adaptive;
+        let adaptive_tput = c.phy_model().avg_throughput(eps);
+        assert!(adaptive_tput > fixed_tput);
+    }
+
+    #[test]
+    fn comparison_policies_cover_paper() {
+        let names: Vec<&str> = SimConfig::comparison_policies()
+            .into_iter()
+            .map(|(n, _)| n)
+            .collect();
+        assert!(names.contains(&"jaba-sd-j2"));
+        assert!(names.contains(&"fcfs"));
+        assert!(names.contains(&"equal-share"));
+    }
+}

@@ -1,0 +1,427 @@
+//! Experiment drivers — one function per experiment in DESIGN.md §4.
+//!
+//! Each driver sweeps a parameter, runs replications, and returns rows that
+//! the benches and examples render (and EXPERIMENTS.md records). They are
+//! deliberately configuration-driven so the quick bench profiles and the
+//! full paper-scale profiles share code.
+
+use wcdma_admission::Policy;
+use wcdma_mac::LinkDir;
+
+use crate::config::{PhyKind, SimConfig};
+use crate::runner::{run_replications, Aggregate};
+
+/// One row of a load sweep (E1/E2).
+#[derive(Debug, Clone)]
+pub struct LoadRow {
+    /// Policy label.
+    pub policy: String,
+    /// Number of data users.
+    pub n_data: usize,
+    /// Aggregated metrics.
+    pub agg: Aggregate,
+}
+
+/// E1/E2: average burst delay vs offered load for each policy.
+pub fn delay_vs_load(
+    base: &SimConfig,
+    dir: LinkDir,
+    loads: &[usize],
+    policies: &[(&str, Policy)],
+    n_reps: usize,
+) -> Vec<LoadRow> {
+    let mut rows = Vec::new();
+    for &(name, ref policy) in policies {
+        for &n in loads {
+            let cfg = base
+                .with_direction(dir)
+                .with_n_data(n)
+                .with_policy(policy.clone());
+            let agg = run_replications(&cfg, n_reps);
+            rows.push(LoadRow {
+                policy: name.to_string(),
+                n_data: n,
+                agg,
+            });
+        }
+    }
+    rows
+}
+
+/// E3 result: the largest load meeting the delay target.
+#[derive(Debug, Clone)]
+pub struct CapacityRow {
+    /// Policy label.
+    pub policy: String,
+    /// Max data users with mean delay ≤ target (0 if none).
+    pub capacity: usize,
+    /// Mean delay at that load.
+    pub delay_at_capacity_s: f64,
+}
+
+/// Which delay statistic the capacity criterion uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CapacityMetric {
+    /// Total burst delay (queueing + setup + transmission).
+    TotalDelay,
+    /// Queueing + setup delay only — the policy-sensitive component when
+    /// transmission times dominate (large bursts).
+    QueueDelay,
+}
+
+/// E3: data-user capacity at a delay target, per policy (linear scan over
+/// `loads`, which must be increasing).
+pub fn capacity_at_delay_target(
+    base: &SimConfig,
+    dir: LinkDir,
+    metric: CapacityMetric,
+    target_delay_s: f64,
+    loads: &[usize],
+    policies: &[(&str, Policy)],
+    n_reps: usize,
+) -> Vec<CapacityRow> {
+    assert!(target_delay_s > 0.0);
+    let mut rows = Vec::new();
+    for &(name, ref policy) in policies {
+        let mut capacity = 0usize;
+        let mut delay_at = 0.0;
+        for &n in loads {
+            let cfg = base
+                .with_direction(dir)
+                .with_n_data(n)
+                .with_policy(policy.clone());
+            let agg = run_replications(&cfg, n_reps);
+            let measured = match metric {
+                CapacityMetric::TotalDelay => agg.mean_delay_s.mean,
+                CapacityMetric::QueueDelay => {
+                    let xs: Vec<f64> =
+                        agg.reports.iter().map(|r| r.mean_queue_delay_s).collect();
+                    xs.iter().sum::<f64>() / xs.len() as f64
+                }
+            };
+            if measured <= target_delay_s {
+                capacity = n;
+                delay_at = measured;
+            } else {
+                break;
+            }
+        }
+        rows.push(CapacityRow {
+            policy: name.to_string(),
+            capacity,
+            delay_at_capacity_s: delay_at,
+        });
+    }
+    rows
+}
+
+/// One row of the coverage sweep (E4).
+#[derive(Debug, Clone)]
+pub struct CoverageRow {
+    /// Cell radius (m).
+    pub radius_m: f64,
+    /// Aggregated metrics at this radius.
+    pub agg: Aggregate,
+}
+
+/// E4: coverage — delay/throughput as the cell radius grows (users spread
+/// over a larger, lossier area).
+pub fn coverage_vs_radius(
+    base: &SimConfig,
+    dir: LinkDir,
+    radii_m: &[f64],
+    n_reps: usize,
+) -> Vec<CoverageRow> {
+    let mut rows = Vec::new();
+    for &r in radii_m {
+        let mut cfg = base.with_direction(dir);
+        cfg.cell_radius_m = r;
+        let agg = run_replications(&cfg, n_reps);
+        rows.push(CoverageRow { radius_m: r, agg });
+    }
+    rows
+}
+
+/// One row of the PHY ablation (E5).
+#[derive(Debug, Clone)]
+pub struct AblationRow {
+    /// Policy label.
+    pub policy: String,
+    /// PHY under test.
+    pub phy: PhyKind,
+    /// Number of data users.
+    pub n_data: usize,
+    /// Aggregated metrics.
+    pub agg: Aggregate,
+}
+
+/// E5: adaptive vs fixed PHY under each admission policy — the joint-design
+/// synergy experiment.
+pub fn phy_ablation(
+    base: &SimConfig,
+    dir: LinkDir,
+    loads: &[usize],
+    policies: &[(&str, Policy)],
+    n_reps: usize,
+) -> Vec<AblationRow> {
+    let mut rows = Vec::new();
+    for &phy in &[PhyKind::Adaptive, PhyKind::Fixed] {
+        for &(name, ref policy) in policies {
+            for &n in loads {
+                let mut cfg = base
+                    .with_direction(dir)
+                    .with_n_data(n)
+                    .with_policy(policy.clone());
+                cfg.phy = phy;
+                let agg = run_replications(&cfg, n_reps);
+                rows.push(AblationRow {
+                    policy: name.to_string(),
+                    phy,
+                    n_data: n,
+                    agg,
+                });
+            }
+        }
+    }
+    rows
+}
+
+/// One row of the objective study (E6).
+#[derive(Debug, Clone)]
+pub struct ObjectiveRow {
+    /// λ of the J2 penalty (0 ⇒ J1).
+    pub lambda: f64,
+    /// Aggregated metrics.
+    pub agg: Aggregate,
+}
+
+/// E6: the J1↔J2 tradeoff — sweep the delay-penalty weight λ and watch mean
+/// delay vs throughput move.
+pub fn objective_tradeoff(
+    base: &SimConfig,
+    dir: LinkDir,
+    lambdas: &[f64],
+    n_reps: usize,
+) -> Vec<ObjectiveRow> {
+    use wcdma_admission::Objective;
+    let mut rows = Vec::new();
+    for &lambda in lambdas {
+        let objective = if lambda == 0.0 {
+            Objective::J1
+        } else {
+            Objective::J2 { lambda, mu: 1.0 }
+        };
+        let cfg = base.with_direction(dir).with_policy(Policy::JabaSd {
+            objective,
+            exact: true,
+            node_limit: 200_000,
+        });
+        let agg = run_replications(&cfg, n_reps);
+        rows.push(ObjectiveRow { lambda, agg });
+    }
+    rows
+}
+
+/// One row of the CSI-robustness study (E10).
+#[derive(Debug, Clone)]
+pub struct RobustnessRow {
+    /// CSI error σ (dB).
+    pub sigma_db: f64,
+    /// CSI feedback delay (frames).
+    pub delay_frames: usize,
+    /// Aggregated metrics.
+    pub agg: Aggregate,
+}
+
+/// E10: failure injection — degrade the CSI feedback the scheduler sees
+/// (estimation error and pipeline delay) and measure the damage.
+pub fn csi_robustness(
+    base: &SimConfig,
+    dir: LinkDir,
+    sigmas_db: &[f64],
+    delays: &[usize],
+    n_reps: usize,
+) -> Vec<RobustnessRow> {
+    let mut rows = Vec::new();
+    for &sigma in sigmas_db {
+        for &delay in delays {
+            let mut cfg = base.with_direction(dir);
+            cfg.csi_error_sigma_db = sigma;
+            cfg.csi_delay_frames = delay;
+            let agg = run_replications(&cfg, n_reps);
+            rows.push(RobustnessRow {
+                sigma_db: sigma,
+                delay_frames: delay,
+                agg,
+            });
+        }
+    }
+    rows
+}
+
+/// One row of the mobility-speed study (E11).
+#[derive(Debug, Clone)]
+pub struct SpeedRow {
+    /// User speed (km/h).
+    pub speed_kmh: f64,
+    /// Aggregated metrics.
+    pub agg: Aggregate,
+}
+
+/// E11: mobility impact — pedestrian to vehicular speeds. Faster users
+/// decorrelate shadowing quicker and stress hand-off and power control.
+pub fn speed_sweep(
+    base: &SimConfig,
+    dir: LinkDir,
+    speeds_kmh: &[f64],
+    n_reps: usize,
+) -> Vec<SpeedRow> {
+    let mut rows = Vec::new();
+    for &v in speeds_kmh {
+        let mut cfg = base.with_direction(dir);
+        cfg.speed_ms = v / 3.6;
+        let agg = run_replications(&cfg, n_reps);
+        rows.push(SpeedRow { speed_kmh: v, agg });
+    }
+    rows
+}
+
+/// One row of the voice-background study (E12).
+#[derive(Debug, Clone)]
+pub struct VoiceLoadRow {
+    /// Number of background voice users.
+    pub n_voice: usize,
+    /// Aggregated metrics.
+    pub agg: Aggregate,
+}
+
+/// E12: data performance vs voice background load — voice erodes both the
+/// forward power budget and the reverse interference headroom.
+pub fn voice_load_sweep(
+    base: &SimConfig,
+    dir: LinkDir,
+    n_voice: &[usize],
+    n_reps: usize,
+) -> Vec<VoiceLoadRow> {
+    let mut rows = Vec::new();
+    for &v in n_voice {
+        let mut cfg = base.with_direction(dir);
+        cfg.n_voice = v;
+        let agg = run_replications(&cfg, n_reps);
+        rows.push(VoiceLoadRow { n_voice: v, agg });
+    }
+    rows
+}
+
+/// One row of the κ-margin ablation (E13, reverse link).
+#[derive(Debug, Clone)]
+pub struct KappaRow {
+    /// Shadowing margin κ (dB) applied to projected neighbour interference.
+    pub kappa_db: f64,
+    /// Aggregated metrics.
+    pub agg: Aggregate,
+}
+
+/// E13: ablation of the eq.-15 neighbour-projection margin κ — small κ
+/// admits aggressively (risking reverse overload), large κ is conservative
+/// (wasting capacity).
+pub fn kappa_ablation(
+    base: &SimConfig,
+    kappas_db: &[f64],
+    n_reps: usize,
+) -> Vec<KappaRow> {
+    let mut rows = Vec::new();
+    for &k in kappas_db {
+        let mut cfg = base.with_direction(LinkDir::Reverse);
+        cfg.cdma.kappa_margin = wcdma_math::db_to_lin(k);
+        let agg = run_replications(&cfg, n_reps);
+        rows.push(KappaRow { kappa_db: k, agg });
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> SimConfig {
+        let mut c = SimConfig::baseline();
+        c.n_voice = 6;
+        c.n_data = 3;
+        c.duration_s = 6.0;
+        c.warmup_s = 1.0;
+        c
+    }
+
+    #[test]
+    fn delay_vs_load_produces_grid() {
+        let policies = vec![(
+            "jaba",
+            Policy::jaba_sd_default(),
+        )];
+        let rows = delay_vs_load(&tiny(), LinkDir::Forward, &[2, 4], &policies, 1);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].n_data, 2);
+        assert!(rows[0].agg.mean_delay_s.mean >= 0.0);
+    }
+
+    #[test]
+    fn capacity_scan_stops_at_target() {
+        let policies = vec![("jaba", Policy::jaba_sd_default())];
+        // Absurdly lax target: capacity = max load tested.
+        let rows = capacity_at_delay_target(
+            &tiny(), LinkDir::Forward, CapacityMetric::TotalDelay, 1e6, &[2, 3], &policies, 1,
+        );
+        assert_eq!(rows[0].capacity, 3);
+        // Impossible target: capacity 0.
+        let rows0 = capacity_at_delay_target(
+            &tiny(), LinkDir::Forward, CapacityMetric::QueueDelay, 1e-9, &[2], &policies, 1,
+        );
+        assert_eq!(rows0[0].capacity, 0);
+    }
+
+    #[test]
+    fn coverage_rows_track_radius() {
+        let rows = coverage_vs_radius(&tiny(), LinkDir::Forward, &[800.0, 1200.0], 1);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].radius_m, 800.0);
+    }
+
+    #[test]
+    fn ablation_covers_both_phys() {
+        let policies = vec![("jaba", Policy::jaba_sd_default())];
+        let rows = phy_ablation(&tiny(), LinkDir::Forward, &[2], &policies, 1);
+        assert_eq!(rows.len(), 2);
+        assert!(rows.iter().any(|r| r.phy == PhyKind::Adaptive));
+        assert!(rows.iter().any(|r| r.phy == PhyKind::Fixed));
+    }
+
+    #[test]
+    fn objective_rows() {
+        let rows = objective_tradeoff(&tiny(), LinkDir::Forward, &[0.0, 1.0], 1);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].lambda, 0.0);
+    }
+
+    #[test]
+    fn robustness_grid() {
+        let rows = csi_robustness(&tiny(), LinkDir::Forward, &[0.0, 3.0], &[0, 5], 1);
+        assert_eq!(rows.len(), 4);
+        assert!(rows.iter().any(|r| r.sigma_db == 3.0 && r.delay_frames == 5));
+    }
+
+    #[test]
+    fn speed_and_voice_rows() {
+        let sp = speed_sweep(&tiny(), LinkDir::Forward, &[3.0, 120.0], 1);
+        assert_eq!(sp.len(), 2);
+        let vl = voice_load_sweep(&tiny(), LinkDir::Forward, &[4, 12], 1);
+        assert_eq!(vl.len(), 2);
+    }
+
+    #[test]
+    fn kappa_rows() {
+        let rows = kappa_ablation(&tiny(), &[0.0, 4.0], 1);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].kappa_db, 0.0);
+    }
+}

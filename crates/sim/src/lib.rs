@@ -1,0 +1,30 @@
+//! `wcdma-sim`: the dynamic simulation evaluating JABA-SD — "dynamic
+//! simulations which takes into account of the user mobility, power control,
+//! and soft hand-off".
+//!
+//! * [`config`] — scenario descriptions ([`SimConfig`]) with sweep helpers.
+//! * [`traffic`] — the web-browsing workload (truncated Pareto bursts,
+//!   exponential reading time).
+//! * [`engine`] — the frame loop tying mobility, the CDMA network, the MAC
+//!   and the burst scheduler together ([`Simulation`]).
+//! * [`stats`] — streaming metric accumulators and the [`SimReport`].
+//! * [`runner`] — parallel replication running with confidence intervals.
+//! * [`experiments`] — drivers for the E1–E8 experiment suite.
+//! * [`table`] — text/CSV rendering of result rows.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod config;
+pub mod engine;
+pub mod experiments;
+pub mod runner;
+pub mod stats;
+pub mod table;
+pub mod traffic;
+
+pub use config::{PhyKind, SimConfig, TrafficConfig};
+pub use engine::Simulation;
+pub use runner::{run_replications, Aggregate};
+pub use stats::{SimReport, SimStats};
+pub use table::Table;

@@ -1,0 +1,167 @@
+//! Simulation statistics: streaming accumulators and the end-of-run report.
+
+use wcdma_math::stats::{Histogram, P2Quantile, Welford};
+
+/// Streaming metric accumulators filled during a run.
+#[derive(Debug)]
+pub struct SimStats {
+    /// Per-burst total delay: arrival → last bit (s).
+    pub burst_delay: Welford,
+    /// P95 of burst delay.
+    pub burst_delay_p95: P2Quantile,
+    /// Per-burst queueing delay: arrival → transmission start (s).
+    pub queue_delay: Welford,
+    /// Granted spreading-gain ratios m.
+    pub grant_m: Welford,
+    /// Histogram of granted m (1..=16).
+    pub grant_hist: Histogram,
+    /// δβ̄ at grant time.
+    pub grant_delta_beta: Welford,
+    /// Bits delivered inside the stats window, per completed+partial burst.
+    pub bits_delivered: f64,
+    /// Number of scheduling rounds where ≥1 request was denied.
+    pub denial_rounds: u64,
+    /// Number of scheduling rounds with pending requests.
+    pub request_rounds: u64,
+    /// Bursts completed inside the stats window.
+    pub bursts_completed: u64,
+    /// Forward-overload (clamp) frame events.
+    pub overload_events: u64,
+    /// MAC setup delays incurred (s).
+    pub setup_delay: Welford,
+    /// Window length (s) the rates are normalised by.
+    pub window_s: f64,
+}
+
+impl SimStats {
+    /// Creates empty accumulators.
+    pub fn new() -> Self {
+        Self {
+            burst_delay: Welford::new(),
+            burst_delay_p95: P2Quantile::new(0.95),
+            queue_delay: Welford::new(),
+            grant_m: Welford::new(),
+            grant_hist: Histogram::new(0.5, 16.5, 16),
+            grant_delta_beta: Welford::new(),
+            bits_delivered: 0.0,
+            denial_rounds: 0,
+            request_rounds: 0,
+            bursts_completed: 0,
+            overload_events: 0,
+            setup_delay: Welford::new(),
+            window_s: 0.0,
+        }
+    }
+
+    /// Finalises into a report.
+    pub fn report(&self, n_data: usize, n_cells: usize) -> SimReport {
+        let window = self.window_s.max(1e-9);
+        SimReport {
+            mean_delay_s: self.burst_delay.mean(),
+            p95_delay_s: self.burst_delay_p95.value(),
+            max_delay_s: if self.burst_delay.count() > 0 {
+                self.burst_delay.max()
+            } else {
+                0.0
+            },
+            mean_queue_delay_s: self.queue_delay.mean(),
+            mean_setup_delay_s: self.setup_delay.mean(),
+            bursts_completed: self.bursts_completed,
+            throughput_kbps: self.bits_delivered / window / 1000.0,
+            per_cell_throughput_kbps: self.bits_delivered / window / 1000.0 / n_cells as f64,
+            per_user_throughput_kbps: if n_data > 0 {
+                self.bits_delivered / window / 1000.0 / n_data as f64
+            } else {
+                0.0
+            },
+            mean_grant_m: self.grant_m.mean(),
+            mean_delta_beta: self.grant_delta_beta.mean(),
+            denial_rate: if self.request_rounds > 0 {
+                self.denial_rounds as f64 / self.request_rounds as f64
+            } else {
+                0.0
+            },
+            overload_events: self.overload_events,
+            grant_hist: self.grant_hist.bins().to_vec(),
+        }
+    }
+}
+
+impl Default for SimStats {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// End-of-run summary of one simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimReport {
+    /// Mean burst delay (s) — the paper's "average packet delay".
+    pub mean_delay_s: f64,
+    /// 95th-percentile burst delay (s).
+    pub p95_delay_s: f64,
+    /// Worst burst delay (s).
+    pub max_delay_s: f64,
+    /// Mean queueing (pre-grant) delay (s).
+    pub mean_queue_delay_s: f64,
+    /// Mean MAC setup delay (s).
+    pub mean_setup_delay_s: f64,
+    /// Bursts completed in the window.
+    pub bursts_completed: u64,
+    /// Aggregate data throughput (kbit/s).
+    pub throughput_kbps: f64,
+    /// Throughput per cell (kbit/s).
+    pub per_cell_throughput_kbps: f64,
+    /// Throughput per data user (kbit/s).
+    pub per_user_throughput_kbps: f64,
+    /// Mean granted m.
+    pub mean_grant_m: f64,
+    /// Mean δβ̄ at grant time.
+    pub mean_delta_beta: f64,
+    /// Fraction of scheduling rounds that denied at least one request.
+    pub denial_rate: f64,
+    /// Forward-overload clamp events.
+    pub overload_events: u64,
+    /// Histogram of granted m values (16 bins for m = 1..=16).
+    pub grant_hist: Vec<u64>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_normalises_by_window() {
+        let mut s = SimStats::new();
+        s.bits_delivered = 1_000_000.0;
+        s.window_s = 10.0;
+        let r = s.report(4, 7);
+        assert!((r.throughput_kbps - 100.0).abs() < 1e-9);
+        assert!((r.per_cell_throughput_kbps - 100.0 / 7.0).abs() < 1e-9);
+        assert!((r.per_user_throughput_kbps - 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn denial_rate_guards_zero_rounds() {
+        let s = SimStats::new();
+        let r = s.report(0, 1);
+        assert_eq!(r.denial_rate, 0.0);
+        assert_eq!(r.per_user_throughput_kbps, 0.0);
+        assert_eq!(r.max_delay_s, 0.0);
+    }
+
+    #[test]
+    fn delay_accumulators_flow_through() {
+        let mut s = SimStats::new();
+        for d in [0.1, 0.2, 0.3] {
+            s.burst_delay.push(d);
+            s.burst_delay_p95.push(d);
+        }
+        s.bursts_completed = 3;
+        s.window_s = 1.0;
+        let r = s.report(1, 1);
+        assert!((r.mean_delay_s - 0.2).abs() < 1e-12);
+        assert_eq!(r.bursts_completed, 3);
+        assert!((r.max_delay_s - 0.3).abs() < 1e-12);
+    }
+}

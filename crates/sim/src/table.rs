@@ -1,0 +1,162 @@
+//! Plain-text table and CSV rendering for experiment outputs.
+//!
+//! Kept dependency-free on purpose: the harness prints the same rows the
+//! paper's tables/figures would contain, and writes CSV siblings for
+//! plotting.
+
+use std::fmt::Write as _;
+
+/// A simple column-aligned table builder.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(header: &[&str]) -> Self {
+        Self {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header arity).
+    pub fn row(&mut self, cells: &[String]) -> &mut Self {
+        assert_eq!(cells.len(), self.header.len(), "row arity mismatch");
+        self.rows.push(cells.to_vec());
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders as an aligned text table.
+    pub fn render(&self) -> String {
+        let ncol = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let line = |cells: &[String], out: &mut String| {
+            for i in 0..ncol {
+                let pad = widths[i] - cells[i].len();
+                let _ = write!(out, "{}{}", cells[i], " ".repeat(pad));
+                if i + 1 < ncol {
+                    out.push_str("  ");
+                }
+            }
+            out.push('\n');
+        };
+        line(&self.header, &mut out);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (ncol - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            line(row, &mut out);
+        }
+        out
+    }
+
+    /// Renders as CSV (RFC-4180-ish; quotes cells containing commas).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let esc = |s: &str| {
+            if s.contains(',') || s.contains('"') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        };
+        out.push_str(
+            &self
+                .header
+                .iter()
+                .map(|h| esc(h))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats a float with 3 significant decimals.
+pub fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+/// Formats a `MeanCi` as `mean ± hw`.
+pub fn ci(ci: &wcdma_math::stats::MeanCi) -> String {
+    if ci.half_width.is_finite() {
+        format!("{:.3} ± {:.3}", ci.mean, ci.half_width)
+    } else {
+        format!("{:.3}", ci.mean)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new(&["policy", "delay"]);
+        t.row(&["jaba-sd".into(), "0.120".into()]);
+        t.row(&["fcfs".into(), "0.340".into()]);
+        let s = t.render();
+        assert!(s.contains("policy"));
+        assert!(s.lines().count() == 4);
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn csv_escaping() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(&["x,y".into(), "plain".into()]);
+        t.row(&["quote\"inner".into(), "z".into()]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"x,y\""));
+        assert!(csv.contains("\"quote\"\"inner\""));
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_checked() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(&["only-one".into()]);
+    }
+
+    #[test]
+    fn ci_formatting() {
+        let m = wcdma_math::stats::MeanCi {
+            mean: 1.0,
+            half_width: 0.25,
+            n: 5,
+        };
+        assert_eq!(ci(&m), "1.000 ± 0.250");
+        let inf = wcdma_math::stats::MeanCi {
+            mean: 2.0,
+            half_width: f64::INFINITY,
+            n: 1,
+        };
+        assert_eq!(ci(&inf), "2.000");
+        assert_eq!(f3(1.23456), "1.235");
+    }
+}

@@ -1,0 +1,211 @@
+//! Per-user web-browsing traffic source.
+//!
+//! The standard dynamic-simulation workload (Kumar & Nanda [2]): a data
+//! user alternates between *reading* (exponential think time) and issuing a
+//! *burst* (truncated-Pareto size). The burst is handed to the MAC request
+//! queue and the source stays silent until the burst completes, then reads
+//! again.
+
+use wcdma_mac::LinkDir;
+use wcdma_math::dist::{Distribution, Exponential, Pareto};
+use wcdma_math::rng::Xoshiro256pp;
+
+use crate::config::TrafficConfig;
+
+/// State of one traffic source.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum SourceState {
+    /// Thinking; burst fires when the timer reaches zero.
+    Reading { time_left: f64 },
+    /// A burst is queued or in flight; the source waits for completion.
+    Busy,
+}
+
+/// A generated burst.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BurstArrival {
+    /// Size in bits (truncated Pareto).
+    pub size_bits: f64,
+    /// Link direction.
+    pub dir: LinkDir,
+}
+
+/// Web traffic source for a single data user.
+#[derive(Debug, Clone)]
+pub struct WebSource {
+    state: SourceState,
+    size_dist: Pareto,
+    read_dist: Exponential,
+    max_bits: f64,
+    p_forward: f64,
+    rng: Xoshiro256pp,
+}
+
+impl WebSource {
+    /// Creates a source from the traffic configuration and a dedicated RNG
+    /// substream.
+    pub fn new(cfg: &TrafficConfig, seed: u64, stream: u64) -> Self {
+        cfg.validate().expect("invalid traffic config");
+        let mut rng = Xoshiro256pp::substream(seed, stream ^ 0x7AFF_1C);
+        let read_dist = Exponential::with_mean(cfg.mean_reading_s);
+        // Start mid-think so sources are desynchronised.
+        let first = read_dist.sample(&mut rng) * rng.next_f64();
+        Self {
+            state: SourceState::Reading { time_left: first },
+            size_dist: Pareto::with_mean(cfg.pareto_shape, cfg.mean_burst_bits),
+            read_dist,
+            max_bits: cfg.max_burst_bits,
+            p_forward: cfg.p_forward,
+            rng,
+        }
+    }
+
+    /// Advances by `dt`; returns a burst if one fires this step.
+    pub fn step(&mut self, dt: f64) -> Option<BurstArrival> {
+        debug_assert!(dt >= 0.0);
+        match self.state {
+            SourceState::Busy => None,
+            SourceState::Reading { time_left } => {
+                let remaining = time_left - dt;
+                if remaining > 0.0 {
+                    self.state = SourceState::Reading {
+                        time_left: remaining,
+                    };
+                    None
+                } else {
+                    self.state = SourceState::Busy;
+                    let raw = self.size_dist.sample(&mut self.rng);
+                    let size_bits = raw.min(self.max_bits).max(1.0);
+                    let dir = if self.rng.bernoulli(self.p_forward) {
+                        LinkDir::Forward
+                    } else {
+                        LinkDir::Reverse
+                    };
+                    Some(BurstArrival { size_bits, dir })
+                }
+            }
+        }
+    }
+
+    /// The burst completed: return to reading.
+    pub fn on_complete(&mut self) {
+        debug_assert!(matches!(self.state, SourceState::Busy));
+        let t = self.read_dist.sample(&mut self.rng);
+        self.state = SourceState::Reading { time_left: t };
+    }
+
+    /// Whether the source currently has a burst outstanding.
+    pub fn is_busy(&self) -> bool {
+        matches!(self.state, SourceState::Busy)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> TrafficConfig {
+        TrafficConfig::web_default()
+    }
+
+    #[test]
+    fn bursts_fire_and_block_until_complete() {
+        let mut s = WebSource::new(&cfg(), 1, 0);
+        let dt = 0.02;
+        let mut fired = None;
+        for _ in 0..10_000 {
+            if let Some(b) = s.step(dt) {
+                fired = Some(b);
+                break;
+            }
+        }
+        let b = fired.expect("a burst should fire within 200 s");
+        assert!(b.size_bits >= 1.0 && b.size_bits <= cfg().max_burst_bits);
+        assert!(s.is_busy());
+        // No more bursts while busy.
+        for _ in 0..1000 {
+            assert!(s.step(dt).is_none());
+        }
+        s.on_complete();
+        assert!(!s.is_busy());
+    }
+
+    #[test]
+    fn burst_sizes_truncated_pareto() {
+        let mut c = cfg();
+        c.max_burst_bits = 150_000.0;
+        let mut s = WebSource::new(&c, 2, 0);
+        let mut count = 0;
+        let mut max_seen: f64 = 0.0;
+        let mut min_seen = f64::INFINITY;
+        while count < 500 {
+            if let Some(b) = s.step(0.02) {
+                max_seen = max_seen.max(b.size_bits);
+                min_seen = min_seen.min(b.size_bits);
+                count += 1;
+                s.on_complete();
+            }
+        }
+        assert!(max_seen <= 150_000.0, "truncation violated: {max_seen}");
+        // Pareto scale: xm = mean·(α−1)/α ≈ 39.5 kbit.
+        assert!(min_seen >= 39_000.0, "below Pareto scale: {min_seen}");
+    }
+
+    #[test]
+    fn mean_reading_time_roughly_matches() {
+        let mut s = WebSource::new(&cfg(), 3, 0);
+        let dt = 0.02;
+        let mut gaps = Vec::new();
+        let mut since = 0.0;
+        let mut t = 0.0;
+        while gaps.len() < 400 {
+            t += dt;
+            since += dt;
+            if let Some(_b) = s.step(dt) {
+                gaps.push(since);
+                since = 0.0;
+                s.on_complete(); // instant service: gap = reading time
+            }
+            assert!(t < 1e5, "runaway test");
+        }
+        // Skip the first (desynchronised) gap.
+        let mean: f64 = gaps[1..].iter().sum::<f64>() / (gaps.len() - 1) as f64;
+        assert!(
+            (mean - 4.0).abs() < 0.5,
+            "mean reading time {mean} vs 4.0 expected"
+        );
+    }
+
+    #[test]
+    fn direction_split_follows_probability() {
+        let mut c = cfg();
+        c.p_forward = 0.25;
+        let mut s = WebSource::new(&c, 4, 0);
+        let mut fwd = 0;
+        let mut total = 0;
+        while total < 1000 {
+            if let Some(b) = s.step(0.05) {
+                if b.dir == LinkDir::Forward {
+                    fwd += 1;
+                }
+                total += 1;
+                s.on_complete();
+            }
+        }
+        let frac = fwd as f64 / total as f64;
+        assert!((frac - 0.25).abs() < 0.05, "forward fraction {frac}");
+    }
+
+    #[test]
+    fn deterministic_streams() {
+        let mut a = WebSource::new(&cfg(), 7, 5);
+        let mut b = WebSource::new(&cfg(), 7, 5);
+        for _ in 0..20_000 {
+            assert_eq!(a.step(0.02), b.step(0.02));
+            if a.is_busy() {
+                a.on_complete();
+                b.on_complete();
+            }
+        }
+    }
+}

@@ -1,0 +1,55 @@
+//! The adaptive physical layer in isolation (experiment F1): the VTAOC
+//! throughput staircase, mode occupancy, and the constant-BER property —
+//! the content of the paper's Figure 1(b) plus the average-throughput gain
+//! over a fixed-rate PHY.
+//!
+//! ```text
+//! cargo run --release --example adaptive_phy
+//! ```
+
+use wcdma::math::db_to_lin;
+use wcdma::phy::{mode_throughput, BerModel, FixedPhy, Vtaoc, NUM_MODES};
+use wcdma::sim::table::Table;
+
+fn main() {
+    let vtaoc = Vtaoc::default_config();
+    let fixed = FixedPhy::designed_for(BerModel::coded(), 1e-3, db_to_lin(6.0));
+
+    println!("VTAOC constant-BER thresholds (target BER = 1e-3):");
+    for (q, xi) in vtaoc.thresholds().iter().enumerate() {
+        println!(
+            "  mode {q}: β = {:>6.4} bits/symbol, ξ = {:>6.2} dB",
+            mode_throughput(q as u8),
+            wcdma::math::lin_to_db(*xi)
+        );
+    }
+
+    println!("\nF1: average throughput & mode occupancy vs mean CSI");
+    let mut table = Table::new(&[
+        "mean CSI [dB]",
+        "avg β (adaptive)",
+        "avg β (fixed)",
+        "outage",
+        "top-mode",
+        "avg BER (sim)",
+    ]);
+    for eps_db in (-5..=25).step_by(3) {
+        let eps = db_to_lin(eps_db as f64);
+        let occ = vtaoc.mode_occupancy(eps);
+        table.row(&[
+            format!("{eps_db}"),
+            format!("{:.4}", vtaoc.avg_throughput(eps)),
+            format!("{:.4}", fixed.avg_throughput(eps)),
+            format!("{:.3}", occ[0]),
+            format!("{:.3}", occ[NUM_MODES]),
+            format!("{:.2e}", vtaoc.avg_ber(eps, 200_000, 42)),
+        ]);
+    }
+    println!("{}", table.render());
+    println!(
+        "The delivered BER stays at or below the 1e-3 design target at every \n\
+         CSI (constant-BER operation): the cost of a bad channel is lower\n\
+         throughput, never more errors."
+    );
+    println!("\nCSV:\n{}", table.to_csv());
+}

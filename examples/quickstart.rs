@@ -1,0 +1,37 @@
+//! Quickstart: run a small JABA-SD scenario end to end and print the report.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use wcdma::sim::{SimConfig, Simulation};
+
+fn main() {
+    // A 7-cell system: 20 voice users as background load, 6 web-browsing
+    // data users, pedestrian mobility, JABA-SD(J2) over the adaptive PHY.
+    let mut cfg = SimConfig::baseline();
+    cfg.n_voice = 20;
+    cfg.n_data = 6;
+    cfg.duration_s = 30.0;
+    cfg.warmup_s = 5.0;
+    cfg.seed = 7;
+
+    println!("Running {} frames over {} cells…", cfg.n_frames(), 7);
+    let report = Simulation::new(cfg).run();
+
+    println!("\n=== JABA-SD quickstart report ===");
+    println!("bursts completed        : {}", report.bursts_completed);
+    println!("mean burst delay        : {:.3} s", report.mean_delay_s);
+    println!("p95 burst delay         : {:.3} s", report.p95_delay_s);
+    println!("mean queueing delay     : {:.3} s", report.mean_queue_delay_s);
+    println!("mean MAC setup delay    : {:.3} s", report.mean_setup_delay_s);
+    println!("per-cell throughput     : {:.1} kbit/s", report.per_cell_throughput_kbps);
+    println!("per-user throughput     : {:.1} kbit/s", report.per_user_throughput_kbps);
+    println!("mean granted m          : {:.2}", report.mean_grant_m);
+    println!("mean δβ̄ at grant        : {:.3}", report.mean_delta_beta);
+    println!("denial rate             : {:.3}", report.denial_rate);
+    println!(
+        "granted-m histogram     : {:?}",
+        report.grant_hist
+    );
+}
