@@ -23,9 +23,7 @@ pub mod temporal;
 pub use csi::{delta_beta, sch_mean_csi, PhyModel};
 pub use measurement::{forward_region, region_problem, reverse_region, Region};
 pub use objective::{delay_penalty, Objective};
-pub use scheduler::{
-    Grant, Policy, RequestState, ScheduleOutcome, Scheduler, SchedulerConfig,
-};
+pub use scheduler::{Grant, Policy, RequestState, ScheduleOutcome, Scheduler, SchedulerConfig};
 pub use temporal::{
     spatial_only_value, temporal_exhaustive, temporal_greedy, Placement, TemporalConfig,
     TemporalRequest, TemporalSchedule,

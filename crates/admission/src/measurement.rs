@@ -168,8 +168,7 @@ pub fn reverse_region(
                     continue;
                 }
                 let rel_path = t_fl / host_tfl;
-                let coeff =
-                    gamma_s * r.alpha_rl * r.zeta * host_trl * host_l * rel_path * kappa;
+                let coeff = gamma_s * r.alpha_rl * r.zeta * host_trl * host_l * rel_path * kappa;
                 add(cell, j, coeff, &mut rows);
             }
         }
@@ -298,13 +297,7 @@ mod tests {
     fn reverse_region_no_double_counting() {
         // A cell both in soft hand-off and in the SCRM must appear once,
         // with the direct (pilot-measured) coefficient.
-        let m0 = meas(
-            0,
-            vec![0],
-            vec![(0, 0.1)],
-            vec![(0, 0.01)],
-            vec![(0, 0.05)],
-        );
+        let m0 = meas(0, vec![0], vec![(0, 0.1)], vec![(0, 0.01)], vec![(0, 0.05)]);
         let region = reverse_region(&[1e-12], 4e-12, 1.0, 1.58, &[&m0]);
         assert_eq!(region.cells.len(), 1);
         assert!((region.a[0][0] - 2.0 * 0.01 * 1e-12).abs() < 1e-24);

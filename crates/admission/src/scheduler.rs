@@ -236,9 +236,7 @@ impl Scheduler {
                 let c: Vec<f64> = requests
                     .iter()
                     .zip(&dbetas)
-                    .map(|(r, &db)| {
-                        objective.weight(db, r.priority, r.waiting_s, &self.cfg.timers)
-                    })
+                    .map(|(r, &db)| objective.weight(db, r.priority, r.waiting_s, &self.cfg.timers))
                     .collect();
                 let lo: Vec<u32> = bounds.iter().map(|b| b.0).collect();
                 let hi: Vec<u32> = bounds.iter().map(|b| b.1).collect();
@@ -351,13 +349,7 @@ impl Scheduler {
         for share in 1..=m_max {
             let candidate: Vec<u32> = bounds
                 .iter()
-                .map(|&(lo, hi)| {
-                    if hi < lo {
-                        0
-                    } else {
-                        share.min(hi)
-                    }
-                })
+                .map(|&(lo, hi)| if hi < lo { 0 } else { share.min(hi) })
                 .collect();
             if region.admits(&candidate) {
                 best = candidate;
@@ -370,10 +362,7 @@ impl Scheduler {
 }
 
 fn value_of(m: &[u32], dbetas: &[f64]) -> f64 {
-    m.iter()
-        .zip(dbetas)
-        .map(|(&mj, &db)| mj as f64 * db)
-        .sum()
+    m.iter().zip(dbetas).map(|(&mj, &db)| mj as f64 * db).sum()
 }
 
 #[cfg(test)]
@@ -397,7 +386,14 @@ mod tests {
         }
     }
 
-    fn req(mobile: usize, cell: u32, fch_power: f64, ebi0_db: f64, bits: f64, wait: f64) -> RequestState {
+    fn req(
+        mobile: usize,
+        cell: u32,
+        fch_power: f64,
+        ebi0_db: f64,
+        bits: f64,
+        wait: f64,
+    ) -> RequestState {
         RequestState {
             meas: meas_at(mobile, cell, fch_power, ebi0_db),
             size_bits: bits,
@@ -497,7 +493,7 @@ mod tests {
         // Oldest request is the *expensive weak* user: FCFS serves it first
         // anyway (that is its pathology).
         let reqs = vec![
-            req(0, 0, 0.4, 2.0, 1e7, 5.0),  // old, expensive
+            req(0, 0, 0.4, 2.0, 1e7, 5.0),   // old, expensive
             req(1, 0, 0.05, 15.0, 1e7, 0.1), // fresh, cheap
         ];
         let out = s.schedule(LinkDir::Forward, &fwd, &rev, &reqs);
@@ -518,7 +514,11 @@ mod tests {
         ];
         let out = s.schedule(LinkDir::Forward, &fwd, &rev, &reqs);
         let granted = out.m.iter().filter(|&&m| m > 0).count();
-        assert_eq!(granted, 1, "single-burst mode grants exactly one: {:?}", out.m);
+        assert_eq!(
+            granted, 1,
+            "single-burst mode grants exactly one: {:?}",
+            out.m
+        );
         assert!(out.m[0] > 0, "and it is the oldest");
     }
 
@@ -590,7 +590,11 @@ mod tests {
         assert!(out.region.admits(&out.m));
         // Near-full reverse: grants are small or zero.
         let total: u32 = out.m.iter().sum();
-        assert!(total <= 4, "reverse near limit must grant little: {:?}", out.m);
+        assert!(
+            total <= 4,
+            "reverse near limit must grant little: {:?}",
+            out.m
+        );
     }
 
     #[test]

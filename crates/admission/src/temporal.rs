@@ -155,7 +155,9 @@ pub fn temporal_exhaustive(
         placements: Vec::new(),
         value: 0.0,
     };
-    // Options per request: None or (start, m).
+    // Options per request: None or (start, m). The recursion threads the
+    // full search state explicitly rather than boxing it into a struct.
+    #[allow(clippy::too_many_arguments)]
     fn rec(
         region: &Region,
         requests: &[TemporalRequest],
@@ -302,10 +304,7 @@ pub fn spatial_only_value(
     cfg: &TemporalConfig,
 ) -> f64 {
     // Slot-0-only variant: horizon 1.
-    let cfg0 = TemporalConfig {
-        horizon: 1,
-        ..*cfg
-    };
+    let cfg0 = TemporalConfig { horizon: 1, ..*cfg };
     temporal_greedy(region, requests, &cfg0).value
 }
 

@@ -17,7 +17,13 @@ fn print_experiments() {
     let base = quick_base();
 
     banner("E10", "CSI feedback degradation (error sigma x delay)");
-    let rows = csi_robustness(&base.with_n_data(48), LinkDir::Forward, &[0.0, 2.0, 6.0], &[0, 50], 2);
+    let rows = csi_robustness(
+        &base.with_n_data(48),
+        LinkDir::Forward,
+        &[0.0, 2.0, 6.0],
+        &[0, 50],
+        2,
+    );
     let mut t = Table::new(&[
         "sigma [dB]",
         "delay [frames]",

@@ -12,7 +12,10 @@ use wcdma_sim::table::ci;
 use wcdma_sim::{Simulation, Table};
 
 fn print_experiment() {
-    banner("E1", "mean burst delay vs load, forward link (policy comparison)");
+    banner(
+        "E1",
+        "mean burst delay vs load, forward link (policy comparison)",
+    );
     let base = quick_base();
     let pols = policies();
     let refs: Vec<(&str, _)> = pols.iter().map(|(n, p)| (*n, p.clone())).collect();

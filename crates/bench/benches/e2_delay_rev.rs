@@ -13,7 +13,10 @@ use wcdma_sim::table::ci;
 use wcdma_sim::{Simulation, Table};
 
 fn print_experiment() {
-    banner("E2", "mean burst delay vs load, reverse link (policy comparison)");
+    banner(
+        "E2",
+        "mean burst delay vs load, reverse link (policy comparison)",
+    );
     let base = quick_base();
     let pols = policies();
     let refs: Vec<(&str, _)> = pols.iter().map(|(n, p)| (*n, p.clone())).collect();

@@ -11,7 +11,10 @@ use wcdma_sim::experiments::{capacity_at_delay_target, CapacityMetric};
 use wcdma_sim::{Simulation, Table};
 
 fn print_experiment() {
-    banner("E3", "data-user capacity, reverse link, mean-delay target 6 s");
+    banner(
+        "E3",
+        "data-user capacity, reverse link, mean-delay target 6 s",
+    );
     let base = quick_base();
     let pols = policies();
     let refs: Vec<(&str, _)> = pols.iter().map(|(n, p)| (*n, p.clone())).collect();

@@ -13,7 +13,10 @@ use wcdma_sim::table::ci;
 use wcdma_sim::{Simulation, Table};
 
 fn print_experiment() {
-    banner("E4", "coverage: delay/throughput vs cell radius (JABA-SD, reverse)");
+    banner(
+        "E4",
+        "coverage: delay/throughput vs cell radius (JABA-SD, reverse)",
+    );
     let mut base = quick_base();
     base.n_voice = 30; // light load: isolate the link-budget effect
     base.n_data = 8;

@@ -26,13 +26,7 @@ fn print_experiment() {
         ),
     ];
     let rows = phy_ablation(&base, LinkDir::Forward, &[8], &pols, 2);
-    let mut t = Table::new(&[
-        "phy",
-        "policy",
-        "N_d",
-        "mean delay [s]",
-        "cell tput [kbps]",
-    ]);
+    let mut t = Table::new(&["phy", "policy", "N_d", "mean delay [s]", "cell tput [kbps]"]);
     for r in &rows {
         t.row(&[
             match r.phy {

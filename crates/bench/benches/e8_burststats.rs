@@ -21,9 +21,7 @@ fn print_experiment() {
         "m histogram (1..16)",
     ]);
     for &n in &[4usize, 8, 16, 24] {
-        let cfg: SimConfig = quick_base()
-            .with_direction(LinkDir::Forward)
-            .with_n_data(n);
+        let cfg: SimConfig = quick_base().with_direction(LinkDir::Forward).with_n_data(n);
         let r = Simulation::new(cfg).run();
         t.row(&[
             n.to_string(),

@@ -18,7 +18,11 @@ fn warm_network(n_data: usize, seed: u64) -> Network {
     let mut net = Network::new(cfg, HexLayout::new(1, 1000.0), seed);
     let mut rng = Xoshiro256pp::new(seed);
     for i in 0..(12 + n_data) {
-        let kind = if i < 12 { UserKind::Voice } else { UserKind::Data };
+        let kind = if i < 12 {
+            UserKind::Voice
+        } else {
+            UserKind::Data
+        };
         let cell = CellId((i % net.num_cells()) as u32);
         let pos = {
             let layout = net.layout().clone();
@@ -33,7 +37,10 @@ fn warm_network(n_data: usize, seed: u64) -> Network {
 }
 
 fn print_experiment() {
-    banner("F2", "admissible-region characterisation (Fig. 2 measurements)");
+    banner(
+        "F2",
+        "admissible-region characterisation (Fig. 2 measurements)",
+    );
     let mut t = Table::new(&[
         "N_d",
         "fwd rows",
@@ -82,14 +89,7 @@ fn bench(c: &mut Criterion) {
             .collect();
         let refs: Vec<&DataUserMeasurement> = reports.iter().collect();
         group.bench_with_input(BenchmarkId::new("forward_region", n), &n, |b, _| {
-            b.iter(|| {
-                forward_region(
-                    black_box(net.forward_load_w()),
-                    20.0,
-                    1.0,
-                    black_box(&refs),
-                )
-            })
+            b.iter(|| forward_region(black_box(net.forward_load_w()), 20.0, 1.0, black_box(&refs)))
         });
         group.bench_with_input(BenchmarkId::new("reverse_region", n), &n, |b, _| {
             b.iter(|| {

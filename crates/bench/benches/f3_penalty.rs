@@ -13,7 +13,10 @@ use wcdma_mac::{MacStateMachine, MacTimers};
 use wcdma_sim::Table;
 
 fn print_experiment() {
-    banner("F3", "MAC setup delays and J2 delay penalty (Fig. 3, eq. 21-23)");
+    banner(
+        "F3",
+        "MAC setup delays and J2 delay penalty (Fig. 3, eq. 21-23)",
+    );
     let timers = MacTimers::default_timers();
     let j2 = Objective::j2_default();
     let mut t = Table::new(&[
@@ -34,7 +37,10 @@ fn print_experiment() {
             format!("{:.2}", timers.setup_delay(tw)),
             format!("{:.2}", timers.overall_delay(tw)),
             format!("{:.4}", j2.weight(1.0, 0.0, tw, &timers)),
-            format!("{:.4}", delay_penalty(1.0, 1.0, timers.overall_delay(tw), 1.0, 16.0)),
+            format!(
+                "{:.4}",
+                delay_penalty(1.0, 1.0, timers.overall_delay(tw), 1.0, 16.0)
+            ),
         ]);
     }
     println!("{}", t.render());

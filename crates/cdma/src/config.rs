@@ -90,6 +90,9 @@ impl CdmaConfig {
     }
 
     /// Validates invariants.
+    // Negated comparisons are deliberate: they reject NaN-valued parameters,
+    // which the un-negated forms would silently accept.
+    #[allow(clippy::neg_cmp_op_on_partial_ord)]
     pub fn validate(&self) -> Result<(), String> {
         if !(self.chip_rate > 0.0 && self.fch_rate > 0.0) {
             return Err("rates must be positive".into());

@@ -155,8 +155,7 @@ impl Network {
     /// Doppler); returns its index.
     pub fn add_mobile(&mut self, kind: UserKind, pos: Point, speed_ms: f64) -> usize {
         let k = self.layout.num_cells();
-        let doppler =
-            (speed_ms.max(0.5) * self.cfg.carrier_hz / 299_792_458.0).max(1.0);
+        let doppler = (speed_ms.max(0.5) * self.cfg.carrier_hz / 299_792_458.0).max(1.0);
         let mut links = Vec::with_capacity(k);
         for cell in 0..k {
             let stream = self.next_stream;
@@ -315,8 +314,8 @@ impl Network {
             // counts other-cell power fully and own-active-set power through
             // the orthogonality loss.
             let mut interference = self.mobile_noise_w;
-            for cell in 0..k {
-                let w = fwd_prev[cell] * m.gains[cell];
+            for (cell, (&prev, &gain)) in fwd_prev.iter().zip(&m.gains).enumerate() {
+                let w = prev * gain;
                 if m.active_set.contains(CellId(cell as u32)) {
                     interference += w * self.cfg.orthogonality_loss;
                 } else {
@@ -326,12 +325,8 @@ impl Network {
             let legs: Vec<CellId> = m.active_set.members().to_vec();
             let leg_gains: Vec<f64> = legs.iter().map(|c| m.gains[c.index()]).collect();
             let theta = self.cfg.fch_processing_gain();
-            let powers = forward_fch_powers(
-                self.cfg.fch_ebi0_target,
-                theta,
-                interference,
-                &leg_gains,
-            );
+            let powers =
+                forward_fch_powers(self.cfg.fch_ebi0_target, theta, interference, &leg_gains);
             m.fch_legs = legs.iter().copied().zip(powers.iter().copied()).collect();
             m.ebi0_fwd = forward_fch_ebi0(theta, interference, &powers, &leg_gains);
 
@@ -353,12 +348,8 @@ impl Network {
             } else {
                 self.inner_loop.step(m.rev_fch_w, ideal)
             };
-            m.ebi0_rev = reverse_fch_ebi0(
-                theta,
-                rev_prev[best_cell.index()],
-                best_gain,
-                m.rev_fch_w,
-            );
+            m.ebi0_rev =
+                reverse_fch_ebi0(theta, rev_prev[best_cell.index()], best_gain, m.rev_fch_w);
         }
 
         // Phase 2: accumulate new loads.
@@ -375,14 +366,10 @@ impl Network {
             // Forward SCH grant on the reduced active set.
             if let Some(g) = m.sch_grant {
                 if g.forward {
-                    let reduced = m
-                        .active_set
-                        .reduced(&m.pilots, self.cfg.reduced_active_set);
+                    let reduced = m.active_set.reduced(&m.pilots, self.cfg.reduced_active_set);
                     let alpha = alpha_fl(m.active_set.len(), reduced.len());
                     for cell in &reduced {
-                        if let Some(&(_, p)) =
-                            m.fch_legs.iter().find(|(c, _)| c == cell)
-                        {
+                        if let Some(&(_, p)) = m.fch_legs.iter().find(|(c, _)| c == cell) {
                             fwd[cell.index()] += g.m as f64 * g.gamma_s * p * alpha;
                         }
                     }
@@ -400,15 +387,15 @@ impl Network {
                 }
             }
             let tx = tx.min(self.cfg.mobile_max_power_w);
-            for cell in 0..k {
-                rev[cell] += tx * m.gains[cell];
+            for (r, &gain) in rev.iter_mut().zip(&m.gains) {
+                *r += tx * gain;
             }
         }
         // Forward budget clamp: flag and clamp overloaded cells.
-        for cell in 0..k {
-            self.overloaded[cell] = fwd[cell] > self.cfg.max_bs_power_w;
-            if self.overloaded[cell] {
-                fwd[cell] = self.cfg.max_bs_power_w;
+        for (over, f) in self.overloaded.iter_mut().zip(&mut fwd) {
+            *over = *f > self.cfg.max_bs_power_w;
+            if *over {
+                *f = self.cfg.max_bs_power_w;
             }
         }
         self.fwd_total_w = fwd;
@@ -421,9 +408,7 @@ impl Network {
     pub fn measurement(&self, j: usize) -> DataUserMeasurement {
         let m = &self.mobiles[j];
         assert_eq!(m.kind, UserKind::Data, "measurements are for data users");
-        let reduced = m
-            .active_set
-            .reduced(&m.pilots, self.cfg.reduced_active_set);
+        let reduced = m.active_set.reduced(&m.pilots, self.cfg.reduced_active_set);
         let pilot_tx = m.rev_fch_w / self.cfg.fch_pilot_ratio;
         let rev_pilot_ecio: Vec<(CellId, f64)> = m
             .active_set
@@ -614,7 +599,10 @@ mod tests {
         );
         net.step(0.02);
         let after: f64 = net.forward_load_w().iter().sum();
-        assert!(after > before, "grant must add forward power: {after} vs {before}");
+        assert!(
+            after > before,
+            "grant must add forward power: {after} vs {before}"
+        );
         net.set_grant(j, None);
         net.step(0.02);
         net.step(0.02);
@@ -639,7 +627,10 @@ mod tests {
         );
         net.step(0.02);
         let after: f64 = net.reverse_load_w().iter().sum();
-        assert!(after > before, "reverse burst must raise L: {after} vs {before}");
+        assert!(
+            after > before,
+            "reverse burst must raise L: {after} vs {before}"
+        );
     }
 
     #[test]

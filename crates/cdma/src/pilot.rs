@@ -81,13 +81,7 @@ impl ActiveSet {
     /// 2. add non-members above `t_add`, strongest first, respecting
     ///    `max_size`;
     /// 3. guarantee non-emptiness by force-adding the strongest pilot.
-    pub fn update(
-        &mut self,
-        pilots: &[PilotStrength],
-        t_add: f64,
-        t_drop: f64,
-        max_size: usize,
-    ) {
+    pub fn update(&mut self, pilots: &[PilotStrength], t_add: f64, t_drop: f64, max_size: usize) {
         debug_assert!(t_drop <= t_add, "hysteresis inverted");
         assert!(max_size >= 1);
         let strength = |c: CellId| {

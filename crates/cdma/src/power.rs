@@ -219,7 +219,10 @@ mod tests {
         let g = 1e-13;
         let x = reverse_fch_power(target, theta, l, g, 1.0);
         let achieved = reverse_fch_ebi0(theta, l, g, x);
-        assert!((achieved - target).abs() / target < 1e-9, "achieved {achieved}");
+        assert!(
+            (achieved - target).abs() / target < 1e-9,
+            "achieved {achieved}"
+        );
     }
 
     #[test]
@@ -245,7 +248,10 @@ mod tests {
         // 10 dB gap at 0.5 dB/step needs 20 steps.
         let partway = il.run(0.1, ideal, 10);
         let gap_db = wcdma_math::lin_to_db(partway / ideal);
-        assert!((gap_db - 5.0).abs() < 0.01, "gap after 10 steps {gap_db} dB");
+        assert!(
+            (gap_db - 5.0).abs() < 0.01,
+            "gap after 10 steps {gap_db} dB"
+        );
     }
 
     #[test]

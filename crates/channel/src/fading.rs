@@ -127,9 +127,12 @@ pub fn bessel_j0(x: f64) -> f64 {
         // Hankel asymptotic expansion.
         let z = 8.0 / ax;
         let y = z * z;
-        let p0 = 1.0 + y * (-0.1098628627e-2 + y * (0.2734510407e-4 + y * (-0.2073370639e-5 + y * 0.2093887211e-6)));
+        let p0 = 1.0
+            + y * (-0.1098628627e-2
+                + y * (0.2734510407e-4 + y * (-0.2073370639e-5 + y * 0.2093887211e-6)));
         let q0 = -0.1562499995e-1
-            + y * (0.1430488765e-3 + y * (-0.6911147651e-5 + y * (0.7621095161e-6 + y * -0.934935152e-7)));
+            + y * (0.1430488765e-3
+                + y * (-0.6911147651e-5 + y * (0.7621095161e-6 + y * -0.934935152e-7)));
         let xx = ax - 0.785398164;
         (core::f64::consts::FRAC_2_PI / ax).sqrt() * (xx.cos() * p0 - z * xx.sin() * q0)
     }

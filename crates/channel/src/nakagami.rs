@@ -111,11 +111,7 @@ mod tests {
             for _ in 0..100_000 {
                 w.push(f.sample_power());
             }
-            assert!(
-                (w.mean() - 1.0).abs() < 0.02,
-                "m = {m}: mean {}",
-                w.mean()
-            );
+            assert!((w.mean() - 1.0).abs() < 0.02, "m = {m}: mean {}", w.mean());
             // Var of Gamma(m, 1/m)/... power variance = 1/m.
             assert!(
                 (w.variance() - 1.0 / m).abs() < 0.05,

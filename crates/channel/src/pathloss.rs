@@ -29,7 +29,10 @@ impl PathLoss {
     /// Panics on non-positive distances or exponent.
     pub fn new(exponent: f64, ref_loss_db: f64, ref_dist_m: f64, min_dist_m: f64) -> Self {
         assert!(exponent > 0.0, "exponent must be positive");
-        assert!(ref_dist_m > 0.0 && min_dist_m > 0.0, "distances must be positive");
+        assert!(
+            ref_dist_m > 0.0 && min_dist_m > 0.0,
+            "distances must be positive"
+        );
         Self {
             exponent,
             ref_loss_db,

@@ -157,11 +157,7 @@ impl HexLayout {
 
     /// Uniformly samples a point inside the hexagon of `cell` (rejection
     /// from the bounding box).
-    pub fn random_point_in_cell(
-        &self,
-        cell: CellId,
-        rng: &mut wcdma_math::Xoshiro256pp,
-    ) -> Point {
+    pub fn random_point_in_cell(&self, cell: CellId, rng: &mut wcdma_math::Xoshiro256pp) -> Point {
         let site = self.sites[cell.index()];
         let r = self.cell_radius;
         loop {

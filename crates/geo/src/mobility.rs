@@ -41,7 +41,13 @@ pub struct RandomWaypoint {
 impl RandomWaypoint {
     /// Creates a walker starting at `start`, moving at `speed` m/s with
     /// `pause_s` pauses, confined to a disc of radius `bound_m`.
-    pub fn new(start: Point, speed: f64, pause_s: f64, bound_m: f64, mut rng: Xoshiro256pp) -> Self {
+    pub fn new(
+        start: Point,
+        speed: f64,
+        pause_s: f64,
+        bound_m: f64,
+        mut rng: Xoshiro256pp,
+    ) -> Self {
         assert!(speed >= 0.0 && pause_s >= 0.0 && bound_m > 0.0);
         let dest = Self::pick_dest(bound_m, &mut rng);
         Self {
@@ -128,7 +134,13 @@ pub struct RandomWalk {
 impl RandomWalk {
     /// Creates a walker with the given turn rate (rad/s of maximum random
     /// heading drift).
-    pub fn new(start: Point, speed: f64, turn_rate: f64, bound_m: f64, mut rng: Xoshiro256pp) -> Self {
+    pub fn new(
+        start: Point,
+        speed: f64,
+        turn_rate: f64,
+        bound_m: f64,
+        mut rng: Xoshiro256pp,
+    ) -> Self {
         assert!(speed >= 0.0 && turn_rate >= 0.0 && bound_m > 0.0);
         let heading = rng.uniform(0.0, 2.0 * core::f64::consts::PI);
         Self {
@@ -154,8 +166,7 @@ impl MobilityModel for RandomWalk {
         let r = (nx * nx + ny * ny).sqrt();
         if r > self.bound_m {
             // Turn the heading back toward the origin and clamp position.
-            self.heading = (self.pos.y - ny).atan2(self.pos.x - nx)
-                + self.rng.uniform(-0.5, 0.5);
+            self.heading = (self.pos.y - ny).atan2(self.pos.x - nx) + self.rng.uniform(-0.5, 0.5);
             let scale = self.bound_m / r;
             nx *= scale;
             ny *= scale;
@@ -226,7 +237,7 @@ mod tests {
         m.step(0.5);
         let p1 = m.position();
         m.step(1.0); // still pausing (5 s pause)
-        // position should move at most a little (only after pause expires).
+                     // position should move at most a little (only after pause expires).
         let d = p1.dist(m.position());
         assert!(m.last_step_distance() >= 0.0);
         // With a 5 s pause and speed 1e6 this is hard to assert exactly;
@@ -236,13 +247,8 @@ mod tests {
 
     #[test]
     fn waypoint_stays_in_bounds() {
-        let mut m = RandomWaypoint::new(
-            Point::new(0.0, 0.0),
-            30.0,
-            1.0,
-            500.0,
-            Xoshiro256pp::new(3),
-        );
+        let mut m =
+            RandomWaypoint::new(Point::new(0.0, 0.0), 30.0, 1.0, 500.0, Xoshiro256pp::new(3));
         for _ in 0..10_000 {
             let p = m.step(0.5);
             let r = (p.x * p.x + p.y * p.y).sqrt();
@@ -281,13 +287,7 @@ mod tests {
 
     #[test]
     fn zero_speed_is_stationary() {
-        let mut m = RandomWalk::new(
-            Point::new(5.0, 5.0),
-            0.0,
-            0.5,
-            100.0,
-            Xoshiro256pp::new(6),
-        );
+        let mut m = RandomWalk::new(Point::new(5.0, 5.0), 0.0, 0.5, 100.0, Xoshiro256pp::new(6));
         for _ in 0..10 {
             m.step(1.0);
         }
@@ -303,15 +303,8 @@ mod tests {
 
     #[test]
     fn deterministic_trajectories() {
-        let mk = || {
-            RandomWaypoint::new(
-                Point::new(0.0, 0.0),
-                15.0,
-                2.0,
-                800.0,
-                Xoshiro256pp::new(7),
-            )
-        };
+        let mk =
+            || RandomWaypoint::new(Point::new(0.0, 0.0), 15.0, 2.0, 800.0, Xoshiro256pp::new(7));
         let mut a = mk();
         let mut b = mk();
         for _ in 0..500 {

@@ -101,8 +101,8 @@ impl Problem {
         if m.len() != self.num_vars() {
             return false;
         }
-        for j in 0..m.len() {
-            if m[j] != 0 && (m[j] < self.lo[j] || m[j] > self.hi[j]) {
+        for (j, &mj) in m.iter().enumerate() {
+            if mj != 0 && (mj < self.lo[j] || mj > self.hi[j]) {
                 return false;
             }
         }
@@ -173,13 +173,7 @@ mod tests {
     #[test]
     fn semi_continuous_domain() {
         // lo = 2: m = 1 is not allowed.
-        let p = Problem::new(
-            vec![1.0],
-            vec![vec![1.0]],
-            vec![10.0],
-            vec![2],
-            vec![5],
-        );
+        let p = Problem::new(vec![1.0], vec![vec![1.0]], vec![10.0], vec![2], vec![5]);
         assert!(p.is_feasible(&[0]));
         assert!(!p.is_feasible(&[1]));
         assert!(p.is_feasible(&[2]));
@@ -188,13 +182,7 @@ mod tests {
     #[test]
     fn inadmissible_variable() {
         // lo > hi: variable can only be 0.
-        let p = Problem::new(
-            vec![1.0],
-            vec![vec![1.0]],
-            vec![10.0],
-            vec![5],
-            vec![3],
-        );
+        let p = Problem::new(vec![1.0], vec![vec![1.0]], vec![10.0], vec![5], vec![3]);
         assert!(!p.admissible(0));
         assert!(p.is_feasible(&[0]));
         assert!(!p.is_feasible(&[4]));
@@ -203,13 +191,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "invalid problem")]
     fn rejects_negative_constraint_coefficient() {
-        let _ = Problem::new(
-            vec![1.0],
-            vec![vec![-1.0]],
-            vec![10.0],
-            vec![1],
-            vec![3],
-        );
+        let _ = Problem::new(vec![1.0], vec![vec![-1.0]], vec![10.0], vec![1], vec![3]);
     }
 
     #[test]

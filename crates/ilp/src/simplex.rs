@@ -32,7 +32,10 @@ pub fn simplex_max(c: &[f64], a: &[Vec<f64>], b: &[f64], u: &[f64]) -> Option<Lp
     assert_eq!(a.len(), b.len(), "row/rhs mismatch");
     assert_eq!(u.len(), n, "bounds length mismatch");
     assert!(b.iter().all(|&x| x >= 0.0), "need non-negative rhs");
-    assert!(u.iter().all(|&x| x >= 0.0 && x.is_finite()), "bad upper bound");
+    assert!(
+        u.iter().all(|&x| x >= 0.0 && x.is_finite()),
+        "bad upper bound"
+    );
 
     // Build the tableau with upper-bound rows appended:
     //   rows: K (A) + n (x_j ≤ u_j); columns: n (x) + rows (slack) + 1 (rhs).
@@ -63,8 +66,7 @@ pub fn simplex_max(c: &[f64], a: &[Vec<f64>], b: &[f64], u: &[f64]) -> Option<Lp
         let bland = iter > 50 * (m + n);
         let mut enter: Option<usize> = None;
         let mut best = -1e-9;
-        for j in 0..(width - 1) {
-            let rc = t[m][j];
+        for (j, &rc) in t[m].iter().take(width - 1).enumerate() {
             if rc < best {
                 if bland {
                     enter = Some(j);
@@ -92,7 +94,8 @@ pub fn simplex_max(c: &[f64], a: &[Vec<f64>], b: &[f64], u: &[f64]) -> Option<Lp
             if t[i][e] > 1e-12 {
                 let ratio = t[i][width - 1] / t[i][e];
                 if ratio < min_ratio - 1e-12
-                    || (bland && (ratio - min_ratio).abs() <= 1e-12
+                    || (bland
+                        && (ratio - min_ratio).abs() <= 1e-12
                         && leave.map(|l| basis[i] < basis[l]).unwrap_or(false))
                 {
                     min_ratio = ratio;
@@ -128,12 +131,11 @@ pub fn simplex_max(c: &[f64], a: &[Vec<f64>], b: &[f64], u: &[f64]) -> Option<Lp
 /// LP relaxation of a scheduling [`crate::Problem`] (ignoring the
 /// semi-continuous `lo` restriction — a valid upper bound on the IP).
 pub fn lp_relaxation(p: &crate::Problem) -> Option<LpSolution> {
-    let u: Vec<f64> = p
-        .hi
-        .iter()
-        .zip(&p.lo)
-        .map(|(&h, &l)| if h >= l { h as f64 } else { 0.0 })
-        .collect();
+    let u: Vec<f64> =
+        p.hi.iter()
+            .zip(&p.lo)
+            .map(|(&h, &l)| if h >= l { h as f64 } else { 0.0 })
+            .collect();
     // Negative weights never help a ≤/≥0 LP: clamp to zero (the IP rejects
     // such variables too).
     let c: Vec<f64> = p.c.iter().map(|&x| x.max(0.0)).collect();
@@ -151,11 +153,7 @@ mod tests {
         // max 3x + 5y s.t. x ≤ 4, 2y ≤ 12, 3x + 2y ≤ 18, bounds loose.
         let sol = simplex_max(
             &[3.0, 5.0],
-            &[
-                vec![1.0, 0.0],
-                vec![0.0, 2.0],
-                vec![3.0, 2.0],
-            ],
+            &[vec![1.0, 0.0], vec![0.0, 2.0], vec![3.0, 2.0]],
             &[4.0, 12.0, 18.0],
             &[100.0, 100.0],
         )
@@ -174,8 +172,8 @@ mod tests {
 
     #[test]
     fn zero_budget_zero_solution() {
-        let sol = simplex_max(&[5.0, 2.0], &[vec![1.0, 1.0]], &[0.0], &[4.0, 4.0])
-            .expect("solvable");
+        let sol =
+            simplex_max(&[5.0, 2.0], &[vec![1.0, 1.0]], &[0.0], &[4.0, 4.0]).expect("solvable");
         assert!(sol.objective.abs() < 1e-9);
     }
 

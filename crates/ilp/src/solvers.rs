@@ -143,9 +143,7 @@ impl Bb<'_> {
                 for v in (self.p.lo[j]..=cap).rev() {
                     let mut s2 = slack.clone();
                     let mut ok = true;
-                    for ((row, sk), bk) in
-                        self.p.a.iter().zip(s2.iter_mut()).zip(&self.p.b)
-                    {
+                    for ((row, sk), bk) in self.p.a.iter().zip(s2.iter_mut()).zip(&self.p.b) {
                         *sk -= row[j] * v as f64;
                         if *sk < -1e-9 * bk.abs() {
                             ok = false;
@@ -156,8 +154,7 @@ impl Bb<'_> {
                         continue;
                     }
                     m[j] = v;
-                    complete &=
-                        self.search(depth + 1, m, s2, value + self.p.c[j] * v as f64);
+                    complete &= self.search(depth + 1, m, s2, value + self.p.c[j] * v as f64);
                     m[j] = 0;
                 }
             }
@@ -242,13 +239,12 @@ pub fn greedy(p: &Problem) -> Solution {
         if !p.admissible(j) || p.c[j] <= 0.0 {
             continue;
         }
-        let cap = p
-            .a
-            .iter()
-            .zip(&slack)
-            .filter(|(row, _)| row[j] > 0.0)
-            .map(|(row, &s)| (s / row[j]).floor().max(0.0))
-            .fold(f64::INFINITY, f64::min);
+        let cap =
+            p.a.iter()
+                .zip(&slack)
+                .filter(|(row, _)| row[j] > 0.0)
+                .map(|(row, &s)| (s / row[j]).floor().max(0.0))
+                .fold(f64::INFINITY, f64::min);
         let cap = if cap.is_finite() {
             (cap as u32).min(p.hi[j])
         } else {
@@ -270,12 +266,11 @@ pub fn greedy(p: &Problem) -> Solution {
             if m[j] == 0 || m[j] >= p.hi[j] || p.c[j] <= 0.0 {
                 continue;
             }
-            let fits = p
-                .a
-                .iter()
-                .zip(&slack)
-                .zip(&p.b)
-                .all(|((row, &s), &bk)| row[j] <= s + 1e-12 * bk.abs());
+            let fits =
+                p.a.iter()
+                    .zip(&slack)
+                    .zip(&p.b)
+                    .all(|((row, &s), &bk)| row[j] <= s + 1e-12 * bk.abs());
             if fits {
                 m[j] += 1;
                 for (row, sk) in p.a.iter().zip(slack.iter_mut()) {
@@ -405,13 +400,7 @@ mod tests {
     #[test]
     fn semi_continuous_lower_bound_respected() {
         // Budget 3, lo = 4: can't afford the minimum grant → reject.
-        let p = Problem::new(
-            vec![10.0],
-            vec![vec![1.0]],
-            vec![3.0],
-            vec![4],
-            vec![8],
-        );
+        let p = Problem::new(vec![10.0], vec![vec![1.0]], vec![3.0], vec![4], vec![8]);
         let (s, _) = branch_and_bound(&p, 0);
         assert_eq!(s.m, vec![0]);
         let e = exhaustive(&p);

@@ -61,6 +61,9 @@ impl MacTimers {
     }
 
     /// Validates ordering invariants.
+    // Negated comparisons are deliberate: they reject NaN-valued timers,
+    // which the un-negated forms would silently accept.
+    #[allow(clippy::neg_cmp_op_on_partial_ord)]
     pub fn validate(&self) -> Result<(), String> {
         if !(self.t_active_s >= 0.0) {
             return Err("t_active must be non-negative".into());

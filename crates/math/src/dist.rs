@@ -339,7 +339,10 @@ mod tests {
         xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let med = xs[50_000];
         let expect = 2f64.powf(1.0 / 1.7);
-        assert!((med - expect).abs() / expect < 0.02, "median {med} vs {expect}");
+        assert!(
+            (med - expect).abs() / expect < 0.02,
+            "median {med} vs {expect}"
+        );
     }
 
     #[test]
@@ -361,7 +364,10 @@ mod tests {
         let expect = (0.5 * (8.0 * DB_TO_NAT).powi(2)).exp();
         assert!((d.mean() - expect).abs() < 1e-12);
         let m = sample_mean(&d, 500_000);
-        assert!((m - expect).abs() / expect < 0.1, "sample mean {m} vs {expect}");
+        assert!(
+            (m - expect).abs() / expect < 0.1,
+            "sample mean {m} vs {expect}"
+        );
     }
 
     #[test]
@@ -401,7 +407,10 @@ mod tests {
         for lambda in [0.5, 4.0, 80.0] {
             let n = 100_000;
             let m = (0..n).map(|_| poisson(&mut r, lambda) as f64).sum::<f64>() / n as f64;
-            assert!((m - lambda).abs() / lambda < 0.05, "lambda {lambda} mean {m}");
+            assert!(
+                (m - lambda).abs() / lambda < 0.05,
+                "lambda {lambda} mean {m}"
+            );
         }
         assert_eq!(poisson(&mut r, 0.0), 0);
     }

@@ -31,7 +31,10 @@ pub struct BerModel {
 impl BerModel {
     /// Creates a model with detector constant `c > 0`.
     pub fn new(c: f64) -> Self {
-        assert!(c.is_finite() && c > 0.0, "detector constant must be positive");
+        assert!(
+            c.is_finite() && c > 0.0,
+            "detector constant must be positive"
+        );
         Self { c }
     }
 
@@ -115,7 +118,10 @@ mod tests {
         for q in 0..NUM_MODES as u8 {
             let xi = m.threshold(q, pb);
             let b = m.ber(q, xi);
-            assert!((b - pb).abs() / pb < 1e-12, "mode {q}: BER at threshold {b}");
+            assert!(
+                (b - pb).abs() / pb < 1e-12,
+                "mode {q}: BER at threshold {b}"
+            );
         }
     }
 

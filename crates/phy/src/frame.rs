@@ -121,8 +121,7 @@ mod tests {
         for _ in 0..frames {
             // rho = 0 gives i.i.d. slots: the empirical mean must match the
             // analytic Rayleigh average.
-            total_bits +=
-                simulate_frame(&v, eps, slots, 1.0, 0.0, &mut rng).bits_delivered;
+            total_bits += simulate_frame(&v, eps, slots, 1.0, 0.0, &mut rng).bits_delivered;
         }
         let per_symbol = total_bits / (frames * slots) as f64;
         let analytic = v.avg_throughput(eps);

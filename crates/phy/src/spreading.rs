@@ -43,6 +43,9 @@ impl SpreadingConfig {
     }
 
     /// Validates invariants; call after manual construction.
+    // Negated comparisons are deliberate: they reject NaN-valued parameters,
+    // which the un-negated forms would silently accept.
+    #[allow(clippy::neg_cmp_op_on_partial_ord)]
     pub fn validate(&self) -> Result<(), String> {
         if !(self.chip_rate > 0.0) {
             return Err(format!("chip rate must be positive: {}", self.chip_rate));

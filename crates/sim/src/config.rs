@@ -43,6 +43,9 @@ impl TrafficConfig {
     }
 
     /// Validates parameters.
+    // Negated comparisons are deliberate: they reject NaN-valued parameters,
+    // which the un-negated forms would silently accept.
+    #[allow(clippy::neg_cmp_op_on_partial_ord)]
     pub fn validate(&self) -> Result<(), String> {
         if !(self.pareto_shape > 1.0) {
             return Err("Pareto shape must exceed 1".into());
@@ -165,6 +168,9 @@ impl SimConfig {
     }
 
     /// Validates the whole scenario.
+    // Negated comparisons are deliberate: they reject NaN-valued parameters,
+    // which the un-negated forms would silently accept.
+    #[allow(clippy::neg_cmp_op_on_partial_ord)]
     pub fn validate(&self) -> Result<(), String> {
         self.cdma.validate()?;
         self.spreading.validate()?;
@@ -258,10 +264,7 @@ mod tests {
     fn sweep_helpers() {
         let base = SimConfig::baseline();
         assert_eq!(base.with_n_data(20).n_data, 20);
-        assert_eq!(
-            base.with_direction(LinkDir::Reverse).traffic.p_forward,
-            0.0
-        );
+        assert_eq!(base.with_direction(LinkDir::Reverse).traffic.p_forward, 0.0);
         assert_eq!(base.with_seed(9).seed, 9);
         assert_eq!(base.n_frames(), 3000);
     }

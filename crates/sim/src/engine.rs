@@ -114,7 +114,7 @@ impl Simulation {
                             Xoshiro256pp::substream(cfg.seed, mix_seed(tag, j as u64)),
                         )
                     };
-                    Some((mk(0xC51_F), mk(0xC51_B)))
+                    Some((mk(0xC51F), mk(0xC51B)))
                 }
             })
             .collect();
@@ -162,8 +162,7 @@ impl Simulation {
             self.step_frame();
         }
         self.stats.window_s = self.cfg.duration_s - self.cfg.warmup_s;
-        self.stats
-            .report(self.cfg.n_data, self.net.num_cells())
+        self.stats.report(self.cfg.n_data, self.net.num_cells())
     }
 
     /// Whether statistics are being recorded at the current time.
@@ -264,12 +263,8 @@ impl Simulation {
     }
 
     fn schedule_direction(&mut self, dir: LinkDir, dt: f64) {
-        let pending: Vec<BurstRequest> = self
-            .queue
-            .in_direction(dir)
-            .into_iter()
-            .cloned()
-            .collect();
+        let pending: Vec<BurstRequest> =
+            self.queue.in_direction(dir).into_iter().cloned().collect();
         if pending.is_empty() {
             return;
         }
@@ -326,11 +321,14 @@ impl Simulation {
             if self.recording() {
                 self.stats.grant_m.push(m as f64);
                 self.stats.grant_hist.push(m as f64);
-                self.stats.grant_delta_beta.push(outcome.grants
-                    .iter()
-                    .find(|g| g.user == req.user)
-                    .map(|g| g.delta_beta)
-                    .unwrap_or(0.0));
+                self.stats.grant_delta_beta.push(
+                    outcome
+                        .grants
+                        .iter()
+                        .find(|g| g.user == req.user)
+                        .map(|g| g.delta_beta)
+                        .unwrap_or(0.0),
+                );
                 self.stats
                     .queue_delay
                     .push(self.t - taken.arrival_s + setup);

@@ -94,8 +94,7 @@ pub fn capacity_at_delay_target(
             let measured = match metric {
                 CapacityMetric::TotalDelay => agg.mean_delay_s.mean,
                 CapacityMetric::QueueDelay => {
-                    let xs: Vec<f64> =
-                        agg.reports.iter().map(|r| r.mean_queue_delay_s).collect();
+                    let xs: Vec<f64> = agg.reports.iter().map(|r| r.mean_queue_delay_s).collect();
                     xs.iter().sum::<f64>() / xs.len() as f64
                 }
             };
@@ -325,11 +324,7 @@ pub struct KappaRow {
 /// E13: ablation of the eq.-15 neighbour-projection margin κ — small κ
 /// admits aggressively (risking reverse overload), large κ is conservative
 /// (wasting capacity).
-pub fn kappa_ablation(
-    base: &SimConfig,
-    kappas_db: &[f64],
-    n_reps: usize,
-) -> Vec<KappaRow> {
+pub fn kappa_ablation(base: &SimConfig, kappas_db: &[f64], n_reps: usize) -> Vec<KappaRow> {
     let mut rows = Vec::new();
     for &k in kappas_db {
         let mut cfg = base.with_direction(LinkDir::Reverse);
@@ -355,10 +350,7 @@ mod tests {
 
     #[test]
     fn delay_vs_load_produces_grid() {
-        let policies = vec![(
-            "jaba",
-            Policy::jaba_sd_default(),
-        )];
+        let policies = vec![("jaba", Policy::jaba_sd_default())];
         let rows = delay_vs_load(&tiny(), LinkDir::Forward, &[2, 4], &policies, 1);
         assert_eq!(rows.len(), 2);
         assert_eq!(rows[0].n_data, 2);
@@ -370,12 +362,24 @@ mod tests {
         let policies = vec![("jaba", Policy::jaba_sd_default())];
         // Absurdly lax target: capacity = max load tested.
         let rows = capacity_at_delay_target(
-            &tiny(), LinkDir::Forward, CapacityMetric::TotalDelay, 1e6, &[2, 3], &policies, 1,
+            &tiny(),
+            LinkDir::Forward,
+            CapacityMetric::TotalDelay,
+            1e6,
+            &[2, 3],
+            &policies,
+            1,
         );
         assert_eq!(rows[0].capacity, 3);
         // Impossible target: capacity 0.
         let rows0 = capacity_at_delay_target(
-            &tiny(), LinkDir::Forward, CapacityMetric::QueueDelay, 1e-9, &[2], &policies, 1,
+            &tiny(),
+            LinkDir::Forward,
+            CapacityMetric::QueueDelay,
+            1e-9,
+            &[2],
+            &policies,
+            1,
         );
         assert_eq!(rows0[0].capacity, 0);
     }
@@ -407,7 +411,9 @@ mod tests {
     fn robustness_grid() {
         let rows = csi_robustness(&tiny(), LinkDir::Forward, &[0.0, 3.0], &[0, 5], 1);
         assert_eq!(rows.len(), 4);
-        assert!(rows.iter().any(|r| r.sigma_db == 3.0 && r.delay_frames == 5));
+        assert!(rows
+            .iter()
+            .any(|r| r.sigma_db == 3.0 && r.delay_frames == 5));
     }
 
     #[test]

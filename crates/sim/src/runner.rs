@@ -1,9 +1,9 @@
 //! Replication running: independent seeds in parallel, aggregated with
 //! t-based confidence intervals.
 //!
-//! Parallelism uses `crossbeam::scope` threads — one per replication, capped
-//! at the available cores — keeping each replication bit-reproducible from
-//! its own derived seed regardless of thread interleaving.
+//! Parallelism uses `std::thread::scope` — replications chunked across the
+//! available cores — keeping each replication bit-reproducible from its own
+//! derived seed regardless of thread interleaving.
 
 use wcdma_math::stats::MeanCi;
 
@@ -41,18 +41,17 @@ pub fn run_replications(cfg: &SimConfig, n_reps: usize) -> Aggregate {
         .unwrap_or(4)
         .min(n_reps);
     // Chunk the replications across worker threads.
-    crossbeam::thread::scope(|s| {
+    std::thread::scope(|s| {
         for (chunk_id, chunk) in reports.chunks_mut(n_reps.div_ceil(threads)).enumerate() {
             let configs = &configs;
             let base = chunk_id * n_reps.div_ceil(threads);
-            s.spawn(move |_| {
+            s.spawn(move || {
                 for (off, slot) in chunk.iter_mut().enumerate() {
                     *slot = Some(Simulation::new(configs[base + off].clone()).run());
                 }
             });
         }
-    })
-    .expect("replication thread panicked");
+    });
 
     let reports: Vec<SimReport> = reports.into_iter().map(|r| r.expect("filled")).collect();
     let pick = |f: fn(&SimReport) -> f64| -> MeanCi {
@@ -97,8 +96,7 @@ mod tests {
         // serial loop would.
         let cfg = quick_cfg();
         let agg = run_replications(&cfg, 2);
-        let serial0 =
-            Simulation::new(cfg.with_seed(wcdma_math::mix_seed(cfg.seed, 1))).run();
+        let serial0 = Simulation::new(cfg.with_seed(wcdma_math::mix_seed(cfg.seed, 1))).run();
         assert_eq!(agg.reports[0], serial0);
     }
 }

@@ -46,7 +46,7 @@ impl WebSource {
     /// substream.
     pub fn new(cfg: &TrafficConfig, seed: u64, stream: u64) -> Self {
         cfg.validate().expect("invalid traffic config");
-        let mut rng = Xoshiro256pp::substream(seed, stream ^ 0x7AFF_1C);
+        let mut rng = Xoshiro256pp::substream(seed, stream ^ 0x7A_FF1C);
         let read_dist = Exponential::with_mean(cfg.mean_reading_s);
         // Start mid-think so sources are desynchronised.
         let first = read_dist.sample(&mut rng) * rng.next_f64();

@@ -19,14 +19,19 @@ fn main() {
             c.seed = 77;
             let c = c.with_direction(dir);
             let jaba = Simulation::new(c.clone()).run();
-            let fcfs1 = Simulation::new(c.with_policy(Policy::Fcfs { max_concurrent: Some(1) }))
-                .run();
+            let fcfs1 = Simulation::new(c.with_policy(Policy::Fcfs {
+                max_concurrent: Some(1),
+            }))
+            .run();
             let eq = Simulation::new(c.with_policy(Policy::EqualShare)).run();
             println!("nd={nd}");
             for (n, r) in [("jaba", &jaba), ("fcfs1", &fcfs1), ("equal", &eq)] {
                 println!(
                     "  {n:6}: delay {:.3}  tput {:.1}  denial {:.3}  mean_m {:.1}  bursts {}",
-                    r.mean_delay_s, r.per_cell_throughput_kbps, r.denial_rate, r.mean_grant_m,
+                    r.mean_delay_s,
+                    r.per_cell_throughput_kbps,
+                    r.denial_rate,
+                    r.mean_grant_m,
                     r.bursts_completed
                 );
             }

@@ -113,7 +113,10 @@ fn main() {
     }
 
     // ---- E3 ----
-    banner("E3", "data-user capacity, reverse link, mean-delay target 6 s");
+    banner(
+        "E3",
+        "data-user capacity, reverse link, mean-delay target 6 s",
+    );
     let pols = policies();
     let refs: Vec<(&str, _)> = pols.iter().map(|(n, p)| (*n, p.clone())).collect();
     let rows = capacity_at_delay_target(
@@ -139,7 +142,10 @@ fn main() {
     // Reverse link: coverage is limited by the mobile transmit-power cap,
     // so growing cells push edge users off their Eb/I0 target and the
     // channel-adaptive stack must ride down the mode ladder.
-    banner("E4", "coverage: radius sweep (JABA-SD, reverse link, light load)");
+    banner(
+        "E4",
+        "coverage: radius sweep (JABA-SD, reverse link, light load)",
+    );
     let mut cov_base = base();
     cov_base.n_voice = 30; // light load: isolate the link-budget effect
     cov_base.n_data = 8;
@@ -219,8 +225,19 @@ fn main() {
 
     // ---- E10 ----
     banner("E10", "CSI degradation (sigma x delay)");
-    let rows = csi_robustness(&base().with_n_data(48), LinkDir::Forward, &[0.0, 2.0, 6.0], &[0, 50], 2);
-    let mut t = Table::new(&["sigma [dB]", "delay [frames]", "mean delay [s]", "tput [kbps]"]);
+    let rows = csi_robustness(
+        &base().with_n_data(48),
+        LinkDir::Forward,
+        &[0.0, 2.0, 6.0],
+        &[0, 50],
+        2,
+    );
+    let mut t = Table::new(&[
+        "sigma [dB]",
+        "delay [frames]",
+        "mean delay [s]",
+        "tput [kbps]",
+    ]);
     for r in &rows {
         t.row(&[
             format!("{:.0}", r.sigma_db),

@@ -30,10 +30,7 @@ fn main() {
     };
 
     let policies = SimConfig::comparison_policies();
-    let policy_refs: Vec<(&str, _)> = policies
-        .iter()
-        .map(|(n, p)| (*n, p.clone()))
-        .collect();
+    let policy_refs: Vec<(&str, _)> = policies.iter().map(|(n, p)| (*n, p.clone())).collect();
 
     println!(
         "E1: mean burst delay vs offered load (forward link, {} profile)\n",

@@ -23,15 +23,24 @@ fn main() {
     println!("bursts completed        : {}", report.bursts_completed);
     println!("mean burst delay        : {:.3} s", report.mean_delay_s);
     println!("p95 burst delay         : {:.3} s", report.p95_delay_s);
-    println!("mean queueing delay     : {:.3} s", report.mean_queue_delay_s);
-    println!("mean MAC setup delay    : {:.3} s", report.mean_setup_delay_s);
-    println!("per-cell throughput     : {:.1} kbit/s", report.per_cell_throughput_kbps);
-    println!("per-user throughput     : {:.1} kbit/s", report.per_user_throughput_kbps);
+    println!(
+        "mean queueing delay     : {:.3} s",
+        report.mean_queue_delay_s
+    );
+    println!(
+        "mean MAC setup delay    : {:.3} s",
+        report.mean_setup_delay_s
+    );
+    println!(
+        "per-cell throughput     : {:.1} kbit/s",
+        report.per_cell_throughput_kbps
+    );
+    println!(
+        "per-user throughput     : {:.1} kbit/s",
+        report.per_user_throughput_kbps
+    );
     println!("mean granted m          : {:.2}", report.mean_grant_m);
     println!("mean δβ̄ at grant        : {:.3}", report.mean_delta_beta);
     println!("denial rate             : {:.3}", report.denial_rate);
-    println!(
-        "granted-m histogram     : {:?}",
-        report.grant_hist
-    );
+    println!("granted-m histogram     : {:?}", report.grant_hist);
 }

@@ -1,0 +1,29 @@
+//! Shared helpers for the integration tests.
+
+use wcdma::cdma::{CdmaConfig, Network, UserKind};
+use wcdma::geo::{CellId, HexLayout};
+use wcdma::math::Xoshiro256pp;
+
+/// Builds a warmed-up single-ring network with `n_voice` voice and `n_data`
+/// data users scattered round-robin over the cells, stepped `warm_steps`
+/// frames of 20 ms.
+pub fn warm_network(n_voice: usize, n_data: usize, seed: u64, warm_steps: usize) -> Network {
+    let cfg = CdmaConfig::default_system();
+    let layout = HexLayout::new(1, 1000.0);
+    let mut net = Network::new(cfg, layout, seed);
+    let mut rng = Xoshiro256pp::new(seed ^ 0xFEED);
+    for i in 0..(n_voice + n_data) {
+        let kind = if i < n_voice {
+            UserKind::Voice
+        } else {
+            UserKind::Data
+        };
+        let cell = CellId((i % net.num_cells()) as u32);
+        let pos = net.layout().random_point_in_cell(cell, &mut rng);
+        net.add_mobile(kind, pos, 0.8);
+    }
+    for _ in 0..warm_steps {
+        net.step(0.02);
+    }
+    net
+}

@@ -4,40 +4,24 @@
 use wcdma::admission::{
     forward_region, reverse_region, Policy, RequestState, Scheduler, SchedulerConfig,
 };
-use wcdma::cdma::{CdmaConfig, Network, UserKind};
-use wcdma::geo::{CellId, HexLayout};
+use wcdma::geo::CellId;
 use wcdma::mac::LinkDir;
-use wcdma::math::Xoshiro256pp;
+
+mod common;
 
 /// Builds a warmed-up network with `n_data` data users.
-fn warm_network(n_voice: usize, n_data: usize, seed: u64) -> Network {
-    let cfg = CdmaConfig::default_system();
-    let layout = HexLayout::new(1, 1000.0);
-    let mut net = Network::new(cfg, layout, seed);
-    let mut rng = Xoshiro256pp::new(seed ^ 0xFEED);
-    for i in 0..(n_voice + n_data) {
-        let kind = if i < n_voice {
-            UserKind::Voice
-        } else {
-            UserKind::Data
-        };
-        let cell = CellId((i % net.num_cells()) as u32);
-        let pos = {
-            let layout = net.layout().clone();
-            layout.random_point_in_cell(cell, &mut rng)
-        };
-        net.add_mobile(kind, pos, 0.8);
-    }
-    for _ in 0..25 {
-        net.step(0.02);
-    }
-    net
+fn warm_network(n_voice: usize, n_data: usize, seed: u64) -> wcdma::cdma::Network {
+    common::warm_network(n_voice, n_data, seed, 25)
 }
 
 #[test]
 fn network_measurements_build_valid_regions() {
     let net = warm_network(8, 5, 11);
-    let reports: Vec<_> = net.data_mobiles().iter().map(|&j| net.measurement(j)).collect();
+    let reports: Vec<_> = net
+        .data_mobiles()
+        .iter()
+        .map(|&j| net.measurement(j))
+        .collect();
     let refs: Vec<&_> = reports.iter().collect();
 
     let fwd = forward_region(
@@ -51,7 +35,10 @@ fn network_measurements_build_valid_regions() {
         assert_eq!(row.len(), refs.len());
         assert!(row.iter().all(|&x| x >= 0.0 && x.is_finite()));
     }
-    assert!(fwd.admits(&vec![0; refs.len()]), "reject-all always admissible");
+    assert!(
+        fwd.admits(&vec![0; refs.len()]),
+        "reject-all always admissible"
+    );
 
     let rev = reverse_region(
         net.reverse_load_w(),
@@ -82,13 +69,11 @@ fn scheduler_on_live_network_grants_feasibly() {
         })
         .collect();
     for dir in [LinkDir::Forward, LinkDir::Reverse] {
-        let out = scheduler.schedule(
-            dir,
-            net.forward_load_w(),
-            net.reverse_load_w(),
-            &requests,
+        let out = scheduler.schedule(dir, net.forward_load_w(), net.reverse_load_w(), &requests);
+        assert!(
+            out.region.admits(&out.m),
+            "{dir:?} grants must be admissible"
         );
-        assert!(out.region.admits(&out.m), "{dir:?} grants must be admissible");
         assert!(
             out.grants.iter().all(|g| g.m >= 1 && g.m <= 16),
             "{dir:?} grant range"
@@ -102,8 +87,7 @@ fn granted_burst_power_is_within_predicted_headroom() {
     // no cell exceeds its budget on the next frame (the admissible region
     // really does protect the power budget).
     let mut net = warm_network(10, 6, 17);
-    let scheduler =
-        Scheduler::new(SchedulerConfig::default_config(), Policy::jaba_sd_default());
+    let scheduler = Scheduler::new(SchedulerConfig::default_config(), Policy::jaba_sd_default());
     let data = net.data_mobiles();
     let requests: Vec<RequestState> = data
         .iter()
@@ -143,8 +127,7 @@ fn vtaoc_throughput_consistent_with_network_quality() {
     // For a warmed network, every data user's δβ̄ must be finite,
     // non-negative, and bounded by 1/β_f.
     let net = warm_network(6, 4, 23);
-    let scheduler =
-        Scheduler::new(SchedulerConfig::default_config(), Policy::jaba_sd_default());
+    let scheduler = Scheduler::new(SchedulerConfig::default_config(), Policy::jaba_sd_default());
     for &j in &net.data_mobiles() {
         let meas = net.measurement(j);
         for dir in [LinkDir::Forward, LinkDir::Reverse] {
@@ -202,8 +185,7 @@ fn adjacent_cell_simultaneous_transactions_are_coupled() {
     );
 
     // The joint solve respects it.
-    let scheduler =
-        Scheduler::new(SchedulerConfig::default_config(), Policy::jaba_sd_default());
+    let scheduler = Scheduler::new(SchedulerConfig::default_config(), Policy::jaba_sd_default());
     let requests: Vec<RequestState> = [m0, m1]
         .into_iter()
         .map(|meas| RequestState {
@@ -234,13 +216,7 @@ fn umbrella_crate_reexports_work() {
     let _ = wcdma::channel::PathLoss::urban_default();
     let _ = wcdma::geo::HexLayout::nineteen_cell_default();
     let _ = wcdma::mac::MacTimers::default_timers();
-    let _ = wcdma::ilp::Problem::new(
-        vec![1.0],
-        vec![vec![1.0]],
-        vec![1.0],
-        vec![1],
-        vec![2],
-    );
+    let _ = wcdma::ilp::Problem::new(vec![1.0], vec![vec![1.0]], vec![1.0], vec![1], vec![2]);
     let _ = wcdma::math::Xoshiro256pp::new(0);
     let _ = wcdma::sim::SimConfig::baseline();
 }

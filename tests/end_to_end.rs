@@ -99,7 +99,11 @@ fn all_policies_complete_bursts() {
             r.bursts_completed > 0,
             "policy {name} completed no bursts: {r:?}"
         );
-        assert!(r.mean_grant_m >= 1.0, "policy {name}: mean m {}", r.mean_grant_m);
+        assert!(
+            r.mean_grant_m >= 1.0,
+            "policy {name}: mean m {}",
+            r.mean_grant_m
+        );
     }
 }
 

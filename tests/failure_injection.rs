@@ -24,8 +24,7 @@ fn meas(mobile: usize, cell: u32, fch_power: f64, ebi0_db: f64) -> DataUserMeasu
 
 #[test]
 fn exhausted_power_budget_rejects_everything() {
-    let scheduler =
-        Scheduler::new(SchedulerConfig::default_config(), Policy::jaba_sd_default());
+    let scheduler = Scheduler::new(SchedulerConfig::default_config(), Policy::jaba_sd_default());
     // All cells exactly at P_max: zero headroom everywhere.
     let pmax = SchedulerConfig::default_config().pmax_w;
     let fwd = vec![pmax; 3];
@@ -39,7 +38,11 @@ fn exhausted_power_budget_rejects_everything() {
         })
         .collect();
     let out = scheduler.schedule(LinkDir::Forward, &fwd, &rev, &requests);
-    assert!(out.grants.is_empty(), "no headroom ⇒ no grants: {:?}", out.m);
+    assert!(
+        out.grants.is_empty(),
+        "no headroom ⇒ no grants: {:?}",
+        out.m
+    );
 }
 
 #[test]
@@ -99,7 +102,10 @@ fn monster_burst_survives_simulation() {
     cfg.duration_s = 40.0;
     cfg.warmup_s = 2.0;
     let r = Simulation::new(cfg).run();
-    assert!(r.bursts_completed > 0, "monster bursts must complete: {r:?}");
+    assert!(
+        r.bursts_completed > 0,
+        "monster bursts must complete: {r:?}"
+    );
     assert!(r.mean_delay_s > 2.0, "a 4 Mb burst cannot be instant");
 }
 
@@ -152,7 +158,11 @@ fn network_survives_everyone_leaving_one_cell() {
     let pmax = cdma.max_bs_power_w;
     let mut net = Network::new(cdma, HexLayout::new(1, 1000.0), 5);
     for i in 0..20 {
-        let kind = if i < 15 { UserKind::Voice } else { UserKind::Data };
+        let kind = if i < 15 {
+            UserKind::Voice
+        } else {
+            UserKind::Data
+        };
         net.add_mobile(kind, Point::new(400.0, 400.0), 0.5);
     }
     for _ in 0..50 {

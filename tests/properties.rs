@@ -1,135 +1,195 @@
-//! Property-based tests (proptest) on the core invariants.
+//! Property-based tests on the core invariants.
+//!
+//! The build environment is offline, so instead of `proptest` these use a
+//! self-contained randomized harness: each property is checked over many
+//! cases drawn from the workspace's own deterministic `Xoshiro256pp` RNG.
+//! Failures print the case seed so any counterexample is reproducible.
 
-use proptest::prelude::*;
 use wcdma::ilp::{branch_and_bound, exhaustive, greedy, Problem};
 use wcdma::mac::MacTimers;
 use wcdma::math::stats::{P2Quantile, Welford};
+use wcdma::math::Xoshiro256pp;
 use wcdma::phy::{BerModel, Vtaoc};
 
-/// Strategy: small random scheduling problems (shape of the paper's IP).
-fn small_problem() -> impl Strategy<Value = Problem> {
-    (2usize..=5, 1usize..=3).prop_flat_map(|(n, k)| {
-        let c = proptest::collection::vec(0.0f64..8.0, n);
-        let a = proptest::collection::vec(proptest::collection::vec(0.0f64..3.0, n), k);
-        let b = proptest::collection::vec(1.0f64..14.0, k);
-        let lo = proptest::collection::vec(1u32..=2, n);
-        let hi_extra = proptest::collection::vec(0u32..=5, n);
-        (c, a, b, lo, hi_extra).prop_map(|(c, a, b, lo, hi_extra)| {
-            let hi: Vec<u32> = lo.iter().zip(&hi_extra).map(|(&l, &e)| l + e).collect();
-            Problem::new(c, a, b, lo, hi)
-        })
-    })
+const CASES: u64 = 64;
+
+/// Runs `f` for `CASES` independent seeds; panics carry the failing seed.
+fn for_each_case(name: &str, f: impl Fn(&mut Xoshiro256pp)) {
+    for case in 0..CASES {
+        let seed = wcdma::math::mix_seed(0xC0FFEE, case);
+        let mut rng = Xoshiro256pp::new(seed);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&mut rng)));
+        if let Err(e) = result {
+            panic!("property `{name}` failed for case {case} (seed {seed:#x}): {e:?}");
+        }
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+fn uniform_usize(rng: &mut Xoshiro256pp, lo: usize, hi_incl: usize) -> usize {
+    lo + (rng.next_u64() % (hi_incl - lo + 1) as u64) as usize
+}
 
-    #[test]
-    fn bb_is_optimal(p in small_problem()) {
+/// Small random scheduling problems (shape of the paper's IP).
+fn small_problem(rng: &mut Xoshiro256pp) -> Problem {
+    let n = uniform_usize(rng, 2, 5);
+    let k = uniform_usize(rng, 1, 3);
+    let c: Vec<f64> = (0..n).map(|_| rng.uniform(0.0, 8.0)).collect();
+    let a: Vec<Vec<f64>> = (0..k)
+        .map(|_| (0..n).map(|_| rng.uniform(0.0, 3.0)).collect())
+        .collect();
+    let b: Vec<f64> = (0..k).map(|_| rng.uniform(1.0, 14.0)).collect();
+    let lo: Vec<u32> = (0..n).map(|_| 1 + (rng.next_u64() % 2) as u32).collect();
+    let hi: Vec<u32> = lo
+        .iter()
+        .map(|&l| l + (rng.next_u64() % 6) as u32)
+        .collect();
+    Problem::new(c, a, b, lo, hi)
+}
+
+#[test]
+fn bb_is_optimal() {
+    for_each_case("bb_is_optimal", |rng| {
+        let p = small_problem(rng);
         let e = exhaustive(&p);
         let (b, complete) = branch_and_bound(&p, 0);
-        prop_assert!(complete);
-        prop_assert!((b.objective - e.objective).abs() < 1e-9,
-            "bb {} vs exhaustive {}", b.objective, e.objective);
-        prop_assert!(p.is_feasible(&b.m));
-    }
+        assert!(complete);
+        assert!(
+            (b.objective - e.objective).abs() < 1e-9,
+            "bb {} vs exhaustive {}",
+            b.objective,
+            e.objective
+        );
+        assert!(p.is_feasible(&b.m));
+    });
+}
 
-    #[test]
-    fn greedy_feasible_and_bounded(p in small_problem()) {
+#[test]
+fn greedy_feasible_and_bounded() {
+    for_each_case("greedy_feasible_and_bounded", |rng| {
+        let p = small_problem(rng);
         let g = greedy(&p);
-        prop_assert!(p.is_feasible(&g.m));
+        assert!(p.is_feasible(&g.m));
         let e = exhaustive(&p);
-        prop_assert!(g.objective <= e.objective + 1e-9);
-    }
+        assert!(g.objective <= e.objective + 1e-9);
+    });
+}
 
-    #[test]
-    fn vtaoc_throughput_monotone(
-        eps1 in 0.01f64..100.0,
-        factor in 1.01f64..10.0,
-        ber_exp in 2u32..=6,
-    ) {
-        let target = 10f64.powi(-(ber_exp as i32));
+#[test]
+fn vtaoc_throughput_monotone() {
+    for_each_case("vtaoc_throughput_monotone", |rng| {
+        let eps1 = rng.uniform(0.01, 100.0);
+        let factor = rng.uniform(1.01, 10.0);
+        let ber_exp = 2 + (rng.next_u64() % 5) as i32; // 2..=6
+        let target = 10f64.powi(-ber_exp);
         let v = Vtaoc::constant_ber(BerModel::coded(), target);
         let lo = v.avg_throughput(eps1);
         let hi = v.avg_throughput(eps1 * factor);
-        prop_assert!(hi >= lo - 1e-12, "throughput not monotone: {lo} vs {hi}");
-        prop_assert!(lo >= 0.0 && hi <= 1.0 + 1e-12);
-    }
+        assert!(hi >= lo - 1e-12, "throughput not monotone: {lo} vs {hi}");
+        assert!(lo >= 0.0 && hi <= 1.0 + 1e-12);
+    });
+}
 
-    #[test]
-    fn vtaoc_occupancy_is_distribution(eps in 0.001f64..1000.0) {
+#[test]
+fn vtaoc_occupancy_is_distribution() {
+    for_each_case("vtaoc_occupancy_is_distribution", |rng| {
+        let eps = rng.uniform(0.001, 1000.0);
         let v = Vtaoc::default_config();
         let occ = v.mode_occupancy(eps);
         let sum: f64 = occ.iter().sum();
-        prop_assert!((sum - 1.0).abs() < 1e-9);
-        prop_assert!(occ.iter().all(|&p| (-1e-12..=1.0 + 1e-12).contains(&p)));
-    }
+        assert!((sum - 1.0).abs() < 1e-9);
+        assert!(occ.iter().all(|&p| (-1e-12..=1.0 + 1e-12).contains(&p)));
+    });
+}
 
-    #[test]
-    fn mac_setup_delay_monotone_steps(w1 in 0.0f64..10.0, dw in 0.0f64..10.0) {
+#[test]
+fn mac_setup_delay_monotone_steps() {
+    for_each_case("mac_setup_delay_monotone_steps", |rng| {
+        let w1 = rng.uniform(0.0, 10.0);
+        let dw = rng.uniform(0.0, 10.0);
         let t = MacTimers::default_timers();
         // Setup delay is a non-decreasing step function of waiting time.
-        prop_assert!(t.setup_delay(w1 + dw) >= t.setup_delay(w1));
-        // Overall delay is strictly increasing in waiting time.
-        prop_assert!(t.overall_delay(w1 + dw) >= t.overall_delay(w1));
-    }
+        assert!(t.setup_delay(w1 + dw) >= t.setup_delay(w1));
+        // Overall delay is non-decreasing in waiting time.
+        assert!(t.overall_delay(w1 + dw) >= t.overall_delay(w1));
+    });
+}
 
-    #[test]
-    fn welford_merge_associative(
-        xs in proptest::collection::vec(-1e3f64..1e3, 1..60),
-        split in 0usize..60,
-    ) {
-        let split = split.min(xs.len());
+#[test]
+fn welford_merge_associative() {
+    for_each_case("welford_merge_associative", |rng| {
+        let len = uniform_usize(rng, 1, 59);
+        let xs: Vec<f64> = (0..len).map(|_| rng.uniform(-1e3, 1e3)).collect();
+        let split = uniform_usize(rng, 0, 59).min(xs.len());
         let mut left = Welford::new();
         let mut right = Welford::new();
         let mut whole = Welford::new();
         for (i, &x) in xs.iter().enumerate() {
-            if i < split { left.push(x); } else { right.push(x); }
+            if i < split {
+                left.push(x);
+            } else {
+                right.push(x);
+            }
             whole.push(x);
         }
         left.merge(&right);
-        prop_assert_eq!(left.count(), whole.count());
-        prop_assert!((left.mean() - whole.mean()).abs() < 1e-9);
-        prop_assert!((left.variance() - whole.variance()).abs() < 1e-6);
-    }
+        assert_eq!(left.count(), whole.count());
+        assert!((left.mean() - whole.mean()).abs() < 1e-9);
+        assert!((left.variance() - whole.variance()).abs() < 1e-6);
+    });
+}
 
-    #[test]
-    fn p2_quantile_within_range(
-        xs in proptest::collection::vec(0.0f64..100.0, 5..200),
-        q in 0.05f64..0.95,
-    ) {
+#[test]
+fn p2_quantile_within_range() {
+    for_each_case("p2_quantile_within_range", |rng| {
+        let len = uniform_usize(rng, 5, 199);
+        let q = rng.uniform(0.05, 0.95);
         let mut est = P2Quantile::new(q);
         let mut min = f64::INFINITY;
         let mut max = f64::NEG_INFINITY;
-        for &x in &xs {
+        for _ in 0..len {
+            let x = rng.uniform(0.0, 100.0);
             est.push(x);
             min = min.min(x);
             max = max.max(x);
         }
         let v = est.value();
-        prop_assert!(v >= min - 1e-9 && v <= max + 1e-9,
-            "quantile {v} outside [{min}, {max}]");
-    }
+        assert!(
+            v >= min - 1e-9 && v <= max + 1e-9,
+            "quantile {v} outside [{min}, {max}]"
+        );
+    });
+}
 
-    #[test]
-    fn rng_uniform_bounds(seed in any::<u64>(), lo in -100.0f64..100.0, width in 0.001f64..50.0) {
-        let mut r = wcdma::math::Xoshiro256pp::new(seed);
+#[test]
+fn rng_uniform_bounds() {
+    for_each_case("rng_uniform_bounds", |rng| {
+        let seed = rng.next_u64();
+        let lo = rng.uniform(-100.0, 100.0);
+        let width = rng.uniform(0.001, 50.0);
+        let mut r = Xoshiro256pp::new(seed);
         for _ in 0..100 {
             let x = r.uniform(lo, lo + width);
-            prop_assert!(x >= lo && x < lo + width);
+            assert!(x >= lo && x < lo + width);
         }
-    }
+    });
+}
 
-    #[test]
-    fn db_roundtrip(db in -120.0f64..120.0) {
+#[test]
+fn db_roundtrip() {
+    for_each_case("db_roundtrip", |rng| {
+        let db = rng.uniform(-120.0, 120.0);
         let lin = wcdma::math::db_to_lin(db);
-        prop_assert!(lin > 0.0);
-        prop_assert!((wcdma::math::lin_to_db(lin) - db).abs() < 1e-9);
-    }
+        assert!(lin > 0.0);
+        assert!((wcdma::math::lin_to_db(lin) - db).abs() < 1e-9);
+    });
+}
 
-    #[test]
-    fn pathloss_monotone(d1 in 10.0f64..5000.0, factor in 1.01f64..5.0) {
+#[test]
+fn pathloss_monotone() {
+    for_each_case("pathloss_monotone", |rng| {
+        let d1 = rng.uniform(10.0, 5000.0);
+        let factor = rng.uniform(1.01, 5.0);
         let pl = wcdma::channel::PathLoss::urban_default();
-        prop_assert!(pl.gain(d1 * factor) <= pl.gain(d1));
-    }
+        assert!(pl.gain(d1 * factor) <= pl.gain(d1));
+    });
 }
