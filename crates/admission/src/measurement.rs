@@ -16,7 +16,7 @@
 //!   the SCRM with a shadowing margin κ (eq. 13–15). Rows (eq. 18) bound
 //!   each cell by `L_max − L_k`.
 
-use wcdma_cdma::DataUserMeasurement;
+use wcdma_cdma::MeasurementView;
 use wcdma_geo::CellId;
 use wcdma_ilp::Problem;
 
@@ -62,18 +62,19 @@ impl Region {
 /// * `fwd_load_w` — current forward power per cell, `P_k`;
 /// * `pmax_w` — per-cell budget `P_max`;
 /// * `gamma_s` — SCH/FCH relative symbol energy;
-/// * `reqs` — measurement report per pending request (column order).
+/// * `reqs` — borrowed measurement report per pending request (column
+///   order); owned reports convert via `DataUserMeasurement::as_view`.
 pub fn forward_region(
     fwd_load_w: &[f64],
     pmax_w: f64,
     gamma_s: f64,
-    reqs: &[&DataUserMeasurement],
+    reqs: &[MeasurementView<'_>],
 ) -> Region {
     assert!(pmax_w > 0.0 && gamma_s > 0.0);
     let n = reqs.len();
     let mut rows: Vec<(CellId, Vec<f64>)> = Vec::new();
     for (j, r) in reqs.iter().enumerate() {
-        for cell in &r.reduced_set {
+        for cell in r.reduced_set {
             // ΔP at this cell per unit m: γ_s · P_{j,cell} · α^{FL}.
             let p_jk = r
                 .fch_fwd_power
@@ -117,7 +118,7 @@ pub fn reverse_region(
     lmax_w: f64,
     gamma_s: f64,
     kappa: f64,
-    reqs: &[&DataUserMeasurement],
+    reqs: &[MeasurementView<'_>],
 ) -> Region {
     assert!(lmax_w > 0.0 && gamma_s > 0.0 && kappa >= 1.0);
     let n = reqs.len();
@@ -150,7 +151,7 @@ pub fn reverse_region(
             .unwrap_or(0.0);
 
         // Soft hand-off cells: direct reverse-pilot-based loading (eq. 12).
-        for &(cell, t_rl) in &r.rev_pilot_ecio {
+        for &(cell, t_rl) in r.rev_pilot_ecio {
             if t_rl <= 0.0 {
                 continue;
             }
@@ -160,7 +161,7 @@ pub fn reverse_region(
         // Neighbour cells from the SCRM, projected via relative path loss
         // (eq. 13–15): δP_{k,k'} = t^{FL}_{j,k'} / t^{FL}_{j,host}.
         if host_trl > 0.0 && host_tfl > 0.0 {
-            for &(cell, t_fl) in &r.fwd_pilot_ecio {
+            for &(cell, t_fl) in r.fwd_pilot_ecio {
                 if r.rev_pilot_ecio.iter().any(|(c, _)| *c == cell) {
                     continue; // already covered by the direct measurement
                 }
@@ -194,6 +195,7 @@ pub fn region_problem(region: &Region, c: Vec<f64>, lo: Vec<u32>, hi: Vec<u32>) 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use wcdma_cdma::DataUserMeasurement;
 
     fn meas(
         mobile: usize,
@@ -223,7 +225,7 @@ mod tests {
         let m0 = meas(0, vec![0, 1], vec![(0, 0.5), (1, 0.8)], vec![], vec![]);
         let m1 = meas(1, vec![1], vec![(1, 0.3)], vec![], vec![]);
         let loads = vec![12.0, 15.0];
-        let region = forward_region(&loads, 20.0, 2.0, &[&m0, &m1]);
+        let region = forward_region(&loads, 20.0, 2.0, &[m0.as_view(), m1.as_view()]);
         // Expected rows: cell0: [2*0.5, 0] ≤ 8; cell1: [2*0.8, 2*0.3] ≤ 5.
         assert_eq!(region.cells.len(), 2);
         let idx0 = region.cells.iter().position(|c| *c == CellId(0)).unwrap();
@@ -243,14 +245,14 @@ mod tests {
     fn forward_alpha_scales_cost() {
         let mut m0 = meas(0, vec![0], vec![(0, 1.0)], vec![], vec![]);
         m0.alpha_fl = 1.5;
-        let region = forward_region(&[10.0], 20.0, 1.0, &[&m0]);
+        let region = forward_region(&[10.0], 20.0, 1.0, &[m0.as_view()]);
         assert!((region.a[0][0] - 1.5).abs() < 1e-12);
     }
 
     #[test]
     fn forward_overloaded_cell_gives_zero_headroom() {
         let m0 = meas(0, vec![0], vec![(0, 1.0)], vec![], vec![]);
-        let region = forward_region(&[25.0], 20.0, 1.0, &[&m0]);
+        let region = forward_region(&[25.0], 20.0, 1.0, &[m0.as_view()]);
         assert_eq!(region.b[0], 0.0);
         assert!(region.admits(&[0]));
         assert!(!region.admits(&[1]));
@@ -261,7 +263,7 @@ mod tests {
         // Eq. 12: coeff = γ_s·α·ζ·t_rl·L_k = 1·1·2·0.01·1e-12.
         let m0 = meas(0, vec![0], vec![(0, 0.1)], vec![(0, 0.01)], vec![(0, 0.05)]);
         let loads = vec![1e-12];
-        let region = reverse_region(&loads, 4e-12, 1.0, 1.0, &[&m0]);
+        let region = reverse_region(&loads, 4e-12, 1.0, 1.0, &[m0.as_view()]);
         assert_eq!(region.cells, vec![CellId(0)]);
         assert!((region.a[0][0] - 2.0 * 0.01 * 1e-12).abs() < 1e-24);
         assert!((region.b[0] - 3e-12).abs() < 1e-24);
@@ -280,7 +282,7 @@ mod tests {
         );
         let loads = vec![1e-12, 2e-12];
         let kappa = wcdma_math::db_to_lin(2.0);
-        let region = reverse_region(&loads, 4e-12, 1.0, kappa, &[&m0]);
+        let region = reverse_region(&loads, 4e-12, 1.0, kappa, &[m0.as_view()]);
         assert_eq!(region.cells.len(), 2);
         let i1 = region.cells.iter().position(|c| *c == CellId(1)).unwrap();
         let expect = 2.0 * 0.01 * 1e-12 * (0.025 / 0.05) * kappa;
@@ -298,7 +300,7 @@ mod tests {
         // A cell both in soft hand-off and in the SCRM must appear once,
         // with the direct (pilot-measured) coefficient.
         let m0 = meas(0, vec![0], vec![(0, 0.1)], vec![(0, 0.01)], vec![(0, 0.05)]);
-        let region = reverse_region(&[1e-12], 4e-12, 1.0, 1.58, &[&m0]);
+        let region = reverse_region(&[1e-12], 4e-12, 1.0, 1.58, &[m0.as_view()]);
         assert_eq!(region.cells.len(), 1);
         assert!((region.a[0][0] - 2.0 * 0.01 * 1e-12).abs() < 1e-24);
     }
@@ -306,7 +308,7 @@ mod tests {
     #[test]
     fn region_slack_accounting() {
         let m0 = meas(0, vec![0], vec![(0, 1.0)], vec![], vec![]);
-        let region = forward_region(&[10.0], 20.0, 1.0, &[&m0]);
+        let region = forward_region(&[10.0], 20.0, 1.0, &[m0.as_view()]);
         let s = region.slack(&[4]);
         assert!((s[0] - 6.0).abs() < 1e-12);
     }
@@ -315,7 +317,7 @@ mod tests {
     fn region_to_problem_roundtrip() {
         let m0 = meas(0, vec![0], vec![(0, 1.0)], vec![], vec![]);
         let m1 = meas(1, vec![0], vec![(0, 2.0)], vec![], vec![]);
-        let region = forward_region(&[10.0], 20.0, 1.0, &[&m0, &m1]);
+        let region = forward_region(&[10.0], 20.0, 1.0, &[m0.as_view(), m1.as_view()]);
         let p = region_problem(&region, vec![1.0, 1.0], vec![1, 1], vec![16, 16]);
         assert_eq!(p.num_vars(), 2);
         assert_eq!(p.num_constraints(), region.a.len());

@@ -17,7 +17,7 @@
 //!   pending request gets the same `m` (capped by its own duration bound),
 //!   the largest equal share that fits the region.
 
-use wcdma_cdma::DataUserMeasurement;
+use wcdma_cdma::MeasurementView;
 use wcdma_ilp::{branch_and_bound, greedy};
 use wcdma_mac::{LinkDir, MacTimers};
 use wcdma_phy::SpreadingConfig;
@@ -27,10 +27,14 @@ use crate::measurement::{forward_region, region_problem, reverse_region, Region}
 use crate::objective::Objective;
 
 /// A pending burst request paired with its measurement report.
-#[derive(Debug, Clone)]
-pub struct RequestState {
+///
+/// The report is a borrowed [`MeasurementView`] into the network state, so
+/// building a request costs nothing; owned `DataUserMeasurement` reports
+/// (tests, examples) convert via `DataUserMeasurement::as_view`.
+#[derive(Debug, Clone, Copy)]
+pub struct RequestState<'a> {
     /// The Figure-2 measurement report for this user.
-    pub meas: DataUserMeasurement,
+    pub meas: MeasurementView<'a>,
     /// Outstanding burst size Q_j (bits).
     pub size_bits: f64,
     /// Waiting time t_w (s).
@@ -61,6 +65,9 @@ pub struct ScheduleOutcome {
     pub grants: Vec<Grant>,
     /// Full grant vector aligned with the input request order (0 = reject).
     pub m: Vec<u32>,
+    /// The δβ̄_j of every request, aligned with the input request order
+    /// (callers consume outcomes by index — no per-grant search needed).
+    pub delta_beta: Vec<f64>,
     /// Objective value achieved (in weight units).
     pub objective_value: f64,
     /// The admissible region that was enforced.
@@ -165,7 +172,7 @@ impl Scheduler {
     }
 
     /// δβ̄ for one request in the given direction.
-    pub fn request_delta_beta(&self, meas: &DataUserMeasurement, dir: LinkDir) -> f64 {
+    pub fn request_delta_beta(&self, meas: MeasurementView<'_>, dir: LinkDir) -> f64 {
         let ebi0 = match dir {
             LinkDir::Forward => meas.fch_ebi0_fwd,
             LinkDir::Reverse => meas.fch_ebi0_rev,
@@ -206,10 +213,10 @@ impl Scheduler {
         dir: LinkDir,
         fwd_load_w: &[f64],
         rev_load_w: &[f64],
-        requests: &[RequestState],
+        requests: &[RequestState<'_>],
     ) -> ScheduleOutcome {
         let n = requests.len();
-        let meas: Vec<&DataUserMeasurement> = requests.iter().map(|r| &r.meas).collect();
+        let meas: Vec<MeasurementView<'_>> = requests.iter().map(|r| r.meas).collect();
         let gamma_s = self.cfg.spreading.gamma_s;
         let region = match dir {
             LinkDir::Forward => forward_region(fwd_load_w, self.cfg.pmax_w, gamma_s, &meas),
@@ -219,7 +226,7 @@ impl Scheduler {
         };
         let dbetas: Vec<f64> = requests
             .iter()
-            .map(|r| self.request_delta_beta(&r.meas, dir))
+            .map(|r| self.request_delta_beta(r.meas, dir))
             .collect();
         let bounds: Vec<(u32, u32)> = requests
             .iter()
@@ -282,6 +289,7 @@ impl Scheduler {
         ScheduleOutcome {
             grants,
             m,
+            delta_beta: dbetas,
             objective_value,
             region,
             optimal,
@@ -292,7 +300,7 @@ impl Scheduler {
     fn fcfs(
         &self,
         region: &Region,
-        requests: &[RequestState],
+        requests: &[RequestState<'_>],
         bounds: &[(u32, u32)],
         max_concurrent: Option<usize>,
     ) -> Vec<u32> {
@@ -368,6 +376,7 @@ fn value_of(m: &[u32], dbetas: &[f64]) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use wcdma_cdma::DataUserMeasurement;
     use wcdma_geo::CellId;
 
     fn meas_at(mobile: usize, cell: u32, fch_power: f64, ebi0_db: f64) -> DataUserMeasurement {
@@ -386,6 +395,14 @@ mod tests {
         }
     }
 
+    /// An owned request spec: the measurement plus queue scalars. Tests
+    /// keep these alive and borrow [`RequestState`] views via [`reqs`].
+    struct ReqSpec {
+        meas: DataUserMeasurement,
+        bits: f64,
+        wait: f64,
+    }
+
     fn req(
         mobile: usize,
         cell: u32,
@@ -393,13 +410,24 @@ mod tests {
         ebi0_db: f64,
         bits: f64,
         wait: f64,
-    ) -> RequestState {
-        RequestState {
+    ) -> ReqSpec {
+        ReqSpec {
             meas: meas_at(mobile, cell, fch_power, ebi0_db),
-            size_bits: bits,
-            waiting_s: wait,
-            priority: 0.0,
+            bits,
+            wait,
         }
+    }
+
+    fn reqs(specs: &[ReqSpec]) -> Vec<RequestState<'_>> {
+        specs
+            .iter()
+            .map(|s| RequestState {
+                meas: s.meas.as_view(),
+                size_bits: s.bits,
+                waiting_s: s.wait,
+                priority: 0.0,
+            })
+            .collect()
     }
 
     fn sched(policy: Policy) -> Scheduler {
@@ -415,12 +443,12 @@ mod tests {
     fn jaba_grants_within_region() {
         let s = sched(Policy::jaba_sd_default());
         let (fwd, rev) = loads(2, 10.0);
-        let reqs = vec![
+        let specs = vec![
             req(0, 0, 0.2, 10.0, 1e6, 0.1),
             req(1, 0, 0.5, 6.0, 1e6, 0.5),
             req(2, 1, 0.3, 8.0, 1e6, 0.0),
         ];
-        let out = s.schedule(LinkDir::Forward, &fwd, &rev, &reqs);
+        let out = s.schedule(LinkDir::Forward, &fwd, &rev, &reqs(&specs));
         assert!(out.optimal);
         assert!(out.region.admits(&out.m));
         assert!(!out.grants.is_empty(), "headroom exists, must grant");
@@ -441,11 +469,11 @@ mod tests {
         });
         let (mut fwd, rev) = loads(1, 19.0); // 1 W headroom
         fwd[0] = 19.0;
-        let reqs = vec![
+        let specs = vec![
             req(0, 0, 0.05, 15.0, 1e7, 0.0), // cheap, strong
             req(1, 0, 0.5, 0.0, 1e7, 0.0),   // expensive, weak
         ];
-        let out = s.schedule(LinkDir::Forward, &fwd, &rev, &reqs);
+        let out = s.schedule(LinkDir::Forward, &fwd, &rev, &reqs(&specs));
         assert!(out.m[0] > 0, "good user must be granted");
         assert!(
             out.m[0] >= out.m[1],
@@ -459,7 +487,7 @@ mod tests {
         // Under J1 the stronger user wins the whole budget; under J2 with a
         // long-waiting weaker user, the weaker one must get something.
         let (fwd, rev) = loads(1, 19.2); // 0.8 W headroom
-        let reqs = vec![
+        let specs = vec![
             req(0, 0, 0.05, 12.0, 1e7, 0.0),  // strong, fresh
             req(1, 0, 0.055, 2.0, 1e7, 10.0), // weak, starving
         ];
@@ -468,7 +496,7 @@ mod tests {
             exact: true,
             node_limit: 0,
         })
-        .schedule(LinkDir::Forward, &fwd, &rev, &reqs);
+        .schedule(LinkDir::Forward, &fwd, &rev, &reqs(&specs));
         let j2 = sched(Policy::JabaSd {
             objective: Objective::J2 {
                 lambda: 40.0,
@@ -477,7 +505,7 @@ mod tests {
             exact: true,
             node_limit: 0,
         })
-        .schedule(LinkDir::Forward, &fwd, &rev, &reqs);
+        .schedule(LinkDir::Forward, &fwd, &rev, &reqs(&specs));
         // J1: all to the strong user.
         assert_eq!(j1.m[1], 0, "J1 should starve the weak user: {:?}", j1.m);
         // J2 with heavy urgency: the starving user is served.
@@ -492,11 +520,11 @@ mod tests {
         let (fwd, rev) = loads(1, 19.0);
         // Oldest request is the *expensive weak* user: FCFS serves it first
         // anyway (that is its pathology).
-        let reqs = vec![
+        let specs = vec![
             req(0, 0, 0.4, 2.0, 1e7, 5.0),   // old, expensive
             req(1, 0, 0.05, 15.0, 1e7, 0.1), // fresh, cheap
         ];
-        let out = s.schedule(LinkDir::Forward, &fwd, &rev, &reqs);
+        let out = s.schedule(LinkDir::Forward, &fwd, &rev, &reqs(&specs));
         assert!(out.m[0] > 0, "FCFS must serve the oldest: {:?}", out.m);
         assert!(out.region.admits(&out.m));
     }
@@ -507,12 +535,12 @@ mod tests {
             max_concurrent: Some(1),
         });
         let (fwd, rev) = loads(1, 5.0); // plenty of headroom
-        let reqs = vec![
+        let specs = vec![
             req(0, 0, 0.05, 10.0, 1e7, 1.0),
             req(1, 0, 0.05, 10.0, 1e7, 0.5),
             req(2, 0, 0.05, 10.0, 1e7, 0.1),
         ];
-        let out = s.schedule(LinkDir::Forward, &fwd, &rev, &reqs);
+        let out = s.schedule(LinkDir::Forward, &fwd, &rev, &reqs(&specs));
         let granted = out.m.iter().filter(|&&m| m > 0).count();
         assert_eq!(
             granted, 1,
@@ -526,12 +554,12 @@ mod tests {
     fn equal_share_splits_evenly() {
         let s = sched(Policy::EqualShare);
         let (fwd, rev) = loads(1, 10.0);
-        let reqs = vec![
+        let specs = vec![
             req(0, 0, 0.1, 10.0, 1e7, 0.0),
             req(1, 0, 0.1, 10.0, 1e7, 0.0),
             req(2, 0, 0.1, 10.0, 1e7, 0.0),
         ];
-        let out = s.schedule(LinkDir::Forward, &fwd, &rev, &reqs);
+        let out = s.schedule(LinkDir::Forward, &fwd, &rev, &reqs(&specs));
         assert!(out.region.admits(&out.m));
         let nonzero: Vec<u32> = out.m.iter().copied().filter(|&m| m > 0).collect();
         assert_eq!(nonzero.len(), 3, "all three share: {:?}", out.m);
@@ -547,7 +575,7 @@ mod tests {
         // On the same instance, the exact optimiser's J1 value must be ≥
         // both baselines' (it optimises exactly that).
         let (fwd, rev) = loads(2, 17.0);
-        let reqs = vec![
+        let specs = vec![
             req(0, 0, 0.15, 12.0, 1e7, 0.4),
             req(1, 0, 0.35, 4.0, 1e7, 1.2),
             req(2, 1, 0.10, 9.0, 1e7, 0.1),
@@ -558,7 +586,7 @@ mod tests {
             exact: true,
             node_limit: 0,
         });
-        let out_opt = j1.schedule(LinkDir::Forward, &fwd, &rev, &reqs);
+        let out_opt = j1.schedule(LinkDir::Forward, &fwd, &rev, &reqs(&specs));
         for policy in [
             Policy::Fcfs {
                 max_concurrent: None,
@@ -568,7 +596,8 @@ mod tests {
             },
             Policy::EqualShare,
         ] {
-            let out_base = sched(policy.clone()).schedule(LinkDir::Forward, &fwd, &rev, &reqs);
+            let out_base =
+                sched(policy.clone()).schedule(LinkDir::Forward, &fwd, &rev, &reqs(&specs));
             assert!(
                 out_opt.objective_value >= out_base.objective_value - 1e-9,
                 "JABA-SD lost to {policy:?}: {} vs {}",
@@ -585,8 +614,8 @@ mod tests {
         let fwd = vec![10.0; 2];
         // Reverse loads near the limit: little headroom.
         let rev = vec![cfg.lmax_w * 0.95; 2];
-        let reqs = vec![req(0, 0, 0.1, 10.0, 1e7, 0.0)];
-        let out = s.schedule(LinkDir::Reverse, &fwd, &rev, &reqs);
+        let specs = vec![req(0, 0, 0.1, 10.0, 1e7, 0.0)];
+        let out = s.schedule(LinkDir::Reverse, &fwd, &rev, &reqs(&specs));
         assert!(out.region.admits(&out.m));
         // Near-full reverse: grants are small or zero.
         let total: u32 = out.m.iter().sum();
@@ -602,8 +631,8 @@ mod tests {
         let s = sched(Policy::jaba_sd_default());
         let (fwd, rev) = loads(1, 5.0);
         // FCH Eb/I0 of -30 dB: δβ̄ ≈ 0 → inadmissible.
-        let reqs = vec![req(0, 0, 0.1, -30.0, 1e7, 0.0)];
-        let out = s.schedule(LinkDir::Forward, &fwd, &rev, &reqs);
+        let specs = vec![req(0, 0, 0.1, -30.0, 1e7, 0.0)];
+        let out = s.schedule(LinkDir::Forward, &fwd, &rev, &reqs(&specs));
         assert!(out.grants.is_empty(), "outage user cannot burst");
     }
 
@@ -612,8 +641,8 @@ mod tests {
         let s = sched(Policy::jaba_sd_default());
         let (fwd, rev) = loads(1, 5.0);
         // Tiny 2 kbit burst: eq. 24 caps m well below M.
-        let reqs = vec![req(0, 0, 0.05, 12.0, 2_000.0, 0.0)];
-        let out = s.schedule(LinkDir::Forward, &fwd, &rev, &reqs);
+        let specs = vec![req(0, 0, 0.05, 12.0, 2_000.0, 0.0)];
+        let out = s.schedule(LinkDir::Forward, &fwd, &rev, &reqs(&specs));
         assert_eq!(out.grants.len(), 1);
         let g = out.grants[0];
         assert!(g.m < 16, "tiny burst must not get max rate: m = {}", g.m);

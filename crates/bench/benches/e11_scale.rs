@@ -1,0 +1,90 @@
+//! E11 — frame-pipeline scaling: frames/second vs mobile count.
+//!
+//! The ROADMAP's north star is serving heavy traffic from very large user
+//! populations, so the 20 ms frame loop (mobility → network → traffic →
+//! delivery → scheduling) must scale with the mobile count. This bench
+//! sweeps the population and reports achieved frames/second and the
+//! real-time margin (frames/sec × 20 ms), the direct regression guard for
+//! the struct-of-arrays hot-path work.
+//!
+//! Set `WCDMA_BENCH_QUICK=1` (CI smoke mode) to shrink the sweep so the
+//! bench cannot bit-rot without burning CI minutes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Instant;
+use wcdma_bench::banner;
+use wcdma_sim::{SimConfig, Simulation, Table};
+
+/// Scenario with `n_mobiles` total users (10 % data, 90 % voice).
+fn scale_cfg(n_mobiles: usize) -> SimConfig {
+    let mut c = SimConfig::baseline();
+    c.n_data = (n_mobiles / 10).max(1);
+    c.n_voice = n_mobiles - c.n_data;
+    c.seed = 0xE11;
+    c
+}
+
+/// Steps `frames` frames after a short warm-up and returns frames/second.
+fn frames_per_sec(n_mobiles: usize, frames: usize) -> f64 {
+    let mut sim = Simulation::new(scale_cfg(n_mobiles));
+    for _ in 0..20 {
+        sim.step_frame(); // warm up active sets, power control, capacities
+    }
+    let t0 = Instant::now();
+    for _ in 0..frames {
+        sim.step_frame();
+    }
+    let dt = t0.elapsed().as_secs_f64();
+    black_box(sim.time());
+    frames as f64 / dt
+}
+
+fn quick_mode() -> bool {
+    std::env::var("WCDMA_BENCH_QUICK").is_ok_and(|v| v != "0" && !v.is_empty())
+}
+
+fn print_experiment() {
+    banner("E11", "frame-pipeline scaling: frames/sec vs mobile count");
+    let (sizes, frames): (&[usize], usize) = if quick_mode() {
+        (&[200, 1000], 30)
+    } else {
+        (&[200, 1000, 5000], 150)
+    };
+    let mut t = Table::new(&["mobiles", "frames/sec", "x realtime (20 ms frames)"]);
+    for &n in sizes {
+        let fps = frames_per_sec(n, frames);
+        t.row(&[
+            n.to_string(),
+            format!("{fps:.1}"),
+            format!("{:.2}", fps * 0.02),
+        ]);
+    }
+    println!("{}", t.render());
+}
+
+fn bench(c: &mut Criterion) {
+    print_experiment();
+    let mut group = c.benchmark_group("e11");
+    let sizes: &[usize] = if quick_mode() { &[200] } else { &[200, 1000] };
+    for &n in sizes {
+        let mut sim = Simulation::new(scale_cfg(n));
+        for _ in 0..20 {
+            sim.step_frame();
+        }
+        group.bench_with_input(BenchmarkId::new("step_frame", n), &n, |b, _| {
+            b.iter(|| {
+                sim.step_frame();
+                black_box(sim.time())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

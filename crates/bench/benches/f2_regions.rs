@@ -8,8 +8,8 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use wcdma_admission::{forward_region, reverse_region};
 use wcdma_bench::banner;
-use wcdma_cdma::{CdmaConfig, DataUserMeasurement, Network, UserKind};
-use wcdma_geo::{CellId, HexLayout};
+use wcdma_cdma::{populate_round_robin, CdmaConfig, MeasurementView, Network};
+use wcdma_geo::HexLayout;
 use wcdma_math::Xoshiro256pp;
 use wcdma_sim::Table;
 
@@ -17,19 +17,7 @@ fn warm_network(n_data: usize, seed: u64) -> Network {
     let cfg = CdmaConfig::default_system();
     let mut net = Network::new(cfg, HexLayout::new(1, 1000.0), seed);
     let mut rng = Xoshiro256pp::new(seed);
-    for i in 0..(12 + n_data) {
-        let kind = if i < 12 {
-            UserKind::Voice
-        } else {
-            UserKind::Data
-        };
-        let cell = CellId((i % net.num_cells()) as u32);
-        let pos = {
-            let layout = net.layout().clone();
-            layout.random_point_in_cell(cell, &mut rng)
-        };
-        net.add_mobile(kind, pos, 0.8);
-    }
+    populate_round_robin(&mut net, 12, n_data, 0.8, &mut rng);
     for _ in 0..25 {
         net.step(0.02);
     }
@@ -50,12 +38,11 @@ fn print_experiment() {
     ]);
     for &n in &[2usize, 4, 8, 12] {
         let net = warm_network(n, 77);
-        let reports: Vec<DataUserMeasurement> = net
+        let refs: Vec<MeasurementView> = net
             .data_mobiles()
             .iter()
-            .map(|&j| net.measurement(j))
+            .map(|&j| net.measurement_view(j))
             .collect();
-        let refs: Vec<&DataUserMeasurement> = reports.iter().collect();
         let fwd = forward_region(net.forward_load_w(), 20.0, 1.0, &refs);
         let rev = reverse_region(
             net.reverse_load_w(),
@@ -82,12 +69,11 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("f2");
     for &n in &[4usize, 8, 16] {
         let net = warm_network(n, 99);
-        let reports: Vec<DataUserMeasurement> = net
+        let refs: Vec<MeasurementView> = net
             .data_mobiles()
             .iter()
-            .map(|&j| net.measurement(j))
+            .map(|&j| net.measurement_view(j))
             .collect();
-        let refs: Vec<&DataUserMeasurement> = reports.iter().collect();
         group.bench_with_input(BenchmarkId::new("forward_region", n), &n, |b, _| {
             b.iter(|| forward_region(black_box(net.forward_load_w()), 20.0, 1.0, black_box(&refs)))
         });

@@ -12,7 +12,10 @@
 //!   multiplexing base load of Section 1).
 //! * [`network`] — the dynamic [`Network`]: per-frame update producing the
 //!   cell loading `P_k`, reverse interference `L_k`, and the per-request
-//!   [`DataUserMeasurement`] of Figure 2.
+//!   [`MeasurementView`] of Figure 2 (with [`DataUserMeasurement`] as the
+//!   owned adapter).
+//! * [`scenario`] — scenario-builder helpers (round-robin user placement)
+//!   shared by the simulation engine, tests, and benches.
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
@@ -21,10 +24,12 @@ pub mod config;
 pub mod network;
 pub mod pilot;
 pub mod power;
+pub mod scenario;
 pub mod voice;
 
 pub use config::CdmaConfig;
-pub use network::{DataUserMeasurement, Network, SchGrant, UserKind};
+pub use network::{DataUserMeasurement, MeasurementView, Network, SchGrant, UserKind};
 pub use pilot::{ActiveSet, PilotStrength};
 pub use power::{InnerLoop, OuterLoop};
+pub use scenario::{populate_round_robin, PlacedUser};
 pub use voice::VoiceActivity;

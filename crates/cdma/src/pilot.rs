@@ -29,17 +29,37 @@ pub struct PilotStrength {
 ///
 /// Returns measurements sorted strongest-first.
 pub fn measure_pilots(pilot_rx: &[f64], total_rx: f64) -> Vec<PilotStrength> {
+    let mut v = vec![
+        PilotStrength {
+            cell: CellId(0),
+            ec_io: 0.0,
+        };
+        pilot_rx.len()
+    ];
+    measure_pilots_into(pilot_rx, total_rx, &mut v);
+    v
+}
+
+/// Allocation-free variant of [`measure_pilots`]: writes the strongest-first
+/// measurements into `out` (one slot per cell, `out.len() == pilot_rx.len()`).
+/// This is the per-frame hot path — the sort is unstable but totally
+/// ordered (bit-identical Ec/Io ties break by ascending cell id, matching
+/// what a stable sort of cell-ordered input would produce).
+pub fn measure_pilots_into(pilot_rx: &[f64], total_rx: f64, out: &mut [PilotStrength]) {
     assert!(total_rx > 0.0, "total received power must be positive");
-    let mut v: Vec<PilotStrength> = pilot_rx
-        .iter()
-        .enumerate()
-        .map(|(k, &p)| PilotStrength {
+    assert_eq!(out.len(), pilot_rx.len(), "one output slot per cell");
+    for (k, (&p, slot)) in pilot_rx.iter().zip(out.iter_mut()).enumerate() {
+        *slot = PilotStrength {
             cell: CellId(k as u32),
             ec_io: p / total_rx,
-        })
-        .collect();
-    v.sort_by(|a, b| b.ec_io.partial_cmp(&a.ec_io).expect("finite Ec/Io"));
-    v
+        };
+    }
+    out.sort_unstable_by(|a, b| {
+        b.ec_io
+            .partial_cmp(&a.ec_io)
+            .expect("finite Ec/Io")
+            .then(a.cell.cmp(&b.cell))
+    });
 }
 
 /// FCH active set with add/drop hysteresis.
@@ -82,10 +102,29 @@ impl ActiveSet {
     ///    `max_size`;
     /// 3. guarantee non-emptiness by force-adding the strongest pilot.
     pub fn update(&mut self, pilots: &[PilotStrength], t_add: f64, t_drop: f64, max_size: usize) {
+        let mut sorted: Vec<PilotStrength> = pilots.to_vec();
+        sorted.sort_by(|a, b| b.ec_io.partial_cmp(&a.ec_io).expect("finite"));
+        self.update_sorted(&sorted, t_add, t_drop, max_size);
+    }
+
+    /// Allocation-free variant of [`ActiveSet::update`] for the per-frame
+    /// hot path: `pilots_desc` must already be sorted strongest-first (as
+    /// produced by [`measure_pilots_into`]).
+    pub fn update_sorted(
+        &mut self,
+        pilots_desc: &[PilotStrength],
+        t_add: f64,
+        t_drop: f64,
+        max_size: usize,
+    ) {
         debug_assert!(t_drop <= t_add, "hysteresis inverted");
+        debug_assert!(
+            pilots_desc.windows(2).all(|w| w[0].ec_io >= w[1].ec_io),
+            "pilots must be sorted strongest-first"
+        );
         assert!(max_size >= 1);
         let strength = |c: CellId| {
-            pilots
+            pilots_desc
                 .iter()
                 .find(|p| p.cell == c)
                 .map(|p| p.ec_io)
@@ -94,9 +133,7 @@ impl ActiveSet {
         // Drop phase.
         self.members.retain(|&c| strength(c) >= t_drop);
         // Add phase: strongest first.
-        let mut sorted: Vec<&PilotStrength> = pilots.iter().collect();
-        sorted.sort_by(|a, b| b.ec_io.partial_cmp(&a.ec_io).expect("finite"));
-        for p in &sorted {
+        for p in pilots_desc {
             if self.members.len() >= max_size {
                 break;
             }
@@ -106,7 +143,7 @@ impl ActiveSet {
         }
         // Never empty: keep at least the best server.
         if self.members.is_empty() {
-            if let Some(best) = sorted.first() {
+            if let Some(best) = pilots_desc.first() {
                 self.members.push(best.cell);
             }
         }
@@ -129,6 +166,40 @@ impl ActiveSet {
             .collect();
         scored.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
         scored.into_iter().take(n).map(|(c, _)| c).collect()
+    }
+
+    /// Allocation-free variant of [`ActiveSet::reduced`] for the per-frame
+    /// hot path: `pilots_desc` must be sorted strongest-first. Fills `out`
+    /// (capacity = the reduced-set size) with the strongest members and
+    /// returns how many slots were written.
+    pub fn reduced_into(&self, pilots_desc: &[PilotStrength], out: &mut [CellId]) -> usize {
+        debug_assert!(
+            pilots_desc.windows(2).all(|w| w[0].ec_io >= w[1].ec_io),
+            "pilots must be sorted strongest-first"
+        );
+        let mut n = 0;
+        for p in pilots_desc {
+            if n == out.len() {
+                return n;
+            }
+            if self.contains(p.cell) {
+                out[n] = p.cell;
+                n += 1;
+            }
+        }
+        // Members absent from the report carry strength 0 and sort last.
+        if n < out.len() && n < self.members.len() {
+            for &c in &self.members {
+                if n == out.len() {
+                    break;
+                }
+                if !pilots_desc.iter().any(|p| p.cell == c) {
+                    out[n] = c;
+                    n += 1;
+                }
+            }
+        }
+        n
     }
 
     /// The strongest member ("best server") given current pilots.

@@ -34,16 +34,29 @@ pub fn forward_fch_powers(
     interference_w: f64,
     leg_gains: &[f64],
 ) -> Vec<f64> {
+    let mut out = vec![0.0; leg_gains.len()];
+    forward_fch_powers_into(target_ebi0, proc_gain, interference_w, leg_gains, &mut out);
+    out
+}
+
+/// Allocation-free variant of [`forward_fch_powers`] for the per-frame hot
+/// path: writes one transmit power per leg into `out`
+/// (`out.len() == leg_gains.len()`).
+pub fn forward_fch_powers_into(
+    target_ebi0: f64,
+    proc_gain: f64,
+    interference_w: f64,
+    leg_gains: &[f64],
+    out: &mut [f64],
+) {
     assert!(!leg_gains.is_empty(), "need at least one leg");
     assert!(target_ebi0 > 0.0 && proc_gain > 0.0 && interference_w > 0.0);
+    assert_eq!(out.len(), leg_gains.len(), "one output slot per leg");
     let n = leg_gains.len() as f64;
-    leg_gains
-        .iter()
-        .map(|&g| {
-            assert!(g > 0.0, "non-positive link gain");
-            target_ebi0 * interference_w / (n * g * proc_gain)
-        })
-        .collect()
+    for (&g, slot) in leg_gains.iter().zip(out.iter_mut()) {
+        assert!(g > 0.0, "non-positive link gain");
+        *slot = target_ebi0 * interference_w / (n * g * proc_gain);
+    }
 }
 
 /// Received FCH Eb/I0 at the mobile for given leg powers (MRC sum).

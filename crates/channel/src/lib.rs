@@ -77,6 +77,26 @@ impl ChannelLink {
         self.fading.step(dt);
     }
 
+    /// Shadowing correlation for this link at the given displacement — for
+    /// hoisting out of per-link loops (all legs of a mobile move together
+    /// and share correlation parameters).
+    pub fn shadow_rho(&self, dist_moved_m: f64, dt: f64) -> f64 {
+        self.shadowing.rho(dist_moved_m, dt)
+    }
+
+    /// Advances only the long-term (shadowing) component, with a
+    /// precomputed correlation from [`ChannelLink::shadow_rho`].
+    ///
+    /// The dynamic network consumes local-mean gains exclusively — fast
+    /// fading enters the burst-admission layer *analytically* through the
+    /// VTAOC throughput expectation — so the per-frame hot path skips the
+    /// fast-fading state advance entirely. Each fading process owns its own
+    /// RNG substream, so skipping it leaves every other stream, and hence
+    /// every network output, bit-identical.
+    pub fn advance_long_term_with_rho(&mut self, shadow_rho: f64) {
+        self.shadowing.step_with_rho(shadow_rho);
+    }
+
     /// Instantaneous power gain at distance `d_m` (no state advance).
     pub fn gain(&self, d_m: f64) -> f64 {
         self.long_term_gain(d_m) * self.fading.power()

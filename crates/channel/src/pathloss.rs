@@ -20,6 +20,9 @@ pub struct PathLoss {
     /// Close-in clamp: distances below this are treated as this distance,
     /// preventing unbounded gain when a mobile walks over the BS.
     min_dist_m: f64,
+    /// Precomputed linear gain at the reference distance
+    /// (`10^{-ref_loss_db/10}`), so the hot path avoids the dB round trip.
+    ref_gain_lin: f64,
 }
 
 impl PathLoss {
@@ -38,6 +41,7 @@ impl PathLoss {
             ref_loss_db,
             ref_dist_m,
             min_dist_m,
+            ref_gain_lin: db_to_lin(-ref_loss_db),
         }
     }
 
@@ -57,9 +61,23 @@ impl PathLoss {
         self.ref_loss_db + 10.0 * self.exponent * (d / self.ref_dist_m).log10()
     }
 
-    /// Linear power gain (`10^{-loss/10}`) at distance `d_m`.
+    /// Linear power gain (`10^{-loss/10}`) at distance `d_m`, evaluated in
+    /// closed form: `g(d) = g(d0) · (d0/d)^n` (algebraically identical to
+    /// the dB expression, without the log/exp round trip). Integer
+    /// exponents — including the urban default n = 4 — take a
+    /// multiply-only fast path.
     pub fn gain(&self, d_m: f64) -> f64 {
-        db_to_lin(-self.loss_db(d_m))
+        let d = d_m.max(self.min_dist_m);
+        let ratio = self.ref_dist_m / d;
+        let falloff = if self.exponent == 4.0 {
+            let r2 = ratio * ratio;
+            r2 * r2
+        } else if self.exponent.fract() == 0.0 && self.exponent <= 8.0 {
+            ratio.powi(self.exponent as i32)
+        } else {
+            ratio.powf(self.exponent)
+        };
+        self.ref_gain_lin * falloff
     }
 
     /// Path-loss exponent.

@@ -27,6 +27,9 @@ pub struct Shadowing {
     /// Current shadowing value in dB.
     value_db: f64,
     rng: Xoshiro256pp,
+    /// Cached second output of the polar Gaussian pair (NaN = empty) — the
+    /// per-frame innovation then costs one `ln`/`sqrt` every *two* frames.
+    spare_gauss: f64,
 }
 
 impl Shadowing {
@@ -51,6 +54,7 @@ impl Shadowing {
             coherence_time_s,
             value_db,
             rng,
+            spare_gauss: f64::NAN,
         }
     }
 
@@ -63,13 +67,34 @@ impl Shadowing {
     /// Advances the process: the mobile moved `dist_m` metres over `dt`
     /// seconds.
     pub fn step(&mut self, dist_m: f64, dt: f64) {
+        let rho = self.rho(dist_m, dt);
+        self.step_with_rho(rho);
+    }
+
+    /// Effective one-step correlation for a displacement of `dist_m` metres
+    /// over `dt` seconds: the weaker (smaller ρ) of spatial and temporal
+    /// decorrelation applies. Hoist this out of per-link loops when many
+    /// links share the same displacement and correlation parameters.
+    pub fn rho(&self, dist_m: f64, dt: f64) -> f64 {
         debug_assert!(dist_m >= 0.0 && dt >= 0.0);
-        // Effective correlation: the weaker (smaller ρ) of spatial and
-        // temporal decorrelation applies.
         let rho_space = (-dist_m / self.decorr_dist_m).exp();
         let rho_time = (-dt / self.coherence_time_s).exp();
-        let rho = rho_space.min(rho_time);
-        let innov = wcdma_math::dist::Normal::standard_sample(&mut self.rng);
+        rho_space.min(rho_time)
+    }
+
+    /// Advances the process with a precomputed correlation `rho` (see
+    /// [`Shadowing::rho`]). Identical update law to [`Shadowing::step`].
+    pub fn step_with_rho(&mut self, rho: f64) {
+        debug_assert!((0.0..=1.0).contains(&rho));
+        let innov = if self.spare_gauss.is_nan() {
+            let (a, b) = wcdma_math::dist::Normal::standard_pair(&mut self.rng);
+            self.spare_gauss = b;
+            a
+        } else {
+            let b = self.spare_gauss;
+            self.spare_gauss = f64::NAN;
+            b
+        };
         self.value_db = rho * self.value_db + (1.0 - rho * rho).sqrt() * self.sigma_db * innov;
     }
 

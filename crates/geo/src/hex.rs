@@ -125,15 +125,44 @@ impl HexLayout {
     /// all cluster translations.
     pub fn distance(&self, p: Point, cell: CellId) -> f64 {
         let site = self.sites[cell.index()];
+        // Minimise the squared distance and take one square root at the
+        // end; sqrt is monotone and correctly rounded, so the result is
+        // bit-identical to minimising per-translation distances.
         let mut best = f64::INFINITY;
         for t in &self.translations {
-            let shifted = Point::new(p.x + t.x, p.y + t.y);
-            let d = shifted.dist(site);
-            if d < best {
-                best = d;
+            let dx = p.x + t.x - site.x;
+            let dy = p.y + t.y - site.y;
+            let d2 = dx * dx + dy * dy;
+            if d2 < best {
+                best = d2;
             }
         }
-        best
+        best.sqrt()
+    }
+
+    /// Wrap-around distances from `p` to every cell site at once
+    /// (`out.len() == num_cells()`), the batched kernel behind the
+    /// per-frame gain refresh: each translated copy of `p` is formed once
+    /// and compared against all sites, and only one square root is taken
+    /// per cell. Produces exactly the values of [`HexLayout::distance`].
+    pub fn distances_into(&self, p: Point, out: &mut [f64]) {
+        assert_eq!(out.len(), self.sites.len(), "one slot per cell");
+        out.fill(f64::INFINITY);
+        for t in &self.translations {
+            let sx = p.x + t.x;
+            let sy = p.y + t.y;
+            for (site, best) in self.sites.iter().zip(out.iter_mut()) {
+                let dx = sx - site.x;
+                let dy = sy - site.y;
+                let d2 = dx * dx + dy * dy;
+                if d2 < *best {
+                    *best = d2;
+                }
+            }
+        }
+        for d in out.iter_mut() {
+            *d = d.sqrt();
+        }
     }
 
     /// The cell whose site is nearest to `p` (wrap-around metric).

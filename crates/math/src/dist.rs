@@ -151,13 +151,22 @@ impl Normal {
     /// Draws a standard-normal variate.
     #[inline]
     pub fn standard_sample(rng: &mut Xoshiro256pp) -> f64 {
+        Self::standard_pair(rng).0
+    }
+
+    /// Draws a pair of independent standard-normal variates from one polar
+    /// transform — the Marsaglia polar method produces two for the price of
+    /// one `ln`/`sqrt`; hot loops should cache the second.
+    #[inline]
+    pub fn standard_pair(rng: &mut Xoshiro256pp) -> (f64, f64) {
         // Marsaglia polar method; rejection loop accepts with prob π/4.
         loop {
             let u = 2.0 * rng.next_f64() - 1.0;
             let v = 2.0 * rng.next_f64() - 1.0;
             let s = u * u + v * v;
             if s > 0.0 && s < 1.0 {
-                return u * (-2.0 * s.ln() / s).sqrt();
+                let r = (-2.0 * s.ln() / s).sqrt();
+                return (u * r, v * r);
             }
         }
     }

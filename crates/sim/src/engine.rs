@@ -14,12 +14,23 @@
 //!    state machine and start at the next frame boundary.
 //!
 //! Statistics are collected after the warm-up window only.
+//!
+//! # Hot-path invariants
+//!
+//! [`Simulation::step_frame`] performs **zero heap allocations in steady
+//! state**: per-user burst/request bookkeeping is indexed (`active_count` /
+//! `pending_count` instead of queue scans), measurement reports are
+//! borrowed [`wcdma_cdma::MeasurementView`]s, burst completion uses a
+//! persistent scratch list, and scheduling rounds consume grant outcomes by
+//! request order. Allocation happens only on event edges: a new request
+//! entering the queue, a grant extending the active-burst list, or the ILP
+//! solve inside a scheduling round.
 
 use wcdma_admission::{RequestState, Scheduler};
-use wcdma_cdma::{Network, SchGrant, UserKind};
+use wcdma_cdma::{populate_round_robin, Network, SchGrant, UserKind};
 use wcdma_channel::CsiEstimator;
 use wcdma_geo::mobility::{MobilityModel, RandomWaypoint};
-use wcdma_geo::{CellId, HexLayout};
+use wcdma_geo::HexLayout;
 use wcdma_mac::{BurstRequest, LinkDir, MacStateMachine, RequestQueue};
 use wcdma_math::{mix_seed, Xoshiro256pp};
 
@@ -56,6 +67,16 @@ pub struct Simulation {
     csi_pipes: Vec<Option<(CsiEstimator, CsiEstimator)>>,
     /// Observed (delayed/noisy) FCH Eb/I0 per mobile, refreshed each frame.
     observed_ebi0: Vec<(f64, f64)>,
+    /// Active bursts per user (replaces `active.iter().any(...)` scans).
+    active_count: Vec<u32>,
+    /// Pending queue entries per user (replaces queue scans).
+    pending_count: Vec<u32>,
+    /// Persistent scratch: indices of bursts finishing this frame.
+    finished: Vec<usize>,
+    /// Persistent scratch: snapshots of the pending requests of one
+    /// direction, taken before a scheduling round (the queue cannot stay
+    /// borrowed while grants mutate it).
+    sched_reqs: Vec<BurstRequest>,
 }
 
 impl Simulation {
@@ -63,39 +84,34 @@ impl Simulation {
     pub fn new(cfg: SimConfig) -> Self {
         cfg.validate().expect("invalid simulation config");
         let layout = HexLayout::new(cfg.rings, cfg.cell_radius_m);
-        let n_cells = layout.num_cells();
         let bound = layout.cell_radius() * (2.0 * cfg.rings as f64 + 1.0);
         let mut net = Network::new(cfg.cdma.clone(), layout, cfg.seed);
         let scheduler = Scheduler::new(cfg.scheduler_config(), cfg.policy.clone());
         let mut placement_rng = Xoshiro256pp::substream(cfg.seed, 0x9_1ACE);
-        let total = cfg.n_voice + cfg.n_data;
+        let placed = populate_round_robin(
+            &mut net,
+            cfg.n_voice,
+            cfg.n_data,
+            cfg.speed_ms,
+            &mut placement_rng,
+        );
+        let total = placed.len();
         let mut mobility = Vec::with_capacity(total);
         let mut sources = Vec::with_capacity(total);
         let mut macs = Vec::with_capacity(total);
         let mut data_idx = Vec::new();
-        for i in 0..total {
-            let kind = if i < cfg.n_voice {
-                UserKind::Voice
-            } else {
-                UserKind::Data
-            };
-            let cell = CellId((i % n_cells) as u32);
-            let pos = {
-                let layout = net.layout().clone();
-                layout.random_point_in_cell(cell, &mut placement_rng)
-            };
-            let j = net.add_mobile(kind, pos, cfg.speed_ms);
+        for u in &placed {
             mobility.push(RandomWaypoint::new(
-                pos,
+                u.pos,
                 cfg.speed_ms,
                 5.0,
                 bound,
-                Xoshiro256pp::substream(cfg.seed, mix_seed(0x0B11E, j as u64)),
+                Xoshiro256pp::substream(cfg.seed, mix_seed(0x0B11E, u.index as u64)),
             ));
-            if kind == UserKind::Data {
-                sources.push(Some(WebSource::new(&cfg.traffic, cfg.seed, j as u64)));
+            if u.kind == UserKind::Data {
+                sources.push(Some(WebSource::new(&cfg.traffic, cfg.seed, u.index as u64)));
                 macs.push(Some(MacStateMachine::new(cfg.timers)));
-                data_idx.push(j);
+                data_idx.push(u.index);
             } else {
                 sources.push(None);
                 macs.push(None);
@@ -104,7 +120,8 @@ impl Simulation {
         let ideal_csi = cfg.csi_error_sigma_db == 0.0 && cfg.csi_delay_frames == 0;
         let csi_pipes = (0..total)
             .map(|j| {
-                if ideal_csi || !data_idx.contains(&j) {
+                // O(1) data-user check: voice users carry no traffic source.
+                if ideal_csi || sources[j].is_none() {
                     None
                 } else {
                     let mk = |tag: u64| {
@@ -132,6 +149,10 @@ impl Simulation {
             t: 0.0,
             data_idx,
             csi_pipes,
+            active_count: vec![0; total],
+            pending_count: vec![0; total],
+            finished: Vec::new(),
+            sched_reqs: Vec::new(),
         }
     }
 
@@ -155,6 +176,11 @@ impl Simulation {
         self.active.len()
     }
 
+    /// Bursts completed inside the statistics window so far.
+    pub fn bursts_completed(&self) -> u64 {
+        self.stats.bursts_completed
+    }
+
     /// Runs the whole configured duration and reports.
     pub fn run(mut self) -> SimReport {
         let frames = self.cfg.n_frames();
@@ -170,7 +196,8 @@ impl Simulation {
         self.t >= self.cfg.warmup_s
     }
 
-    /// Advances one frame.
+    /// Advances one frame. Zero heap allocations in steady state (see the
+    /// module docs for the event edges that may allocate).
     pub fn step_frame(&mut self) {
         let dt = self.cfg.cdma.frame_s;
 
@@ -182,7 +209,7 @@ impl Simulation {
 
         // 2. Network update.
         self.net.step(dt);
-        if self.recording() && !self.net.overloaded_cells().is_empty() {
+        if self.recording() && self.net.any_overloaded() {
             self.stats.overload_events += 1;
         }
 
@@ -197,11 +224,12 @@ impl Simulation {
         }
 
         // 3. Traffic + MAC decay.
-        for &j in &self.data_idx.clone() {
-            let has_burst = self.active.iter().any(|b| b.user == j)
-                || self.queue.pending().iter().any(|r| r.user == j);
+        for di in 0..self.data_idx.len() {
+            let j = self.data_idx[di];
+            let has_burst = self.active_count[j] > 0 || self.pending_count[j] > 0;
             if let Some(src) = self.sources[j].as_mut() {
                 if let Some(arrival) = src.step(dt) {
+                    let before = self.queue.len();
                     self.queue.submit(BurstRequest {
                         user: j,
                         dir: arrival.dir,
@@ -209,6 +237,9 @@ impl Simulation {
                         arrival_s: self.t,
                         priority: 0.0,
                     });
+                    if self.queue.len() > before {
+                        self.pending_count[j] += 1; // new entry (not merged)
+                    }
                 }
             }
             if !has_burst {
@@ -219,13 +250,13 @@ impl Simulation {
         }
 
         // 4. Deliver bits on active bursts.
-        let mut finished = Vec::new();
+        self.finished.clear();
         for (idx, burst) in self.active.iter_mut().enumerate() {
             if self.t < burst.start_s {
                 continue; // MAC setup still in progress
             }
-            let meas = self.net.measurement(burst.user);
-            let db = self.scheduler.request_delta_beta(&meas, burst.dir);
+            let meas = self.net.measurement_view(burst.user);
+            let db = self.scheduler.request_delta_beta(meas, burst.dir);
             let rate = self.cfg.spreading.fch_rate * burst.m as f64 * db;
             let bits = rate * dt;
             let delivered = bits.min(burst.bits_left);
@@ -234,11 +265,12 @@ impl Simulation {
                 self.stats.bits_delivered += delivered;
             }
             if burst.bits_left <= 1e-9 {
-                finished.push(idx);
+                self.finished.push(idx);
             }
         }
-        for idx in finished.into_iter().rev() {
-            let burst = self.active.remove(idx);
+        for fi in (0..self.finished.len()).rev() {
+            let burst = self.active.remove(self.finished[fi]);
+            self.active_count[burst.user] -= 1;
             let delay = (self.t + dt) - burst.arrival_s;
             if self.recording() {
                 self.stats.burst_delay.push(delay);
@@ -263,20 +295,27 @@ impl Simulation {
     }
 
     fn schedule_direction(&mut self, dir: LinkDir, dt: f64) {
-        let pending: Vec<BurstRequest> =
-            self.queue.in_direction(dir).into_iter().cloned().collect();
-        if pending.is_empty() {
+        // Snapshot the per-request scalars into persistent scratch — the
+        // queue is mutated below while grants are applied.
+        self.sched_reqs.clear();
+        for r in self.queue.pending() {
+            if r.dir == dir {
+                self.sched_reqs.push(r.clone());
+            }
+        }
+        if self.sched_reqs.is_empty() {
             return;
         }
         if self.recording() {
             self.stats.request_rounds += 1;
         }
-        let requests: Vec<RequestState> = pending
+        let requests: Vec<RequestState<'_>> = self
+            .sched_reqs
             .iter()
             .map(|r| {
                 // The scheduler acts on the *observed* CSI (feedback
                 // pipeline); bits are later delivered at the true rate.
-                let mut meas = self.net.measurement(r.user);
+                let mut meas = self.net.measurement_view(r.user);
                 let (obs_fwd, obs_rev) = self.observed_ebi0[r.user];
                 meas.fch_ebi0_fwd = obs_fwd;
                 meas.fch_ebi0_rev = obs_rev;
@@ -294,24 +333,29 @@ impl Simulation {
             self.net.reverse_load_w(),
             &requests,
         );
+        drop(requests);
         let mut denied = false;
-        for (j, req) in pending.iter().enumerate() {
+        for j in 0..self.sched_reqs.len() {
+            // Outcomes are aligned with the request order: `m[j]` and
+            // `delta_beta[j]` belong to `sched_reqs[j]` — no search.
             let m = outcome.m[j];
             if m == 0 {
                 denied = true;
                 continue;
             }
+            let user = self.sched_reqs[j].user;
             let taken = self
                 .queue
-                .take(req.user, dir)
+                .take(user, dir)
                 .expect("granted request must be pending");
-            let setup = self.macs[req.user]
+            self.pending_count[user] -= 1;
+            let setup = self.macs[user]
                 .as_mut()
                 .expect("data user has MAC")
                 .on_burst();
             let gamma_s = self.cfg.spreading.gamma_s;
             self.net.set_grant(
-                req.user,
+                user,
                 Some(SchGrant {
                     m,
                     forward: dir == LinkDir::Forward,
@@ -321,21 +365,14 @@ impl Simulation {
             if self.recording() {
                 self.stats.grant_m.push(m as f64);
                 self.stats.grant_hist.push(m as f64);
-                self.stats.grant_delta_beta.push(
-                    outcome
-                        .grants
-                        .iter()
-                        .find(|g| g.user == req.user)
-                        .map(|g| g.delta_beta)
-                        .unwrap_or(0.0),
-                );
+                self.stats.grant_delta_beta.push(outcome.delta_beta[j]);
                 self.stats
                     .queue_delay
                     .push(self.t - taken.arrival_s + setup);
                 self.stats.setup_delay.push(setup);
             }
             self.active.push(ActiveBurst {
-                user: req.user,
+                user,
                 dir,
                 m,
                 arrival_s: taken.arrival_s,
@@ -343,6 +380,7 @@ impl Simulation {
                 start_s: self.t + dt + setup,
                 bits_left: taken.size_bits,
             });
+            self.active_count[user] += 1;
         }
         if denied && self.recording() {
             self.stats.denial_rounds += 1;

@@ -1,7 +1,7 @@
 //! Shared helpers for the integration tests.
 
-use wcdma::cdma::{CdmaConfig, Network, UserKind};
-use wcdma::geo::{CellId, HexLayout};
+use wcdma::cdma::{populate_round_robin, CdmaConfig, Network};
+use wcdma::geo::HexLayout;
 use wcdma::math::Xoshiro256pp;
 
 /// Builds a warmed-up single-ring network with `n_voice` voice and `n_data`
@@ -12,16 +12,7 @@ pub fn warm_network(n_voice: usize, n_data: usize, seed: u64, warm_steps: usize)
     let layout = HexLayout::new(1, 1000.0);
     let mut net = Network::new(cfg, layout, seed);
     let mut rng = Xoshiro256pp::new(seed ^ 0xFEED);
-    for i in 0..(n_voice + n_data) {
-        let kind = if i < n_voice {
-            UserKind::Voice
-        } else {
-            UserKind::Data
-        };
-        let cell = CellId((i % net.num_cells()) as u32);
-        let pos = net.layout().random_point_in_cell(cell, &mut rng);
-        net.add_mobile(kind, pos, 0.8);
-    }
+    populate_round_robin(&mut net, n_voice, n_data, 0.8, &mut rng);
     for _ in 0..warm_steps {
         net.step(0.02);
     }

@@ -17,12 +17,12 @@ fn warm_network(n_voice: usize, n_data: usize, seed: u64) -> wcdma::cdma::Networ
 #[test]
 fn network_measurements_build_valid_regions() {
     let net = warm_network(8, 5, 11);
-    let reports: Vec<_> = net
+    // Borrowed views: no clone per report.
+    let refs: Vec<_> = net
         .data_mobiles()
         .iter()
-        .map(|&j| net.measurement(j))
+        .map(|&j| net.measurement_view(j))
         .collect();
-    let refs: Vec<&_> = reports.iter().collect();
 
     let fwd = forward_region(
         net.forward_load_w(),
@@ -62,7 +62,7 @@ fn scheduler_on_live_network_grants_feasibly() {
         .data_mobiles()
         .iter()
         .map(|&j| RequestState {
-            meas: net.measurement(j),
+            meas: net.measurement_view(j),
             size_bits: 120_000.0,
             waiting_s: 0.3,
             priority: 0.0,
@@ -92,7 +92,7 @@ fn granted_burst_power_is_within_predicted_headroom() {
     let requests: Vec<RequestState> = data
         .iter()
         .map(|&j| RequestState {
-            meas: net.measurement(j),
+            meas: net.measurement_view(j),
             size_bits: 400_000.0,
             waiting_s: 0.0,
             priority: 0.0,
@@ -104,6 +104,7 @@ fn granted_burst_power_is_within_predicted_headroom() {
         net.reverse_load_w(),
         &requests,
     );
+    drop(requests); // release the borrow of `net` before applying grants
     for g in &out.grants {
         net.set_grant(
             g.user,
@@ -129,9 +130,9 @@ fn vtaoc_throughput_consistent_with_network_quality() {
     let net = warm_network(6, 4, 23);
     let scheduler = Scheduler::new(SchedulerConfig::default_config(), Policy::jaba_sd_default());
     for &j in &net.data_mobiles() {
-        let meas = net.measurement(j);
+        let meas = net.measurement_view(j);
         for dir in [LinkDir::Forward, LinkDir::Reverse] {
-            let db = scheduler.request_delta_beta(&meas, dir);
+            let db = scheduler.request_delta_beta(meas, dir);
             assert!(db.is_finite() && db >= 0.0, "user {j} {dir:?} δβ̄ = {db}");
             assert!(db <= 4.0 + 1e-12, "δβ̄ cannot exceed 1/β_f: {db}");
         }
@@ -165,7 +166,7 @@ fn adjacent_cell_simultaneous_transactions_are_coupled() {
     let m0 = mk(0, 0); // lives in cell 0, soft hand-off with shared cell 1
     let m1 = mk(1, 2); // lives in cell 2, soft hand-off with shared cell 1
     let loads = vec![12.0, 16.0, 12.0]; // shared cell 1 is nearly full
-    let region: Region = forward_region(&loads, 20.0, 1.0, &[&m0, &m1]);
+    let region: Region = forward_region(&loads, 20.0, 1.0, &[m0.as_view(), m1.as_view()]);
 
     // The shared cell must appear as one row coupling both columns.
     let shared_row = region
@@ -186,10 +187,11 @@ fn adjacent_cell_simultaneous_transactions_are_coupled() {
 
     // The joint solve respects it.
     let scheduler = Scheduler::new(SchedulerConfig::default_config(), Policy::jaba_sd_default());
-    let requests: Vec<RequestState> = [m0, m1]
-        .into_iter()
+    let owned = [m0, m1];
+    let requests: Vec<RequestState> = owned
+        .iter()
         .map(|meas| RequestState {
-            meas,
+            meas: meas.as_view(),
             size_bits: 500_000.0,
             waiting_s: 0.2,
             priority: 0.0,

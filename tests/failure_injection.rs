@@ -29,9 +29,12 @@ fn exhausted_power_budget_rejects_everything() {
     let pmax = SchedulerConfig::default_config().pmax_w;
     let fwd = vec![pmax; 3];
     let rev = vec![1e-13; 3];
-    let requests: Vec<RequestState> = (0..4)
-        .map(|j| RequestState {
-            meas: meas(j, (j % 3) as u32, 0.2, 10.0),
+    let metas: Vec<DataUserMeasurement> =
+        (0..4).map(|j| meas(j, (j % 3) as u32, 0.2, 10.0)).collect();
+    let requests: Vec<RequestState> = metas
+        .iter()
+        .map(|m| RequestState {
+            meas: m.as_view(),
             size_bits: 1e6,
             waiting_s: 1.0,
             priority: 0.0,
@@ -52,8 +55,9 @@ fn exhausted_reverse_budget_rejects_everything() {
     let fwd = vec![5.0; 2];
     // Reverse load already at the limit.
     let rev = vec![cfg.lmax_w; 2];
+    let meta = meas(0, 0, 0.2, 10.0);
     let requests = vec![RequestState {
-        meas: meas(0, 0, 0.2, 10.0),
+        meas: meta.as_view(),
         size_bits: 1e6,
         waiting_s: 0.0,
         priority: 0.0,
@@ -76,9 +80,14 @@ fn grant_storm_never_violates_region() {
         let scheduler = Scheduler::new(SchedulerConfig::default_config(), policy);
         let fwd = vec![19.2];
         let rev = vec![1e-13];
-        let requests: Vec<RequestState> = (0..30)
-            .map(|j| RequestState {
-                meas: meas(j, 0, 0.02 + 0.01 * (j % 7) as f64, 4.0 + (j % 11) as f64),
+        let metas: Vec<DataUserMeasurement> = (0..30)
+            .map(|j| meas(j, 0, 0.02 + 0.01 * (j % 7) as f64, 4.0 + (j % 11) as f64))
+            .collect();
+        let requests: Vec<RequestState> = metas
+            .iter()
+            .enumerate()
+            .map(|(j, m)| RequestState {
+                meas: m.as_view(),
                 size_bits: 5e5,
                 waiting_s: (j as f64) * 0.1,
                 priority: 0.0,
@@ -203,21 +212,20 @@ fn zero_priority_vs_high_priority_ordering() {
     );
     let fwd = vec![19.5]; // 0.5 W headroom
     let rev = vec![1e-13];
+    let meta_lo = meas(0, 0, 0.1, 8.0);
+    let meta_hi = meas(1, 0, 0.1, 8.0);
     let mut lo_pri = RequestState {
-        meas: meas(0, 0, 0.1, 8.0),
+        meas: meta_lo.as_view(),
         size_bits: 1e6,
         waiting_s: 0.0,
         priority: 0.0,
     };
-    let mut hi_pri = lo_pri.clone();
-    hi_pri.meas = meas(1, 0, 0.1, 8.0);
+    let mut hi_pri = RequestState {
+        meas: meta_hi.as_view(),
+        ..lo_pri
+    };
     hi_pri.priority = 2.0;
-    let out = scheduler.schedule(
-        LinkDir::Forward,
-        &fwd,
-        &rev,
-        &[lo_pri.clone(), hi_pri.clone()],
-    );
+    let out = scheduler.schedule(LinkDir::Forward, &fwd, &rev, &[lo_pri, hi_pri]);
     assert!(
         out.m[1] >= out.m[0],
         "high priority must not lose to identical low priority: {:?}",

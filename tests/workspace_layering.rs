@@ -93,7 +93,8 @@ fn cdma_mac_ilp_feed_admission() {
         .iter()
         .map(|&j| net.measurement(j))
         .collect();
-    let refs: Vec<&_> = reports.iter().collect();
+    // cdma → admission: owned reports adapt into borrowed views.
+    let refs: Vec<_> = reports.iter().map(|r| r.as_view()).collect();
 
     // cdma → admission: measurements → forward admissible region.
     let region: Region = forward_region(
