@@ -88,13 +88,13 @@ pub enum Policy {
         /// Node cap for the exact solver (0 = unlimited).
         node_limit: u64,
     },
-    /// First-come-first-serve maximal grants (cdma2000 [1]).
+    /// First-come-first-serve maximal grants (cdma2000 \[1\]).
     Fcfs {
         /// Maximum number of simultaneous bursts (None = unlimited;
         /// Some(1) = the strict single-burst baseline).
         max_concurrent: Option<usize>,
     },
-    /// Equal sharing between requests (ref [8]).
+    /// Equal sharing between requests (ref \[8\]).
     EqualShare,
 }
 

@@ -44,14 +44,38 @@ fn quick_mode() -> bool {
     std::env::var("WCDMA_BENCH_QUICK").is_ok_and(|v| v != "0" && !v.is_empty())
 }
 
+/// Writes the sweep as a machine-readable snapshot (CI uploads it as
+/// `BENCH_e11_scale.json` so the perf trajectory accumulates over PRs).
+fn write_json_snapshot(path: &str, quick: bool, rows: &[(usize, f64)]) {
+    let entries: Vec<String> = rows
+        .iter()
+        .map(|(n, fps)| {
+            format!(
+                "    {{\"mobiles\": {n}, \"frames_per_sec\": {fps:.1}, \"x_realtime\": {:.2}}}",
+                fps * 0.02
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"e11_scale\",\n  \"quick\": {quick},\n  \"rows\": [\n{}\n  ]\n}}\n",
+        entries.join(",\n")
+    );
+    match std::fs::write(path, json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("cannot write {path}: {e}"),
+    }
+}
+
 fn print_experiment() {
     banner("E11", "frame-pipeline scaling: frames/sec vs mobile count");
-    let (sizes, frames): (&[usize], usize) = if quick_mode() {
+    let quick = quick_mode();
+    let (sizes, frames): (&[usize], usize) = if quick {
         (&[200, 1000], 30)
     } else {
         (&[200, 1000, 5000], 150)
     };
     let mut t = Table::new(&["mobiles", "frames/sec", "x realtime (20 ms frames)"]);
+    let mut rows = Vec::with_capacity(sizes.len());
     for &n in sizes {
         let fps = frames_per_sec(n, frames);
         t.row(&[
@@ -59,8 +83,14 @@ fn print_experiment() {
             format!("{fps:.1}"),
             format!("{:.2}", fps * 0.02),
         ]);
+        rows.push((n, fps));
     }
     println!("{}", t.render());
+    if let Ok(path) = std::env::var("WCDMA_BENCH_JSON") {
+        if !path.is_empty() {
+            write_json_snapshot(&path, quick, &rows);
+        }
+    }
 }
 
 fn bench(c: &mut Criterion) {

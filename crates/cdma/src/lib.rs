@@ -14,8 +14,9 @@
 //!   cell loading `P_k`, reverse interference `L_k`, and the per-request
 //!   [`MeasurementView`] of Figure 2 (with [`DataUserMeasurement`] as the
 //!   owned adapter).
-//! * [`scenario`] — scenario-builder helpers (round-robin user placement)
-//!   shared by the simulation engine, tests, and benches.
+//! * [`scenario`] — scenario-builder helpers (round-robin and weighted
+//!   hotspot user placement) shared by the simulation engine, tests, and
+//!   benches.
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
@@ -31,5 +32,5 @@ pub use config::CdmaConfig;
 pub use network::{DataUserMeasurement, MeasurementView, Network, SchGrant, UserKind};
 pub use pilot::{ActiveSet, PilotStrength};
 pub use power::{InnerLoop, OuterLoop};
-pub use scenario::{populate_round_robin, PlacedUser};
+pub use scenario::{hotspot_weights, populate_round_robin, populate_weighted, PlacedUser};
 pub use voice::VoiceActivity;

@@ -1,0 +1,432 @@
+//! `wcdma` — the campaign-subsystem command line.
+//!
+//! ```text
+//! wcdma campaign list
+//! wcdma campaign describe <name | --file spec.toml>
+//! wcdma campaign run [<name>] [--file spec.toml] [--quick]
+//!                    [--shards N] [--reps N] [--out DIR]
+//! ```
+//!
+//! `run` expands the scenario matrix, executes it on the sharded campaign
+//! runner, prints the per-scenario summary table, and writes three
+//! artefacts into `--out` (default `campaign-out/`): `<name>.csv`,
+//! `<name>.json`, and the `BENCH_campaign.json` trend summary.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use wcdma_sim::campaign::{
+    builtin, builtin_names, campaign_csv, campaign_json, campaign_summary_json, run_spec,
+    CampaignResult, ScenarioSpec,
+};
+use wcdma_sim::stats::ReplicationStats;
+use wcdma_sim::table::ci;
+use wcdma_sim::Table;
+
+const USAGE: &str = "\
+usage: wcdma campaign <list | describe | run> [options]
+
+  campaign list
+      Show the built-in campaigns.
+  campaign describe <name | --file spec.toml>
+      Print a campaign spec and its expanded scenario matrix.
+  campaign run [<name>] [--file spec.toml] [--quick] [--shards N]
+               [--reps N] [--out DIR]
+      Run a campaign (default: paper-eval) and write CSV + JSON artefacts.
+
+options:
+  --file PATH   load the campaign from a TOML spec file instead of a name
+  --quick       CI smoke profile: short runs, at most 2 replications
+  --shards N    worker threads (default: one per core)
+  --reps N      override the spec's replication count
+  --out DIR     artefact directory (default: campaign-out)";
+
+/// Where a campaign spec comes from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Target {
+    /// A built-in campaign name.
+    Builtin(String),
+    /// A TOML spec file on disk.
+    File(PathBuf),
+}
+
+/// Parsed `campaign run` options.
+#[derive(Debug, Clone, PartialEq)]
+struct RunArgs {
+    target: Target,
+    quick: bool,
+    shards: usize,
+    reps: Option<usize>,
+    out: PathBuf,
+}
+
+/// A fully parsed command line.
+#[derive(Debug, Clone, PartialEq)]
+enum Command {
+    List,
+    Describe(Target),
+    Run(RunArgs),
+}
+
+fn parse_command(args: &[String]) -> Result<Command, String> {
+    let mut it = args.iter().map(|s| s.as_str());
+    match it.next() {
+        Some("campaign") => {}
+        Some(other) => return Err(format!("unknown command {other:?}")),
+        None => return Err("missing command".into()),
+    }
+    let sub = it.next().ok_or("missing campaign subcommand")?;
+    let rest: Vec<&str> = it.collect();
+    match sub {
+        "list" => {
+            if !rest.is_empty() {
+                return Err(format!("unexpected arguments: {}", rest.join(" ")));
+            }
+            Ok(Command::List)
+        }
+        "describe" => {
+            let mut target = None;
+            let mut it = rest.into_iter();
+            while let Some(tok) = it.next() {
+                match tok {
+                    "--file" => {
+                        let path = it.next().ok_or("--file needs a path")?;
+                        set_target(&mut target, Target::File(PathBuf::from(path)))?;
+                    }
+                    flag if flag.starts_with("--") => return Err(format!("unknown flag {flag:?}")),
+                    name => set_target(&mut target, Target::Builtin(name.to_string()))?,
+                }
+            }
+            Ok(Command::Describe(
+                target.ok_or("describe needs a campaign name or --file")?,
+            ))
+        }
+        "run" => {
+            let mut target = None;
+            let mut run = RunArgs {
+                target: Target::Builtin("paper-eval".into()),
+                quick: false,
+                shards: 0,
+                reps: None,
+                out: PathBuf::from("campaign-out"),
+            };
+            let mut it = rest.into_iter();
+            while let Some(tok) = it.next() {
+                match tok {
+                    "--quick" => run.quick = true,
+                    "--file" => {
+                        let path = it.next().ok_or("--file needs a path")?;
+                        set_target(&mut target, Target::File(PathBuf::from(path)))?;
+                    }
+                    "--shards" => {
+                        let v = it.next().ok_or("--shards needs a value")?;
+                        run.shards = v
+                            .parse::<usize>()
+                            .map_err(|_| format!("bad --shards value {v:?}"))?;
+                        if run.shards == 0 {
+                            return Err("--shards must be ≥ 1".into());
+                        }
+                    }
+                    "--reps" => {
+                        let v = it.next().ok_or("--reps needs a value")?;
+                        let n = v
+                            .parse::<usize>()
+                            .map_err(|_| format!("bad --reps value {v:?}"))?;
+                        if n == 0 {
+                            return Err("--reps must be ≥ 1".into());
+                        }
+                        run.reps = Some(n);
+                    }
+                    "--out" => {
+                        run.out = PathBuf::from(it.next().ok_or("--out needs a value")?);
+                    }
+                    flag if flag.starts_with("--") => return Err(format!("unknown flag {flag:?}")),
+                    // Positional campaign name, accepted before or after
+                    // any flags.
+                    name => set_target(&mut target, Target::Builtin(name.to_string()))?,
+                }
+            }
+            if let Some(t) = target {
+                run.target = t;
+            }
+            Ok(Command::Run(run))
+        }
+        other => Err(format!("unknown campaign subcommand {other:?}")),
+    }
+}
+
+/// Records the campaign target, rejecting a second name or `--file`.
+fn set_target(slot: &mut Option<Target>, target: Target) -> Result<(), String> {
+    if slot.is_some() {
+        return Err("give exactly one campaign name or --file".into());
+    }
+    *slot = Some(target);
+    Ok(())
+}
+
+fn load_spec(target: &Target) -> Result<ScenarioSpec, String> {
+    match target {
+        Target::Builtin(name) => builtin(name).ok_or_else(|| {
+            format!(
+                "unknown campaign {:?} (built-ins: {})",
+                name,
+                builtin_names().join(", ")
+            )
+        }),
+        Target::File(path) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+            ScenarioSpec::parse(&text).map_err(|e| format!("{}: {e}", path.display()))
+        }
+    }
+}
+
+fn cmd_list() {
+    let mut t = Table::new(&["campaign", "scenarios", "description"]);
+    for &name in builtin_names() {
+        let spec = builtin(name).expect("registered builtin");
+        t.row(&[
+            name.to_string(),
+            spec.n_scenarios().to_string(),
+            spec.description.clone(),
+        ]);
+    }
+    println!("{}", t.render());
+    println!("run one with: wcdma campaign run <name>   (or --file spec.toml)");
+}
+
+fn cmd_describe(target: &Target) -> Result<(), String> {
+    let spec = load_spec(target)?;
+    println!("# {} — {}\n", spec.name, spec.description);
+    println!("{}", spec.to_toml());
+    let scenarios = spec.expand()?;
+    let mut t = Table::new(&["#", "scenario", "seed"]);
+    for (i, sc) in scenarios.iter().enumerate() {
+        t.row(&[
+            i.to_string(),
+            sc.label.clone(),
+            format!("{:#x}", sc.cfg.seed),
+        ]);
+    }
+    println!(
+        "{} scenarios × {} replications:\n{}",
+        scenarios.len(),
+        spec.replications,
+        t.render()
+    );
+    Ok(())
+}
+
+fn summary_table(result: &CampaignResult) -> Table {
+    let mut t = Table::new(&[
+        "scenario",
+        "mean delay [s]",
+        "p95 [s]",
+        "cell tput [kbps]",
+        "grant m",
+        "denial",
+    ]);
+    for sr in &result.scenarios {
+        let s = &sr.stats;
+        t.row(&[
+            sr.scenario.label.clone(),
+            ci(&ReplicationStats::ci(&s.mean_delay_s)),
+            ci(&ReplicationStats::ci(&s.p95_delay_s)),
+            ci(&ReplicationStats::ci(&s.per_cell_throughput_kbps)),
+            ci(&ReplicationStats::ci(&s.mean_grant_m)),
+            ci(&ReplicationStats::ci(&s.denial_rate)),
+        ]);
+    }
+    t
+}
+
+fn write_artefact(dir: &Path, file: &str, contents: &str) -> Result<PathBuf, String> {
+    let path = dir.join(file);
+    std::fs::write(&path, contents).map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+    Ok(path)
+}
+
+fn cmd_run(args: &RunArgs) -> Result<(), String> {
+    let mut spec = load_spec(&args.target)?;
+    if args.quick {
+        spec = spec.quickened();
+    }
+    if let Some(reps) = args.reps {
+        spec.replications = reps;
+    }
+    spec.validate()?;
+    println!(
+        "campaign {}: {} scenarios × {} replications ({} shards)…",
+        spec.name,
+        spec.n_scenarios(),
+        spec.replications,
+        if args.shards == 0 {
+            "auto".to_string()
+        } else {
+            args.shards.to_string()
+        }
+    );
+    let result = run_spec(&spec, args.shards)?;
+    println!("{}", summary_table(&result).render());
+
+    std::fs::create_dir_all(&args.out)
+        .map_err(|e| format!("cannot create {}: {e}", args.out.display()))?;
+    let csv = write_artefact(
+        &args.out,
+        &format!("{}.csv", spec.name),
+        &campaign_csv(&result),
+    )?;
+    let json = write_artefact(
+        &args.out,
+        &format!("{}.json", spec.name),
+        &campaign_json(&result),
+    )?;
+    let bench = write_artefact(
+        &args.out,
+        "BENCH_campaign.json",
+        &campaign_summary_json(&result),
+    )?;
+    println!(
+        "wrote {}, {}, {}",
+        csv.display(),
+        json.display(),
+        bench.display()
+    );
+    Ok(())
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    match parse_command(args)? {
+        Command::List => {
+            cmd_list();
+            Ok(())
+        }
+        Command::Describe(target) => cmd_describe(&target),
+        Command::Run(run_args) => cmd_run(&run_args),
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") || args.is_empty() {
+        println!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(words: &[&str]) -> Result<Command, String> {
+        parse_command(&words.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn parses_list_and_describe() {
+        assert_eq!(parse(&["campaign", "list"]), Ok(Command::List));
+        assert_eq!(
+            parse(&["campaign", "describe", "paper-eval"]),
+            Ok(Command::Describe(Target::Builtin("paper-eval".into())))
+        );
+        assert_eq!(
+            parse(&["campaign", "describe", "--file", "c.toml"]),
+            Ok(Command::Describe(Target::File(PathBuf::from("c.toml"))))
+        );
+    }
+
+    #[test]
+    fn parses_run_with_flags() {
+        let cmd = parse(&[
+            "campaign",
+            "run",
+            "speed-sweep",
+            "--quick",
+            "--shards",
+            "4",
+            "--reps",
+            "5",
+            "--out",
+            "results",
+        ])
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Run(RunArgs {
+                target: Target::Builtin("speed-sweep".into()),
+                quick: true,
+                shards: 4,
+                reps: Some(5),
+                out: PathBuf::from("results"),
+            })
+        );
+    }
+
+    #[test]
+    fn run_defaults_to_paper_eval() {
+        match parse(&["campaign", "run"]).unwrap() {
+            Command::Run(args) => {
+                assert_eq!(args.target, Target::Builtin("paper-eval".into()));
+                assert!(!args.quick);
+                assert_eq!(args.shards, 0);
+                assert_eq!(args.out, PathBuf::from("campaign-out"));
+            }
+            other => panic!("expected run, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(parse(&[]).is_err());
+        assert!(parse(&["simulate"]).is_err());
+        assert!(parse(&["campaign"]).is_err());
+        assert!(parse(&["campaign", "frobnicate"]).is_err());
+        assert!(parse(&["campaign", "describe"]).is_err());
+        assert!(parse(&["campaign", "list", "extra"]).is_err());
+        assert!(parse(&["campaign", "run", "--shards"]).is_err());
+        assert!(parse(&["campaign", "run", "--shards", "zero"]).is_err());
+        assert!(parse(&["campaign", "run", "--shards", "0"]).is_err());
+        assert!(parse(&["campaign", "run", "--reps", "0"]).is_err());
+        assert!(parse(&["campaign", "run", "--badflag"]).is_err());
+        assert!(parse(&["campaign", "run", "a", "--file", "b.toml"]).is_err());
+        assert!(parse(&["campaign", "run", "a", "b"]).is_err());
+        assert!(parse(&["campaign", "describe", "--badflag"]).is_err());
+    }
+
+    #[test]
+    fn positional_name_works_after_flags() {
+        // Users reorder flags freely: `--quick speed-sweep` must mean the
+        // same as `speed-sweep --quick`, and flag values must not be
+        // mistaken for campaign names.
+        let a = parse(&["campaign", "run", "--quick", "--shards", "4", "speed-sweep"]).unwrap();
+        let b = parse(&["campaign", "run", "speed-sweep", "--quick", "--shards", "4"]).unwrap();
+        assert_eq!(a, b);
+        match a {
+            Command::Run(args) => {
+                assert_eq!(args.target, Target::Builtin("speed-sweep".into()));
+                assert!(args.quick);
+                assert_eq!(args.shards, 4);
+            }
+            other => panic!("expected run, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn builtin_targets_load() {
+        for &name in builtin_names() {
+            load_spec(&Target::Builtin(name.into())).expect(name);
+        }
+        assert!(load_spec(&Target::Builtin("nope".into())).is_err());
+        assert!(load_spec(&Target::File(PathBuf::from("/no/such/file.toml"))).is_err());
+    }
+}

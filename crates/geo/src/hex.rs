@@ -5,7 +5,7 @@
 //! position is mirrored into the 9 translated copies of the cluster bounding
 //! region and the shortest distance wins. This gives every cell a full
 //! complement of interferers, as in the dynamic-simulation methodology of
-//! Kumar & Nanda [2] the paper follows.
+//! Kumar & Nanda \[2\] the paper follows.
 
 /// Identifier of a cell / base station.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]

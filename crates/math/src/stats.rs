@@ -365,12 +365,9 @@ pub struct MeanCi {
 }
 
 impl MeanCi {
-    /// Computes a t-based CI from per-replication means.
-    pub fn from_samples(xs: &[f64]) -> Self {
-        let mut w = Welford::new();
-        for &x in xs {
-            w.push(x);
-        }
+    /// Computes a t-based CI from a streaming [`Welford`] accumulator whose
+    /// observations are per-replication means.
+    pub fn from_welford(w: &Welford) -> Self {
         let n = w.count();
         let hw = if n >= 2 {
             t_975(n - 1) * w.std_dev() / (n as f64).sqrt()
@@ -382,6 +379,15 @@ impl MeanCi {
             half_width: hw,
             n,
         }
+    }
+
+    /// Computes a t-based CI from per-replication means.
+    pub fn from_samples(xs: &[f64]) -> Self {
+        let mut w = Welford::new();
+        for &x in xs {
+            w.push(x);
+        }
+        Self::from_welford(&w)
     }
 }
 
@@ -534,5 +540,15 @@ mod tests {
     fn ci_single_sample_infinite() {
         let ci = MeanCi::from_samples(&[1.0]);
         assert!(ci.half_width.is_infinite());
+    }
+
+    #[test]
+    fn ci_from_welford_matches_from_samples() {
+        let xs = [0.4, 0.9, 1.3, 2.2, 0.1];
+        let mut w = Welford::new();
+        for &x in &xs {
+            w.push(x);
+        }
+        assert_eq!(MeanCi::from_welford(&w), MeanCi::from_samples(&xs));
     }
 }

@@ -1,7 +1,7 @@
 //! Parametric BER model for the variable-throughput orthogonal coded
 //! modulation.
 //!
-//! The exact performance curves of the VTAOC codes live in Lau [3],[7],
+//! The exact performance curves of the VTAOC codes live in Lau \[3\],\[7\],
 //! which are not reproducible without the full coded-modulation design. We
 //! substitute the standard exponential error model for orthogonal/noncoherent
 //! signalling families:
@@ -45,7 +45,7 @@ impl BerModel {
 
     /// Coded orthogonal modulation, `c = 2` (≈ 6 dB of coding gain over the
     /// uncoded detector — representative of the convolutionally coded
-    /// schemes of refs [3],[7] and the default used by the system-level
+    /// schemes of refs \[3\],\[7\] and the default used by the system-level
     /// experiments).
     pub fn coded() -> Self {
         Self::new(2.0)

@@ -2,7 +2,7 @@
 //!
 //! * [`modes`] — the six VTAOC transmission modes (β = 1/32 … 1 bits/symbol).
 //! * [`ber`] — parametric BER model with closed-form constant-BER threshold
-//!   inversion (substitution for the coded-modulation curves of refs [3],[7];
+//!   inversion (substitution for the coded-modulation curves of refs \[3\],\[7\];
 //!   see DESIGN.md §2).
 //! * [`vtaoc`] — the adaptive coder: mode selection from fed-back CSI,
 //!   mode-occupancy and average-throughput closed forms over Rayleigh fading.

@@ -1,0 +1,117 @@
+//! Named campaigns shipped with the repository.
+//!
+//! These cover the paper's evaluation matrix and the experiment sweeps the
+//! campaign layer ports from `experiments.rs`, so `wcdma campaign run`
+//! reproduces them without a spec file.
+
+use super::spec::{CsiQuality, ScenarioSpec, SpeedClass, TrafficMix};
+
+/// The built-in campaign names, in presentation order.
+pub fn builtin_names() -> &'static [&'static str] {
+    &[
+        "paper-eval",
+        "delay-vs-load",
+        "speed-sweep",
+        "policy-comparison",
+        "hotspot-stress",
+        "csi-robustness",
+    ]
+}
+
+/// Resolves a built-in campaign by name.
+pub fn builtin(name: &str) -> Option<ScenarioSpec> {
+    let mut spec = ScenarioSpec {
+        name: name.to_string(),
+        ..ScenarioSpec::default()
+    };
+    match name {
+        "paper-eval" => {
+            spec.description =
+                "Paper evaluation matrix: 3 traffic mixes × 2 speed classes × 2 policies".into();
+            spec.seed = 0x9A9E6;
+            spec.replications = 3;
+            spec.mixes = vec![
+                TrafficMix::VoiceDominated,
+                TrafficMix::Balanced,
+                TrafficMix::HeavyWeb,
+            ];
+            spec.speeds = vec![SpeedClass::Pedestrian, SpeedClass::Vehicular];
+            spec.policies = vec!["jaba-sd-j2".into(), "fcfs".into()];
+        }
+        "delay-vs-load" => {
+            spec.description =
+                "E1 port: mean burst delay vs offered load for the headline policies".into();
+            spec.seed = 0xE1;
+            spec.replications = 3;
+            spec.loads = vec![4, 8, 16, 24];
+            spec.policies = vec!["jaba-sd-j2".into(), "fcfs".into(), "equal-share".into()];
+        }
+        "speed-sweep" => {
+            spec.description = "E11 port: pedestrian → urban → vehicular mobility".into();
+            spec.seed = 0xE11;
+            spec.replications = 3;
+            spec.speeds = vec![
+                SpeedClass::Pedestrian,
+                SpeedClass::Urban,
+                SpeedClass::Vehicular,
+            ];
+        }
+        "policy-comparison" => {
+            spec.description = "Every comparison policy on the balanced baseline".into();
+            spec.seed = 0x90_11C7;
+            spec.replications = 3;
+            spec.policies = super::spec::policy_names()
+                .into_iter()
+                .map(|n| n.to_string())
+                .collect();
+        }
+        "hotspot-stress" => {
+            spec.description = "Centre-cell overload: uniform → 2× → 4× hotspot density".into();
+            spec.seed = 0x407;
+            spec.replications = 3;
+            spec.hotspots = vec![1.0, 2.0, 4.0];
+            spec.policies = vec!["jaba-sd-j2".into(), "fcfs".into()];
+        }
+        "csi-robustness" => {
+            spec.description = "E10 port: scheduler CSI quality from ideal to degraded".into();
+            spec.seed = 0xE10;
+            spec.replications = 3;
+            spec.csi = vec![
+                CsiQuality::Ideal,
+                CsiQuality::Noisy,
+                CsiQuality::Delayed,
+                CsiQuality::Degraded,
+            ];
+        }
+        _ => return None,
+    }
+    Some(spec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_builtin_expands_and_round_trips() {
+        for &name in builtin_names() {
+            let spec = builtin(name).expect("registered builtin");
+            assert_eq!(spec.name, name);
+            assert!(!spec.description.is_empty());
+            let scenarios = spec.expand().unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert_eq!(scenarios.len(), spec.n_scenarios());
+            let reparsed = ScenarioSpec::parse(&spec.to_toml()).expect("toml round-trip");
+            assert_eq!(reparsed, spec);
+        }
+        assert!(builtin("no-such-campaign").is_none());
+    }
+
+    #[test]
+    fn paper_eval_meets_the_acceptance_matrix() {
+        let spec = builtin("paper-eval").unwrap();
+        assert!(spec.mixes.len() >= 3);
+        assert!(spec.speeds.len() >= 2);
+        assert!(spec.policies.len() >= 2);
+        assert!(spec.n_scenarios() >= 12);
+    }
+}

@@ -1,0 +1,263 @@
+//! Campaign result emitters: CSV for plotting, JSON for machines.
+//!
+//! All three emitters are pure functions of a [`CampaignResult`], so the
+//! emitted artefacts inherit the runner's bit-for-bit shard invariance.
+
+use std::fmt::Write as _;
+
+use wcdma_math::stats::Welford;
+
+use crate::stats::ReplicationStats;
+use crate::table::Table;
+
+use super::runner::{CampaignResult, ScenarioResult};
+
+/// Accessor into one metric accumulator of the streaming stats.
+type MetricAccessor = fn(&ReplicationStats) -> &Welford;
+
+/// The per-scenario metric columns shared by every emitter: name plus
+/// accessor into the streaming stats.
+fn metric_columns() -> [(&'static str, MetricAccessor); 7] {
+    [
+        ("mean_delay_s", |s: &ReplicationStats| &s.mean_delay_s),
+        ("p95_delay_s", |s| &s.p95_delay_s),
+        ("mean_queue_delay_s", |s| &s.mean_queue_delay_s),
+        ("per_cell_throughput_kbps", |s| &s.per_cell_throughput_kbps),
+        ("mean_grant_m", |s| &s.mean_grant_m),
+        ("denial_rate", |s| &s.denial_rate),
+        ("bursts_completed", |s| &s.bursts_completed),
+    ]
+}
+
+/// Renders one row per scenario as CSV: axis columns, then
+/// `mean`/`ci95` pairs for every metric.
+pub fn campaign_csv(result: &CampaignResult) -> String {
+    let axis_keys: Vec<&str> = result
+        .scenarios
+        .first()
+        .map(|s| s.scenario.axes.iter().map(|(k, _)| k.as_str()).collect())
+        .unwrap_or_default();
+    let mut header: Vec<&str> = vec!["scenario"];
+    header.extend(axis_keys.iter().copied());
+    header.push("replications");
+    let metric_headers: Vec<String> = metric_columns()
+        .iter()
+        .flat_map(|(name, _)| [name.to_string(), format!("{name}_ci95")])
+        .collect();
+    header.extend(metric_headers.iter().map(|s| s.as_str()));
+
+    let mut t = Table::new(&header);
+    for sr in &result.scenarios {
+        let mut row: Vec<String> = vec![sr.scenario.label.clone()];
+        for key in &axis_keys {
+            let v = sr
+                .scenario
+                .axes
+                .iter()
+                .find(|(k, _)| k == key)
+                .map(|(_, v)| v.clone())
+                .unwrap_or_default();
+            row.push(v);
+        }
+        row.push(sr.stats.n().to_string());
+        for (_, get) in metric_columns() {
+            let ci = ReplicationStats::ci(get(&sr.stats));
+            row.push(format!("{}", ci.mean));
+            row.push(if ci.half_width.is_finite() {
+                format!("{}", ci.half_width)
+            } else {
+                String::new()
+            });
+        }
+        t.row(&row);
+    }
+    t.to_csv()
+}
+
+/// JSON string escaping (control characters, quotes, backslashes).
+fn jstr(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// JSON number rendering; non-finite values become `null`.
+fn jnum(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn scenario_axes_json(sr: &ScenarioResult) -> String {
+    let pairs: Vec<String> = sr
+        .scenario
+        .axes
+        .iter()
+        .map(|(k, v)| format!("{}: {}", jstr(k), jstr(v)))
+        .collect();
+    format!("{{{}}}", pairs.join(", "))
+}
+
+/// Full machine-readable campaign result: per-scenario axes, per-metric
+/// mean/CI, and the headline per-replication series.
+pub fn campaign_json(result: &CampaignResult) -> String {
+    let mut scenarios = Vec::with_capacity(result.scenarios.len());
+    for sr in &result.scenarios {
+        let metrics: Vec<String> = metric_columns()
+            .iter()
+            .map(|(name, get)| {
+                let ci = ReplicationStats::ci(get(&sr.stats));
+                format!(
+                    "{}: {{\"mean\": {}, \"ci95\": {}, \"n\": {}}}",
+                    jstr(name),
+                    jnum(ci.mean),
+                    jnum(ci.half_width),
+                    ci.n
+                )
+            })
+            .collect();
+        let reps: Vec<String> = sr
+            .reports
+            .iter()
+            .map(|r| {
+                format!(
+                    "{{\"mean_delay_s\": {}, \"per_cell_throughput_kbps\": {}, \"bursts_completed\": {}}}",
+                    jnum(r.mean_delay_s),
+                    jnum(r.per_cell_throughput_kbps),
+                    r.bursts_completed
+                )
+            })
+            .collect();
+        // The seed is a full-range u64; emit it as a string so
+        // double-based JSON consumers (JS, jq) cannot round it to a
+        // different — unreproducible — value.
+        scenarios.push(format!(
+            "    {{\n      \"label\": {},\n      \"axes\": {},\n      \"seed\": \"{}\",\n      \"metrics\": {{{}}},\n      \"replications\": [{}]\n    }}",
+            jstr(&sr.scenario.label),
+            scenario_axes_json(sr),
+            sr.scenario.cfg.seed,
+            metrics.join(", "),
+            reps.join(", ")
+        ));
+    }
+    format!(
+        "{{\n  \"campaign\": {},\n  \"replications\": {},\n  \"n_scenarios\": {},\n  \"scenarios\": [\n{}\n  ]\n}}\n",
+        jstr(&result.name),
+        result.replications,
+        result.scenarios.len(),
+        scenarios.join(",\n")
+    )
+}
+
+/// Compact `BENCH_campaign.json`-style summary: one flat object per
+/// scenario with the headline means, for CI trend tracking.
+pub fn campaign_summary_json(result: &CampaignResult) -> String {
+    let rows: Vec<String> = result
+        .scenarios
+        .iter()
+        .map(|sr| {
+            let s = &sr.stats;
+            format!(
+                "    {{\"label\": {}, \"mean_delay_s\": {}, \"p95_delay_s\": {}, \"per_cell_throughput_kbps\": {}, \"mean_grant_m\": {}, \"denial_rate\": {}}}",
+                jstr(&sr.scenario.label),
+                jnum(s.mean_delay_s.mean()),
+                jnum(s.p95_delay_s.mean()),
+                jnum(s.per_cell_throughput_kbps.mean()),
+                jnum(s.mean_grant_m.mean()),
+                jnum(s.denial_rate.mean())
+            )
+        })
+        .collect();
+    format!(
+        "{{\n  \"bench\": \"campaign\",\n  \"name\": {},\n  \"n_scenarios\": {},\n  \"replications\": {},\n  \"scenarios\": [\n{}\n  ]\n}}\n",
+        jstr(&result.name),
+        result.scenarios.len(),
+        result.replications,
+        rows.join(",\n")
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::runner::run_campaign;
+    use crate::campaign::spec::Scenario;
+    use crate::config::SimConfig;
+
+    fn tiny_result() -> CampaignResult {
+        let mut base = SimConfig::baseline();
+        base.n_voice = 6;
+        base.n_data = 3;
+        base.duration_s = 6.0;
+        base.warmup_s = 1.0;
+        let scenarios = vec![Scenario {
+            label: "mix=balanced/policy=jaba-sd-j2".into(),
+            axes: vec![
+                ("mix".into(), "balanced".into()),
+                ("policy".into(), "jaba-sd-j2".into()),
+            ],
+            cfg: base,
+        }];
+        run_campaign("tiny", scenarios, 2, 1)
+    }
+
+    #[test]
+    fn csv_has_axis_and_metric_columns() {
+        let csv = campaign_csv(&tiny_result());
+        let mut lines = csv.lines();
+        let header = lines.next().expect("header line");
+        assert!(header.starts_with("scenario,mix,policy,replications,mean_delay_s,"));
+        assert!(header.contains("per_cell_throughput_kbps_ci95"));
+        let row = lines.next().expect("one data row");
+        assert!(row.contains("balanced"));
+        assert_eq!(lines.next(), None);
+    }
+
+    #[test]
+    fn json_is_structurally_sound() {
+        let result = tiny_result();
+        for text in [campaign_json(&result), campaign_summary_json(&result)] {
+            // Balanced braces/brackets and no stray NaN tokens — the
+            // emitters never depend on an external JSON library, so this
+            // sanity check guards the hand-rolled encoding.
+            assert_eq!(
+                text.matches('{').count(),
+                text.matches('}').count(),
+                "unbalanced braces in {text}"
+            );
+            assert_eq!(text.matches('[').count(), text.matches(']').count());
+            assert!(!text.contains("NaN") && !text.contains("inf"));
+            assert!(text.contains("\"mean_delay_s\""));
+        }
+        assert!(campaign_json(&result).contains("\"axes\": {\"mix\": \"balanced\""));
+        // Seeds are full-range u64 — they must be strings, not JSON
+        // numbers, or double-based consumers round them.
+        let seed = result.scenarios[0].scenario.cfg.seed;
+        assert!(campaign_json(&result).contains(&format!("\"seed\": \"{seed}\"")));
+        assert!(campaign_summary_json(&result).contains("\"bench\": \"campaign\""));
+    }
+
+    #[test]
+    fn json_escapes_control_characters() {
+        assert_eq!(jstr("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+        assert_eq!(jstr("\u{1}"), "\"\\u0001\"");
+        assert_eq!(jnum(f64::NAN), "null");
+        assert_eq!(jnum(1.5), "1.5");
+    }
+}

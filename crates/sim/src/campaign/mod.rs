@@ -1,0 +1,34 @@
+//! Campaign subsystem: declarative scenario matrices, a sharded parallel
+//! runner, and machine-readable emitters.
+//!
+//! The paper's evaluation is a *matrix* of scenarios — traffic mixes,
+//! mobility classes, CSI quality, hotspot overloads, policy sets — and the
+//! ROADMAP north star asks for "as many scenarios as you can imagine". This
+//! module turns that matrix into data:
+//!
+//! * [`spec`] — [`ScenarioSpec`], a plain-text (TOML-subset, zero-dependency)
+//!   description of a campaign, expanded into concrete [`Scenario`]s (each
+//!   wrapping a [`crate::SimConfig`]) through the named axis registries
+//!   ([`TrafficMix`], [`SpeedClass`], [`CsiQuality`], the policy table).
+//! * [`runner`] — [`run_campaign`], a work-stealing sharded driver over the
+//!   (scenario × replication) job grid with deterministic per-replication
+//!   seed substreams; results are folded in replication order through
+//!   [`crate::stats::ReplicationStats`], so the statistics are bit-identical
+//!   regardless of the shard count.
+//! * [`emit`] — CSV and JSON renderers, including the
+//!   `BENCH_campaign.json`-style summary consumed by CI.
+//! * [`mod@builtin`] — the named campaigns shipped with the repo (the
+//!   paper evaluation matrix, the ported load/speed/policy sweeps, hotspot
+//!   stress).
+
+pub mod builtin;
+pub mod emit;
+pub mod runner;
+pub mod spec;
+
+pub use builtin::{builtin, builtin_names};
+pub use emit::{campaign_csv, campaign_json, campaign_summary_json};
+pub use runner::{run_campaign, run_spec, CampaignResult, ScenarioResult};
+pub use spec::{
+    policy_by_name, policy_names, CsiQuality, Scenario, ScenarioSpec, SpeedClass, TrafficMix,
+};

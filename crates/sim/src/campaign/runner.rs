@@ -1,0 +1,180 @@
+//! Sharded parallel campaign execution.
+//!
+//! The runner flattens the campaign into a (scenario × replication) job
+//! grid and lets `shards` worker threads steal jobs off a shared atomic
+//! cursor — no static chunking, so a slow scenario cannot strand the other
+//! workers. Every replication derives its seed from its scenario's seed
+//! (`mix_seed(scenario_seed, 1 + rep)`) and is therefore bit-reproducible
+//! in isolation; the per-scenario statistics are folded *after* the
+//! parallel phase, in replication order, through the streaming
+//! [`ReplicationStats`], so the campaign result is bit-identical for every
+//! shard count.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+use crate::engine::Simulation;
+use crate::stats::{ReplicationStats, SimReport};
+
+use super::spec::{Scenario, ScenarioSpec};
+
+/// One scenario's aggregated campaign outcome.
+#[derive(Debug, Clone)]
+pub struct ScenarioResult {
+    /// The matrix cell that produced this result.
+    pub scenario: Scenario,
+    /// Streaming cross-replication statistics (fold order = replication
+    /// order, independent of scheduling).
+    pub stats: ReplicationStats,
+    /// The raw per-replication reports, in replication order.
+    pub reports: Vec<SimReport>,
+}
+
+/// A completed campaign: one [`ScenarioResult`] per matrix cell, in
+/// expansion order.
+#[derive(Debug, Clone)]
+pub struct CampaignResult {
+    /// Campaign name (file stem for the emitters).
+    pub name: String,
+    /// Replications per scenario.
+    pub replications: usize,
+    /// Per-scenario results, in matrix expansion order.
+    pub scenarios: Vec<ScenarioResult>,
+}
+
+/// Runs every scenario `n_reps` times across `shards` worker threads
+/// (`shards == 0` ⇒ one per available core). Work-stealing over the job
+/// grid; deterministic per-replication seed substreams; the result is
+/// bit-identical for every shard count.
+pub fn run_campaign(
+    name: &str,
+    scenarios: Vec<Scenario>,
+    n_reps: usize,
+    shards: usize,
+) -> CampaignResult {
+    assert!(n_reps >= 1, "need at least one replication");
+    assert!(!scenarios.is_empty(), "need at least one scenario");
+    let n_jobs = scenarios.len() * n_reps;
+    let workers = if shards == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+    } else {
+        shards
+    }
+    .min(n_jobs)
+    .max(1);
+
+    // Each job slot is written exactly once by whichever shard claims it.
+    let mut slots: Vec<OnceLock<SimReport>> = Vec::new();
+    slots.resize_with(n_jobs, OnceLock::new);
+    let cursor = AtomicUsize::new(0);
+    {
+        let slots = &slots;
+        let cursor = &cursor;
+        let scenarios = &scenarios;
+        std::thread::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(move || loop {
+                    let job = cursor.fetch_add(1, Ordering::Relaxed);
+                    if job >= n_jobs {
+                        break;
+                    }
+                    let (si, rep) = (job / n_reps, job % n_reps);
+                    let base = &scenarios[si].cfg;
+                    let cfg = base.with_seed(wcdma_math::mix_seed(base.seed, 1 + rep as u64));
+                    let report = Simulation::new(cfg).run();
+                    slots[job].set(report).expect("job claimed exactly once");
+                });
+            }
+        });
+    }
+
+    // Deterministic fold: scenario-major, replication order.
+    let mut results = Vec::with_capacity(scenarios.len());
+    let mut slot_iter = slots.into_iter();
+    for scenario in scenarios {
+        let mut stats = ReplicationStats::new();
+        let mut reports = Vec::with_capacity(n_reps);
+        for _ in 0..n_reps {
+            let report = slot_iter
+                .next()
+                .expect("one slot per job")
+                .take()
+                .expect("all jobs completed");
+            stats.push(&report);
+            reports.push(report);
+        }
+        results.push(ScenarioResult {
+            scenario,
+            stats,
+            reports,
+        });
+    }
+    CampaignResult {
+        name: name.to_string(),
+        replications: n_reps,
+        scenarios: results,
+    }
+}
+
+/// Expands a [`ScenarioSpec`] and runs it: the one-call campaign driver
+/// used by the CLI and the examples.
+pub fn run_spec(spec: &ScenarioSpec, shards: usize) -> Result<CampaignResult, String> {
+    let scenarios = spec.expand()?;
+    Ok(run_campaign(
+        &spec.name,
+        scenarios,
+        spec.replications,
+        shards,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SimConfig;
+
+    fn tiny_scenarios() -> Vec<Scenario> {
+        let mut base = SimConfig::baseline();
+        base.n_voice = 6;
+        base.n_data = 3;
+        base.duration_s = 6.0;
+        base.warmup_s = 1.0;
+        vec![
+            Scenario::single("a", base.clone()),
+            Scenario::single("b", base.with_seed(99)),
+        ]
+    }
+
+    #[test]
+    fn campaign_runs_every_cell() {
+        let result = run_campaign("tiny", tiny_scenarios(), 2, 2);
+        assert_eq!(result.scenarios.len(), 2);
+        for sr in &result.scenarios {
+            assert_eq!(sr.reports.len(), 2);
+            assert_eq!(sr.stats.n(), 2);
+            assert!(sr.stats.mean_delay_s.mean() > 0.0);
+        }
+    }
+
+    #[test]
+    fn shard_count_does_not_change_results() {
+        let run = |shards| run_campaign("tiny", tiny_scenarios(), 2, shards);
+        let one = run(1);
+        let four = run(4);
+        for (a, b) in one.scenarios.iter().zip(&four.scenarios) {
+            assert_eq!(a.reports, b.reports, "per-replication reports must match");
+            assert_eq!(a.stats, b.stats, "streaming stats must be bit-identical");
+        }
+    }
+
+    #[test]
+    fn replication_seeds_match_standalone_runs() {
+        let scenarios = tiny_scenarios();
+        let cfg = scenarios[1].cfg.clone();
+        let result = run_campaign("tiny", scenarios, 2, 0);
+        let standalone = Simulation::new(cfg.with_seed(wcdma_math::mix_seed(cfg.seed, 2))).run();
+        assert_eq!(result.scenarios[1].reports[1], standalone);
+    }
+}

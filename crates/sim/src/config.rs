@@ -82,6 +82,9 @@ pub struct SimConfig {
     pub n_data: usize,
     /// Mobile speed (m/s) used for all users.
     pub speed_ms: f64,
+    /// Hotspot overload factor: cell 0 attracts this multiple of the user
+    /// density of every other cell (1.0 ⇒ uniform round-robin placement).
+    pub hotspot_overload: f64,
     /// Traffic model.
     pub traffic: TrafficConfig,
     /// PHY under test.
@@ -121,6 +124,7 @@ impl SimConfig {
             n_voice: 40,
             n_data: 8,
             speed_ms: 3.0 / 3.6,
+            hotspot_overload: 1.0,
             traffic: TrafficConfig::web_default(),
             phy: PhyKind::Adaptive,
             target_ber: 1e-3,
@@ -188,6 +192,9 @@ impl SimConfig {
         if !(self.csi_error_sigma_db >= 0.0) {
             return Err("CSI error sigma must be non-negative".into());
         }
+        if !(self.hotspot_overload > 0.0 && self.hotspot_overload.is_finite()) {
+            return Err("hotspot overload factor must be positive and finite".into());
+        }
         Ok(())
     }
 
@@ -219,6 +226,20 @@ impl SimConfig {
     pub fn with_seed(&self, seed: u64) -> Self {
         let mut c = self.clone();
         c.seed = seed;
+        c
+    }
+
+    /// Returns a copy with a different mobile speed, given in km/h.
+    pub fn with_speed_kmh(&self, speed_kmh: f64) -> Self {
+        let mut c = self.clone();
+        c.speed_ms = speed_kmh / 3.6;
+        c
+    }
+
+    /// Returns a copy with a different hotspot overload factor.
+    pub fn with_hotspot(&self, overload: f64) -> Self {
+        let mut c = self.clone();
+        c.hotspot_overload = overload;
         c
     }
 
@@ -266,6 +287,9 @@ mod tests {
         assert_eq!(base.with_n_data(20).n_data, 20);
         assert_eq!(base.with_direction(LinkDir::Reverse).traffic.p_forward, 0.0);
         assert_eq!(base.with_seed(9).seed, 9);
+        assert!((base.with_speed_kmh(36.0).speed_ms - 10.0).abs() < 1e-12);
+        assert_eq!(base.with_hotspot(2.5).hotspot_overload, 2.5);
+        assert!(base.with_hotspot(0.0).validate().is_err());
         assert_eq!(base.n_frames(), 3000);
     }
 

@@ -27,7 +27,9 @@
 //! solve inside a scheduling round.
 
 use wcdma_admission::{RequestState, Scheduler};
-use wcdma_cdma::{populate_round_robin, Network, SchGrant, UserKind};
+use wcdma_cdma::{
+    hotspot_weights, populate_round_robin, populate_weighted, Network, SchGrant, UserKind,
+};
 use wcdma_channel::CsiEstimator;
 use wcdma_geo::mobility::{MobilityModel, RandomWaypoint};
 use wcdma_geo::HexLayout;
@@ -88,13 +90,27 @@ impl Simulation {
         let mut net = Network::new(cfg.cdma.clone(), layout, cfg.seed);
         let scheduler = Scheduler::new(cfg.scheduler_config(), cfg.policy.clone());
         let mut placement_rng = Xoshiro256pp::substream(cfg.seed, 0x9_1ACE);
-        let placed = populate_round_robin(
-            &mut net,
-            cfg.n_voice,
-            cfg.n_data,
-            cfg.speed_ms,
-            &mut placement_rng,
-        );
+        // Uniform scenarios keep the historical round-robin placement (and
+        // its exact RNG consumption); hotspot scenarios overload cell 0.
+        let placed = if cfg.hotspot_overload == 1.0 {
+            populate_round_robin(
+                &mut net,
+                cfg.n_voice,
+                cfg.n_data,
+                cfg.speed_ms,
+                &mut placement_rng,
+            )
+        } else {
+            let weights = hotspot_weights(net.num_cells(), cfg.hotspot_overload);
+            populate_weighted(
+                &mut net,
+                cfg.n_voice,
+                cfg.n_data,
+                cfg.speed_ms,
+                &weights,
+                &mut placement_rng,
+            )
+        };
         let total = placed.len();
         let mut mobility = Vec::with_capacity(total);
         let mut sources = Vec::with_capacity(total);
@@ -427,6 +443,19 @@ mod tests {
         let a = Simulation::new(quick_cfg()).run();
         let b = Simulation::new(quick_cfg().with_seed(777)).run();
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn hotspot_scenario_runs_and_differs() {
+        let uniform = quick_cfg();
+        let hotspot = uniform.with_hotspot(3.0);
+        let ru = Simulation::new(uniform).run();
+        let rh = Simulation::new(hotspot).run();
+        assert!(
+            rh.bursts_completed > 0,
+            "hotspot scenario must make progress"
+        );
+        assert_ne!(ru, rh, "overloading cell 0 must perturb the run");
     }
 
     #[test]

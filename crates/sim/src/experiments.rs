@@ -8,6 +8,7 @@
 use wcdma_admission::Policy;
 use wcdma_mac::LinkDir;
 
+use crate::campaign::{run_campaign, Scenario};
 use crate::config::{PhyKind, SimConfig};
 use crate::runner::{run_replications, Aggregate};
 
@@ -23,6 +24,10 @@ pub struct LoadRow {
 }
 
 /// E1/E2: average burst delay vs offered load for each policy.
+///
+/// Ported onto the campaign layer: the whole (policy × load) grid runs as
+/// one sharded campaign, so replications of *different* grid cells fill the
+/// worker threads together instead of one cell at a time.
 pub fn delay_vs_load(
     base: &SimConfig,
     dir: LinkDir,
@@ -30,22 +35,40 @@ pub fn delay_vs_load(
     policies: &[(&str, Policy)],
     n_reps: usize,
 ) -> Vec<LoadRow> {
-    let mut rows = Vec::new();
+    let mut scenarios = Vec::new();
+    let mut keys = Vec::new();
     for &(name, ref policy) in policies {
         for &n in loads {
             let cfg = base
                 .with_direction(dir)
                 .with_n_data(n)
                 .with_policy(policy.clone());
-            let agg = run_replications(&cfg, n_reps);
-            rows.push(LoadRow {
-                policy: name.to_string(),
-                n_data: n,
-                agg,
+            scenarios.push(Scenario {
+                label: format!("policy={name}/load={n}"),
+                axes: vec![
+                    ("policy".to_string(), name.to_string()),
+                    ("load".to_string(), n.to_string()),
+                ],
+                cfg,
             });
+            keys.push((name.to_string(), n));
         }
     }
-    rows
+    if scenarios.is_empty() {
+        // Empty sweep axes produced an empty grid before the campaign
+        // port; keep that contract rather than tripping the runner's
+        // non-empty assertion.
+        return Vec::new();
+    }
+    let result = run_campaign("delay_vs_load", scenarios, n_reps, 0);
+    keys.into_iter()
+        .zip(result.scenarios)
+        .map(|((policy, n_data), sr)| LoadRow {
+            policy,
+            n_data,
+            agg: Aggregate::from(sr),
+        })
+        .collect()
 }
 
 /// E3 result: the largest load meeting the delay target.
@@ -93,10 +116,7 @@ pub fn capacity_at_delay_target(
             let agg = run_replications(&cfg, n_reps);
             let measured = match metric {
                 CapacityMetric::TotalDelay => agg.mean_delay_s.mean,
-                CapacityMetric::QueueDelay => {
-                    let xs: Vec<f64> = agg.reports.iter().map(|r| r.mean_queue_delay_s).collect();
-                    xs.iter().sum::<f64>() / xs.len() as f64
-                }
+                CapacityMetric::QueueDelay => agg.stats.mean_queue_delay_s.mean(),
             };
             if measured <= target_delay_s {
                 capacity = n;
@@ -269,20 +289,34 @@ pub struct SpeedRow {
 
 /// E11: mobility impact — pedestrian to vehicular speeds. Faster users
 /// decorrelate shadowing quicker and stress hand-off and power control.
+///
+/// Ported onto the campaign layer: all speeds run as one sharded campaign.
 pub fn speed_sweep(
     base: &SimConfig,
     dir: LinkDir,
     speeds_kmh: &[f64],
     n_reps: usize,
 ) -> Vec<SpeedRow> {
-    let mut rows = Vec::new();
-    for &v in speeds_kmh {
-        let mut cfg = base.with_direction(dir);
-        cfg.speed_ms = v / 3.6;
-        let agg = run_replications(&cfg, n_reps);
-        rows.push(SpeedRow { speed_kmh: v, agg });
+    let scenarios: Vec<Scenario> = speeds_kmh
+        .iter()
+        .map(|&v| Scenario {
+            label: format!("speed={v}kmh"),
+            axes: vec![("speed_kmh".to_string(), v.to_string())],
+            cfg: base.with_direction(dir).with_speed_kmh(v),
+        })
+        .collect();
+    if scenarios.is_empty() {
+        return Vec::new();
     }
-    rows
+    let result = run_campaign("speed_sweep", scenarios, n_reps, 0);
+    speeds_kmh
+        .iter()
+        .zip(result.scenarios)
+        .map(|(&v, sr)| SpeedRow {
+            speed_kmh: v,
+            agg: Aggregate::from(sr),
+        })
+        .collect()
 }
 
 /// One row of the voice-background study (E12).
@@ -422,6 +456,32 @@ mod tests {
         assert_eq!(sp.len(), 2);
         let vl = voice_load_sweep(&tiny(), LinkDir::Forward, &[4, 12], 1);
         assert_eq!(vl.len(), 2);
+    }
+
+    #[test]
+    fn empty_sweep_axes_yield_empty_rows() {
+        let policies = vec![("jaba", Policy::jaba_sd_default())];
+        assert!(delay_vs_load(&tiny(), LinkDir::Forward, &[], &policies, 1).is_empty());
+        assert!(delay_vs_load(&tiny(), LinkDir::Forward, &[2], &[], 1).is_empty());
+        assert!(speed_sweep(&tiny(), LinkDir::Forward, &[], 1).is_empty());
+    }
+
+    #[test]
+    fn campaign_port_matches_run_replications() {
+        // The campaign-backed sweep must reproduce exactly what a
+        // per-cell run_replications loop produced before the port.
+        let base = tiny();
+        let policies = vec![("jaba", Policy::jaba_sd_default())];
+        let rows = delay_vs_load(&base, LinkDir::Forward, &[2], &policies, 2);
+        let direct = run_replications(
+            &base
+                .with_direction(LinkDir::Forward)
+                .with_n_data(2)
+                .with_policy(Policy::jaba_sd_default()),
+            2,
+        );
+        assert_eq!(rows[0].agg.reports, direct.reports);
+        assert_eq!(rows[0].agg.mean_delay_s, direct.mean_delay_s);
     }
 
     #[test]

@@ -7,14 +7,18 @@
 //!   exponential reading time).
 //! * [`engine`] — the frame loop tying mobility, the CDMA network, the MAC
 //!   and the burst scheduler together ([`Simulation`]).
-//! * [`stats`] — streaming metric accumulators and the [`SimReport`].
+//! * [`stats`] — streaming metric accumulators, the [`SimReport`], and the
+//!   cross-replication [`ReplicationStats`].
 //! * [`runner`] — parallel replication running with confidence intervals.
+//! * [`campaign`] — declarative scenario matrices ([`campaign::ScenarioSpec`]),
+//!   the sharded work-stealing campaign runner, and CSV/JSON emitters.
 //! * [`experiments`] — drivers for the E1–E8 experiment suite.
 //! * [`table`] — text/CSV rendering of result rows.
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod campaign;
 pub mod config;
 pub mod engine;
 pub mod experiments;
@@ -23,8 +27,9 @@ pub mod stats;
 pub mod table;
 pub mod traffic;
 
+pub use campaign::{run_campaign, run_spec, CampaignResult, Scenario, ScenarioSpec};
 pub use config::{PhyKind, SimConfig, TrafficConfig};
 pub use engine::Simulation;
 pub use runner::{run_replications, Aggregate};
-pub use stats::{SimReport, SimStats};
+pub use stats::{ReplicationStats, SimReport, SimStats};
 pub use table::Table;

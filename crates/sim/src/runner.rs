@@ -1,15 +1,18 @@
-//! Replication running: independent seeds in parallel, aggregated with
-//! t-based confidence intervals.
+//! Replication running: a thin wrapper over the campaign runner.
 //!
-//! Parallelism uses `std::thread::scope` — replications chunked across the
-//! available cores — keeping each replication bit-reproducible from its own
-//! derived seed regardless of thread interleaving.
+//! `run_replications` is the historical single-scenario entry point; it
+//! wraps the configuration as a one-cell campaign and delegates to
+//! [`crate::campaign::run_campaign`], which work-steals the replications
+//! across threads while keeping each one bit-reproducible from its derived
+//! seed (`mix_seed(cfg.seed, 1 + rep)`). The cross-replication mean/CI
+//! math lives in the streaming [`ReplicationStats`]; [`Aggregate`] is the
+//! compatibility view the experiment drivers render.
 
 use wcdma_math::stats::MeanCi;
 
+use crate::campaign::{run_campaign, Scenario, ScenarioResult};
 use crate::config::SimConfig;
-use crate::engine::Simulation;
-use crate::stats::SimReport;
+use crate::stats::{ReplicationStats, SimReport};
 
 /// Aggregated result of several replications.
 #[derive(Debug, Clone)]
@@ -24,53 +27,40 @@ pub struct Aggregate {
     pub mean_grant_m: MeanCi,
     /// Denial rate with CI.
     pub denial_rate: MeanCi,
+    /// Streaming per-metric statistics (the full set, beyond the headline
+    /// CIs above).
+    pub stats: ReplicationStats,
     /// Raw per-replication reports.
     pub reports: Vec<SimReport>,
+}
+
+impl From<ScenarioResult> for Aggregate {
+    fn from(sr: ScenarioResult) -> Self {
+        let s = &sr.stats;
+        Aggregate {
+            mean_delay_s: ReplicationStats::ci(&s.mean_delay_s),
+            p95_delay_s: ReplicationStats::ci(&s.p95_delay_s),
+            per_cell_throughput_kbps: ReplicationStats::ci(&s.per_cell_throughput_kbps),
+            mean_grant_m: ReplicationStats::ci(&s.mean_grant_m),
+            denial_rate: ReplicationStats::ci(&s.denial_rate),
+            stats: sr.stats,
+            reports: sr.reports,
+        }
+    }
 }
 
 /// Runs `n_reps` replications of `cfg` with derived seeds, in parallel.
 pub fn run_replications(cfg: &SimConfig, n_reps: usize) -> Aggregate {
     assert!(n_reps >= 1);
-    let configs: Vec<SimConfig> = (0..n_reps)
-        .map(|r| cfg.with_seed(wcdma_math::mix_seed(cfg.seed, 1 + r as u64)))
-        .collect();
-    let mut reports: Vec<Option<SimReport>> = vec![None; n_reps];
-
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4)
-        .min(n_reps);
-    // Chunk the replications across worker threads.
-    std::thread::scope(|s| {
-        for (chunk_id, chunk) in reports.chunks_mut(n_reps.div_ceil(threads)).enumerate() {
-            let configs = &configs;
-            let base = chunk_id * n_reps.div_ceil(threads);
-            s.spawn(move || {
-                for (off, slot) in chunk.iter_mut().enumerate() {
-                    *slot = Some(Simulation::new(configs[base + off].clone()).run());
-                }
-            });
-        }
-    });
-
-    let reports: Vec<SimReport> = reports.into_iter().map(|r| r.expect("filled")).collect();
-    let pick = |f: fn(&SimReport) -> f64| -> MeanCi {
-        let xs: Vec<f64> = reports.iter().map(f).collect();
-        MeanCi::from_samples(&xs)
-    };
-    Aggregate {
-        mean_delay_s: pick(|r| r.mean_delay_s),
-        p95_delay_s: pick(|r| r.p95_delay_s),
-        per_cell_throughput_kbps: pick(|r| r.per_cell_throughput_kbps),
-        mean_grant_m: pick(|r| r.mean_grant_m),
-        denial_rate: pick(|r| r.denial_rate),
-        reports,
-    }
+    let scenario = Scenario::single("replications", cfg.clone());
+    let mut result = run_campaign("replications", vec![scenario], n_reps, 0);
+    Aggregate::from(result.scenarios.pop().expect("one scenario in, one out"))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::engine::Simulation;
 
     fn quick_cfg() -> SimConfig {
         let mut c = SimConfig::baseline();
@@ -86,6 +76,7 @@ mod tests {
         let agg = run_replications(&quick_cfg(), 3);
         assert_eq!(agg.reports.len(), 3);
         assert_eq!(agg.mean_delay_s.n, 3);
+        assert_eq!(agg.stats.n(), 3);
         assert!(agg.mean_delay_s.mean > 0.0);
         assert!(agg.per_cell_throughput_kbps.mean > 0.0);
     }
@@ -98,5 +89,14 @@ mod tests {
         let agg = run_replications(&cfg, 2);
         let serial0 = Simulation::new(cfg.with_seed(wcdma_math::mix_seed(cfg.seed, 1))).run();
         assert_eq!(agg.reports[0], serial0);
+    }
+
+    #[test]
+    fn aggregate_cis_come_from_streaming_stats() {
+        // The headline MeanCi fields are projections of the streaming
+        // stats — recomputing from the raw reports must agree bit for bit.
+        let agg = run_replications(&quick_cfg(), 3);
+        let xs: Vec<f64> = agg.reports.iter().map(|r| r.mean_delay_s).collect();
+        assert_eq!(agg.mean_delay_s, MeanCi::from_samples(&xs));
     }
 }

@@ -1,6 +1,7 @@
-//! Simulation statistics: streaming accumulators and the end-of-run report.
+//! Simulation statistics: streaming accumulators, the end-of-run report,
+//! and the streaming cross-replication summary.
 
-use wcdma_math::stats::{Histogram, P2Quantile, Welford};
+use wcdma_math::stats::{Histogram, MeanCi, P2Quantile, Welford};
 
 /// Streaming metric accumulators filled during a run.
 #[derive(Debug)]
@@ -126,6 +127,71 @@ pub struct SimReport {
     pub grant_hist: Vec<u64>,
 }
 
+/// Streaming per-metric statistics over independent replications.
+///
+/// This is the single home of the cross-replication mean/CI math: the
+/// campaign runner, [`crate::runner::Aggregate`], and the experiment rows
+/// all fold their [`SimReport`]s through it, one Welford accumulator per
+/// metric, so adding a metric or changing the CI method happens in exactly
+/// one place. Pushing reports in replication order makes the result
+/// bit-identical regardless of how the replications were scheduled.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ReplicationStats {
+    /// Mean burst delay (s) across replications.
+    pub mean_delay_s: Welford,
+    /// Per-replication p95 burst delay (s).
+    pub p95_delay_s: Welford,
+    /// Mean queueing (pre-grant) delay (s).
+    pub mean_queue_delay_s: Welford,
+    /// Mean MAC setup delay (s).
+    pub mean_setup_delay_s: Welford,
+    /// Aggregate throughput (kbit/s).
+    pub throughput_kbps: Welford,
+    /// Per-cell throughput (kbit/s).
+    pub per_cell_throughput_kbps: Welford,
+    /// Per-user throughput (kbit/s).
+    pub per_user_throughput_kbps: Welford,
+    /// Mean granted m.
+    pub mean_grant_m: Welford,
+    /// Denial rate.
+    pub denial_rate: Welford,
+    /// Bursts completed per replication.
+    pub bursts_completed: Welford,
+}
+
+impl ReplicationStats {
+    /// Creates empty accumulators.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds one replication's report into every metric accumulator.
+    pub fn push(&mut self, r: &SimReport) {
+        self.mean_delay_s.push(r.mean_delay_s);
+        self.p95_delay_s.push(r.p95_delay_s);
+        self.mean_queue_delay_s.push(r.mean_queue_delay_s);
+        self.mean_setup_delay_s.push(r.mean_setup_delay_s);
+        self.throughput_kbps.push(r.throughput_kbps);
+        self.per_cell_throughput_kbps
+            .push(r.per_cell_throughput_kbps);
+        self.per_user_throughput_kbps
+            .push(r.per_user_throughput_kbps);
+        self.mean_grant_m.push(r.mean_grant_m);
+        self.denial_rate.push(r.denial_rate);
+        self.bursts_completed.push(r.bursts_completed as f64);
+    }
+
+    /// Number of replications folded in.
+    pub fn n(&self) -> u64 {
+        self.mean_delay_s.count()
+    }
+
+    /// 95% t-based confidence interval of one metric accumulator.
+    pub fn ci(w: &Welford) -> MeanCi {
+        MeanCi::from_welford(w)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -148,6 +214,36 @@ mod tests {
         assert_eq!(r.denial_rate, 0.0);
         assert_eq!(r.per_user_throughput_kbps, 0.0);
         assert_eq!(r.max_delay_s, 0.0);
+    }
+
+    #[test]
+    fn replication_stats_match_from_samples() {
+        // Two synthetic reports; the streaming fold must agree with the
+        // old collect-then-MeanCi::from_samples path bit for bit.
+        let mk = |delay: f64, tput: f64| {
+            let mut s = SimStats::new();
+            s.burst_delay.push(delay);
+            s.burst_delay_p95.push(delay);
+            s.bits_delivered = tput;
+            s.window_s = 1.0;
+            s.report(2, 7)
+        };
+        let reports = [mk(0.1, 50_000.0), mk(0.3, 90_000.0)];
+        let mut rs = ReplicationStats::new();
+        for r in &reports {
+            rs.push(r);
+        }
+        assert_eq!(rs.n(), 2);
+        let xs: Vec<f64> = reports.iter().map(|r| r.mean_delay_s).collect();
+        assert_eq!(
+            ReplicationStats::ci(&rs.mean_delay_s),
+            MeanCi::from_samples(&xs)
+        );
+        let ts: Vec<f64> = reports.iter().map(|r| r.per_cell_throughput_kbps).collect();
+        assert_eq!(
+            ReplicationStats::ci(&rs.per_cell_throughput_kbps),
+            MeanCi::from_samples(&ts)
+        );
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Per-user web-browsing traffic source.
 //!
-//! The standard dynamic-simulation workload (Kumar & Nanda [2]): a data
+//! The standard dynamic-simulation workload (Kumar & Nanda \[2\]): a data
 //! user alternates between *reading* (exponential think time) and issuing a
 //! *burst* (truncated-Pareto size). The burst is handed to the MAC request
 //! queue and the source stays silent until the burst completes, then reads
