@@ -7,9 +7,15 @@
 //!   the relative average VTAOC throughput `δβ̄_j` (eq. 3–5).
 //! * [`objective`] — J1/J2 objectives with the MAC-aware delay penalty
 //!   (eq. 19–23).
-//! * [`scheduler`] — the JABA-SD scheduler (exact integer-programming
-//!   solution over the spatial dimension) and the FCFS / equal-share
-//!   baselines it is evaluated against.
+//! * [`policy`] — the open admission-policy API: the [`AdmissionPolicy`]
+//!   trait, the built-in policies (JABA-SD, the FCFS / equal-share
+//!   baselines, weighted fair share, threshold reservation), and the
+//!   "writing your own policy" guide.
+//! * [`registry`] — the [`PolicyRegistry`]: name → constructor with typed
+//!   parameters, the resolution path for campaign specs and the CLI.
+//! * [`scheduler`] — the per-frame burst scheduler: builds the policy
+//!   context (region, δβ̄, eq.-24 bounds) and delegates the grant decision
+//!   to its policy object.
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
@@ -17,12 +23,19 @@
 pub mod csi;
 pub mod measurement;
 pub mod objective;
+pub mod policy;
+pub mod registry;
 pub mod scheduler;
 pub mod temporal;
 
 pub use csi::{delta_beta, sch_mean_csi, PhyModel};
 pub use measurement::{forward_region, region_problem, reverse_region, Region};
 pub use objective::{delay_penalty, Objective};
+pub use policy::{
+    AdmissionPolicy, BoxedPolicy, EqualShare, Fcfs, JabaSd, PolicyContext, PolicyDecision,
+    ThresholdReservation, WeightedFairShare,
+};
+pub use registry::{PolicyEntry, PolicyParamSpec, PolicyRegistry, ResolvedParams};
 pub use scheduler::{Grant, Policy, RequestState, ScheduleOutcome, Scheduler, SchedulerConfig};
 pub use temporal::{
     spatial_only_value, temporal_exhaustive, temporal_greedy, Placement, TemporalConfig,

@@ -1,0 +1,430 @@
+//! The policy registry: name → constructor with typed parameters.
+//!
+//! A [`PolicyRegistry`] maps stable names (`"jaba-sd-j2"`, `"fcfs"`,
+//! `"threshold-reservation"`, …) to policy constructors so that the
+//! campaign spec parser and the `wcdma policy` CLI resolve policies from
+//! *text* — a policy registered here is instantly addressable from a TOML
+//! campaign file's policy axis and from the command line, with no scheduler
+//! or CLI changes.
+//!
+//! Policy spec strings are `name` or `name:key=value,key=value` — e.g.
+//! `"threshold-reservation:margin=0.4"` or `"fcfs:max_concurrent=2"`.
+//! Every parameter is declared with a documented default
+//! ([`PolicyParamSpec`]); unknown names and unknown or malformed
+//! parameters produce errors that list what *is* available.
+
+use crate::objective::Objective;
+use crate::policy::{
+    AdmissionPolicy, BoxedPolicy, EqualShare, Fcfs, JabaSd, ThresholdReservation, WeightedFairShare,
+};
+
+/// One declared parameter of a registered policy.
+#[derive(Debug, Clone, Copy)]
+pub struct PolicyParamSpec {
+    /// Parameter name as written in spec strings (`margin`, `lambda`, …).
+    pub name: &'static str,
+    /// Default value when the spec string omits the parameter.
+    pub default: f64,
+    /// One-line description.
+    pub doc: &'static str,
+}
+
+/// Parameter values for one resolution: declared defaults overlaid with
+/// the spec string's `key=value` overrides.
+#[derive(Debug, Clone)]
+pub struct ResolvedParams {
+    values: Vec<(&'static str, f64)>,
+}
+
+impl ResolvedParams {
+    /// The value of a declared parameter.
+    ///
+    /// # Panics
+    ///
+    /// If `name` was never declared for the entry — a registry-definition
+    /// bug, not a user error.
+    pub fn get(&self, name: &str) -> f64 {
+        self.values
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| *v)
+            .unwrap_or_else(|| panic!("parameter {name:?} not declared for this policy"))
+    }
+
+    /// `get` coerced to a non-negative integer; errors if the value has a
+    /// fractional part or is negative.
+    pub fn get_u64(&self, name: &str) -> Result<u64, String> {
+        let v = self.get(name);
+        if v.is_finite() && v >= 0.0 && v.fract() == 0.0 && v <= (1u64 << 53) as f64 {
+            Ok(v as u64)
+        } else {
+            Err(format!(
+                "parameter {name} must be a non-negative integer, got {v}"
+            ))
+        }
+    }
+}
+
+/// Constructor signature of a registry entry.
+pub type PolicyBuilder = fn(&ResolvedParams) -> Result<BoxedPolicy, String>;
+
+/// One registered policy: a stable name, documentation, declared
+/// parameters, and the constructor.
+#[derive(Debug, Clone)]
+pub struct PolicyEntry {
+    /// Registry name — what campaign specs and the CLI write.
+    pub name: &'static str,
+    /// One-line summary for `wcdma policy list`.
+    pub summary: &'static str,
+    /// Declared parameters (empty for parameter-free policies).
+    pub params: Vec<PolicyParamSpec>,
+    /// Constructor from resolved parameters.
+    pub build: PolicyBuilder,
+}
+
+impl PolicyEntry {
+    /// Builds the policy from this entry with defaults overlaid by
+    /// `overrides` (`(name, value)` pairs, already validated as declared).
+    fn build_with(&self, overrides: &[(String, f64)]) -> Result<BoxedPolicy, String> {
+        let mut values: Vec<(&'static str, f64)> =
+            self.params.iter().map(|p| (p.name, p.default)).collect();
+        for (key, val) in overrides {
+            let slot = values
+                .iter_mut()
+                .find(|(n, _)| n == key)
+                .expect("override keys validated against declared params");
+            slot.1 = *val;
+        }
+        (self.build)(&ResolvedParams { values })
+    }
+}
+
+/// The name → constructor table.
+#[derive(Debug, Default)]
+pub struct PolicyRegistry {
+    entries: Vec<PolicyEntry>,
+}
+
+impl PolicyRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The standard registry: the paper's comparison set plus the
+    /// adaptive-CAC additions.
+    ///
+    /// | name | policy |
+    /// |---|---|
+    /// | `jaba-sd-j2` | exact JABA-SD under J2 (`lambda`, `mu`, `node_limit`, `greedy`) |
+    /// | `jaba-sd-j1` | exact JABA-SD under J1 (`node_limit`, `greedy`) |
+    /// | `fcfs` | cdma2000 FCFS, unlimited bursts (`max_concurrent`) |
+    /// | `fcfs-1` | the strict single-burst FCFS baseline |
+    /// | `equal-share` | largest admissible common grant |
+    /// | `weighted-fair-share` | proportional filling (`wait_weight`, `priority_weight`) |
+    /// | `threshold-reservation` | FCFS over a reduced region (`margin`) |
+    pub fn standard() -> Self {
+        let mut r = Self::new();
+        r.register(PolicyEntry {
+            name: "jaba-sd-j2",
+            summary:
+                "the paper's headline policy: exact JABA-SD under the J2 delay-aware objective",
+            params: vec![
+                PolicyParamSpec {
+                    name: "lambda",
+                    default: 1.0,
+                    doc: "J2 delay-penalty scaling factor λ",
+                },
+                PolicyParamSpec {
+                    name: "mu",
+                    default: 1.0,
+                    doc: "J2 delay forgetting factor μ (seconds)",
+                },
+                PolicyParamSpec {
+                    name: "node_limit",
+                    default: 200_000.0,
+                    doc: "branch-and-bound node cap (0 = unlimited)",
+                },
+                PolicyParamSpec {
+                    name: "greedy",
+                    default: 0.0,
+                    doc: "1 = density greedy instead of the exact solver",
+                },
+            ],
+            build: |p| {
+                Ok(JabaSd {
+                    objective: Objective::J2 {
+                        lambda: p.get("lambda"),
+                        mu: p.get("mu"),
+                    },
+                    exact: p.get("greedy") == 0.0,
+                    node_limit: p.get_u64("node_limit")?,
+                }
+                .into_boxed())
+            },
+        });
+        r.register(PolicyEntry {
+            name: "jaba-sd-j1",
+            summary: "exact JABA-SD under the pure-rate J1 objective",
+            params: vec![
+                PolicyParamSpec {
+                    name: "node_limit",
+                    default: 200_000.0,
+                    doc: "branch-and-bound node cap (0 = unlimited)",
+                },
+                PolicyParamSpec {
+                    name: "greedy",
+                    default: 0.0,
+                    doc: "1 = density greedy instead of the exact solver",
+                },
+            ],
+            build: |p| {
+                Ok(JabaSd {
+                    objective: Objective::J1,
+                    exact: p.get("greedy") == 0.0,
+                    node_limit: p.get_u64("node_limit")?,
+                }
+                .into_boxed())
+            },
+        });
+        r.register(PolicyEntry {
+            name: "fcfs",
+            summary: "cdma2000 first-come-first-serve maximal grants",
+            params: vec![PolicyParamSpec {
+                name: "max_concurrent",
+                default: f64::INFINITY,
+                doc: "simultaneous-burst cap ≥ 1 (omit for unlimited)",
+            }],
+            build: |p| {
+                let cap = p.get("max_concurrent");
+                // Only +inf (the declared default) means unlimited; -inf,
+                // NaN and fractional values fall through to the error.
+                let cap = if cap == f64::INFINITY {
+                    None
+                } else if cap.is_finite() && cap >= 0.0 && cap.fract() == 0.0 {
+                    Some(cap as usize)
+                } else {
+                    return Err(format!(
+                        "parameter max_concurrent must be an integer ≥ 1, got {cap}"
+                    ));
+                };
+                Ok(Fcfs::new(cap)?.into_boxed())
+            },
+        });
+        r.register(PolicyEntry {
+            name: "fcfs-1",
+            summary: "the strict single-burst FCFS baseline (first-phase cdma2000)",
+            params: Vec::new(),
+            build: |_| Ok(Fcfs::single().into_boxed()),
+        });
+        r.register(PolicyEntry {
+            name: "equal-share",
+            summary: "largest common grant admissible for every pending request",
+            params: Vec::new(),
+            build: |_| Ok(EqualShare.into_boxed()),
+        });
+        r.register(PolicyEntry {
+            name: "weighted-fair-share",
+            summary: "proportional filling by priority- and waiting-weighted shares",
+            params: vec![
+                PolicyParamSpec {
+                    name: "wait_weight",
+                    default: 1.0,
+                    doc: "how strongly waiting time tilts the shares",
+                },
+                PolicyParamSpec {
+                    name: "priority_weight",
+                    default: 1.0,
+                    doc: "how strongly traffic-type priority tilts the shares",
+                },
+            ],
+            build: |p| {
+                Ok(
+                    WeightedFairShare::new(p.get("wait_weight"), p.get("priority_weight"))?
+                        .into_boxed(),
+                )
+            },
+        });
+        r.register(PolicyEntry {
+            name: "threshold-reservation",
+            summary: "FCFS over a reduced region: a headroom fraction is reserved for voice",
+            params: vec![PolicyParamSpec {
+                name: "margin",
+                default: 0.25,
+                doc: "headroom fraction in [0, 1) held back from bursts",
+            }],
+            build: |p| Ok(ThresholdReservation::new(p.get("margin"))?.into_boxed()),
+        });
+        r
+    }
+
+    /// Registers (or replaces, by name) an entry.
+    pub fn register(&mut self, entry: PolicyEntry) {
+        if let Some(slot) = self.entries.iter_mut().find(|e| e.name == entry.name) {
+            *slot = entry;
+        } else {
+            self.entries.push(entry);
+        }
+    }
+
+    /// Every registered name, in registration order.
+    pub fn names(&self) -> Vec<&'static str> {
+        self.entries.iter().map(|e| e.name).collect()
+    }
+
+    /// The entry registered under `name`, if any.
+    pub fn entry(&self, name: &str) -> Option<&PolicyEntry> {
+        self.entries.iter().find(|e| e.name == name)
+    }
+
+    /// All entries, in registration order.
+    pub fn entries(&self) -> &[PolicyEntry] {
+        &self.entries
+    }
+
+    /// Resolves a policy spec string — `name` or `name:key=value,…` — into
+    /// a policy object. Errors name what is available: unknown policy
+    /// names list every registered name, unknown parameters list the
+    /// entry's declared parameters.
+    pub fn resolve(&self, spec: &str) -> Result<BoxedPolicy, String> {
+        let (name, params_text) = match spec.split_once(':') {
+            Some((n, p)) => (n.trim(), Some(p)),
+            None => (spec.trim(), None),
+        };
+        let entry = self.entry(name).ok_or_else(|| {
+            format!(
+                "unknown policy {:?} (available: {})",
+                name,
+                self.names().join(", ")
+            )
+        })?;
+        let mut overrides: Vec<(String, f64)> = Vec::new();
+        if let Some(text) = params_text {
+            for part in text.split(',') {
+                let part = part.trim();
+                if part.is_empty() {
+                    continue;
+                }
+                let (key, value) = part.split_once('=').ok_or_else(|| {
+                    format!("policy parameter {part:?} must be written key=value")
+                })?;
+                let key = key.trim();
+                if !entry.params.iter().any(|p| p.name == key) {
+                    let declared: Vec<&str> = entry.params.iter().map(|p| p.name).collect();
+                    return Err(if declared.is_empty() {
+                        format!("policy {:?} takes no parameters (got {key:?})", entry.name)
+                    } else {
+                        format!(
+                            "unknown parameter {:?} for policy {:?} (declared: {})",
+                            key,
+                            entry.name,
+                            declared.join(", ")
+                        )
+                    });
+                }
+                if overrides.iter().any(|(k, _)| k == key) {
+                    return Err(format!("parameter {key:?} given twice"));
+                }
+                let value: f64 = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| format!("parameter {key} needs a numeric value, got {value:?}"))?;
+                overrides.push((key.to_string(), value));
+            }
+        }
+        entry
+            .build_with(&overrides)
+            .map_err(|e| format!("policy {:?}: {e}", entry.name))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_names_resolve() {
+        let r = PolicyRegistry::standard();
+        let names = r.names();
+        for expect in [
+            "jaba-sd-j2",
+            "jaba-sd-j1",
+            "fcfs",
+            "fcfs-1",
+            "equal-share",
+            "weighted-fair-share",
+            "threshold-reservation",
+        ] {
+            assert!(names.contains(&expect), "missing {expect}: {names:?}");
+            let p = r
+                .resolve(expect)
+                .unwrap_or_else(|e| panic!("{expect}: {e}"));
+            assert!(!p.describe().is_empty());
+        }
+    }
+
+    #[test]
+    fn unknown_name_lists_available_policies() {
+        let err = PolicyRegistry::standard()
+            .resolve("round-robin")
+            .expect_err("unknown name");
+        assert!(err.contains("unknown policy"), "{err}");
+        for name in PolicyRegistry::standard().names() {
+            assert!(err.contains(name), "error must list {name}: {err}");
+        }
+    }
+
+    #[test]
+    fn parameter_overrides_apply() {
+        let r = PolicyRegistry::standard();
+        let p = r.resolve("threshold-reservation:margin=0.4").unwrap();
+        assert!(p.describe().contains("60%"), "{}", p.describe());
+        let p = r.resolve("fcfs:max_concurrent=2").unwrap();
+        assert!(p.describe().contains("2"), "{}", p.describe());
+        let p = r.resolve("jaba-sd-j2:lambda=40, mu=0.5, greedy=1").unwrap();
+        assert!(p.describe().contains("λ = 40"), "{}", p.describe());
+        assert!(p.describe().contains("greedy"), "{}", p.describe());
+    }
+
+    #[test]
+    fn parameter_errors_are_specific() {
+        let r = PolicyRegistry::standard();
+        let err = r.resolve("threshold-reservation:margn=0.4").unwrap_err();
+        assert!(
+            err.contains("unknown parameter") && err.contains("margin"),
+            "{err}"
+        );
+        let err = r.resolve("equal-share:x=1").unwrap_err();
+        assert!(err.contains("takes no parameters"), "{err}");
+        let err = r.resolve("threshold-reservation:margin").unwrap_err();
+        assert!(err.contains("key=value"), "{err}");
+        let err = r.resolve("threshold-reservation:margin=wide").unwrap_err();
+        assert!(err.contains("numeric"), "{err}");
+        let err = r.resolve("threshold-reservation:margin=1.5").unwrap_err();
+        assert!(err.contains("[0, 1)"), "{err}");
+        let err = r
+            .resolve("fcfs:max_concurrent=0")
+            .expect_err("Some(0) propagates the constructor error");
+        assert!(err.contains("max_concurrent"), "{err}");
+        let err = r
+            .resolve("jaba-sd-j2:lambda=1,lambda=2")
+            .expect_err("duplicate params rejected");
+        assert!(err.contains("twice"), "{err}");
+        let err = r.resolve("jaba-sd-j2:node_limit=1.5").unwrap_err();
+        assert!(err.contains("integer"), "{err}");
+    }
+
+    #[test]
+    fn register_replaces_by_name() {
+        let mut r = PolicyRegistry::standard();
+        let n = r.names().len();
+        r.register(PolicyEntry {
+            name: "equal-share",
+            summary: "replaced",
+            params: Vec::new(),
+            build: |_| Ok(crate::policy::EqualShare.into_boxed()),
+        });
+        assert_eq!(r.names().len(), n, "replacement must not duplicate");
+        assert_eq!(r.entry("equal-share").unwrap().summary, "replaced");
+    }
+}

@@ -1,30 +1,34 @@
-//! The scheduling sub-layer: JABA-SD and the baseline policies.
+//! The scheduling sub-layer: the per-frame burst scheduler and the
+//! deprecated [`Policy`] enum shim.
 //!
 //! Each frame, the pending burst requests of one link direction are turned
-//! into the integer program of Section 3.2 (admissible region from the
-//! measurement sub-layer, J1/J2 weights, duration bound eq. 24) and solved:
+//! into the integer program of Section 3.2 — the admissible region from the
+//! measurement sub-layer, per-request δβ̄, and the duration bound eq. (24) —
+//! and handed to an [`AdmissionPolicy`](crate::policy::AdmissionPolicy)
+//! object as a [`PolicyContext`]:
 //!
-//! * [`Policy::JabaSd`] — the paper's algorithm: the *optimal* multi-burst
-//!   grant vector via exact branch-and-bound (or the density greedy when
-//!   `exact` is off — experiment E7 quantifies the gap). Bursts start at
-//!   the next frame boundary; only the spatial dimension is scheduled, per
-//!   the paper's stated scope.
-//! * [`Policy::Fcfs`] — cdma2000 behaviour [ref 1]: requests served in
-//!   arrival order, each granted the largest spreading-gain ratio that still
-//!   fits, optionally limited to a single concurrent burst (the "first
-//!   phase" single-SCH mode).
-//! * [`Policy::EqualShare`] — the empirical scheme of [ref 8]: every
-//!   pending request gets the same `m` (capped by its own duration bound),
-//!   the largest equal share that fits the region.
+//! * [`crate::policy::JabaSd`] — the paper's algorithm: the *optimal*
+//!   multi-burst grant vector via exact branch-and-bound (or the density
+//!   greedy — experiment E7 quantifies the gap). Bursts start at the next
+//!   frame boundary; only the spatial dimension is scheduled, per the
+//!   paper's stated scope.
+//! * [`crate::policy::Fcfs`] — cdma2000 behaviour \[ref 1\]: requests
+//!   served in arrival order, each granted the largest spreading-gain ratio
+//!   that still fits.
+//! * [`crate::policy::EqualShare`] — the empirical scheme of \[ref 8\].
+//! * [`crate::policy::WeightedFairShare`] /
+//!   [`crate::policy::ThresholdReservation`] — adaptive-CAC additions, plus
+//!   anything user code registers (see the [`crate::policy`] module docs for
+//!   how to write a policy).
 
 use wcdma_cdma::MeasurementView;
-use wcdma_ilp::{branch_and_bound, greedy};
 use wcdma_mac::{LinkDir, MacTimers};
 use wcdma_phy::SpreadingConfig;
 
 use crate::csi::{delta_beta, PhyModel};
-use crate::measurement::{forward_region, region_problem, reverse_region, Region};
+use crate::measurement::{forward_region, reverse_region, Region};
 use crate::objective::Objective;
+use crate::policy::{BoxedPolicy, PolicyContext};
 
 /// A pending burst request paired with its measurement report.
 ///
@@ -76,7 +80,15 @@ pub struct ScheduleOutcome {
     pub optimal: bool,
 }
 
-/// Scheduling policy.
+/// Deprecated closed policy set, kept one release as a thin shim over the
+/// open [`crate::policy`] API.
+///
+/// Prefer the policy structs ([`crate::policy::JabaSd`],
+/// [`crate::policy::Fcfs`], [`crate::policy::EqualShare`]) or a
+/// [`crate::registry::PolicyRegistry`] lookup: the enum cannot express
+/// registry-only policies (weighted fair share, threshold reservation, user
+/// additions) and will be removed. Every variant converts losslessly via
+/// `Into<BoxedPolicy>`, which is how `Scheduler::new` still accepts it.
 #[derive(Debug, Clone)]
 pub enum Policy {
     /// The paper's jointly adaptive burst admission (spatial dimension).
@@ -91,7 +103,8 @@ pub enum Policy {
     /// First-come-first-serve maximal grants (cdma2000 \[1\]).
     Fcfs {
         /// Maximum number of simultaneous bursts (None = unlimited;
-        /// Some(1) = the strict single-burst baseline).
+        /// Some(1) = the strict single-burst baseline). Some(0) is invalid
+        /// and rejected on conversion — see [`crate::policy::Fcfs::new`].
         max_concurrent: Option<usize>,
     },
     /// Equal sharing between requests (ref \[8\]).
@@ -148,17 +161,25 @@ impl SchedulerConfig {
     }
 }
 
-/// The per-frame burst scheduler.
+/// The per-frame burst scheduler: computes the measurement-sub-layer
+/// inputs (region, δβ̄, bounds) and delegates the grant decision to its
+/// [`AdmissionPolicy`](crate::policy::AdmissionPolicy) object.
 #[derive(Debug, Clone)]
 pub struct Scheduler {
     cfg: SchedulerConfig,
-    policy: Policy,
+    policy: BoxedPolicy,
 }
 
 impl Scheduler {
-    /// Creates a scheduler with the given configuration and policy.
-    pub fn new(cfg: SchedulerConfig, policy: Policy) -> Self {
-        Self { cfg, policy }
+    /// Creates a scheduler with the given configuration and policy —
+    /// either a policy object ([`BoxedPolicy`], or any concrete policy via
+    /// [`into_boxed`](crate::policy::AdmissionPolicy::into_boxed)) or a
+    /// deprecated [`Policy`] enum value.
+    pub fn new(cfg: SchedulerConfig, policy: impl Into<BoxedPolicy>) -> Self {
+        Self {
+            cfg,
+            policy: policy.into(),
+        }
     }
 
     /// The configuration.
@@ -166,9 +187,9 @@ impl Scheduler {
         &self.cfg
     }
 
-    /// The policy.
-    pub fn policy(&self) -> &Policy {
-        &self.policy
+    /// The policy object.
+    pub fn policy(&self) -> &dyn crate::policy::AdmissionPolicy {
+        self.policy.as_ref()
     }
 
     /// δβ̄ for one request in the given direction.
@@ -208,6 +229,13 @@ impl Scheduler {
     ///
     /// * `fwd_load_w` / `rev_load_w` — current per-cell loads `P_k` / `L_k`;
     /// * `requests` — pending requests (column order preserved).
+    ///
+    /// # Panics
+    ///
+    /// If the policy violates its contract: a grant vector of the wrong
+    /// length, outside the per-request bounds, or outside the admissible
+    /// region. An inadmissible grant would silently overload cells
+    /// mid-simulation, so it fails loudly here instead.
     pub fn schedule(
         &self,
         dir: LinkDir,
@@ -234,41 +262,37 @@ impl Scheduler {
             .map(|(r, &db)| self.grant_bounds(r.size_bits, db))
             .collect();
 
-        let (m, optimal, objective_value) = match &self.policy {
-            Policy::JabaSd {
-                objective,
-                exact,
-                node_limit,
-            } => {
-                let c: Vec<f64> = requests
-                    .iter()
-                    .zip(&dbetas)
-                    .map(|(r, &db)| objective.weight(db, r.priority, r.waiting_s, &self.cfg.timers))
-                    .collect();
-                let lo: Vec<u32> = bounds.iter().map(|b| b.0).collect();
-                let hi: Vec<u32> = bounds.iter().map(|b| b.1).collect();
-                let problem = region_problem(&region, c, lo, hi);
-                if *exact {
-                    let (sol, complete) = branch_and_bound(&problem, *node_limit);
-                    (sol.m, complete, sol.objective)
-                } else {
-                    let sol = greedy(&problem);
-                    (sol.m, true, sol.objective)
-                }
-            }
-            Policy::Fcfs { max_concurrent } => {
-                let m = self.fcfs(&region, requests, &bounds, *max_concurrent);
-                let value = value_of(&m, &dbetas);
-                (m, true, value)
-            }
-            Policy::EqualShare => {
-                let m = self.equal_share(&region, &bounds);
-                let value = value_of(&m, &dbetas);
-                (m, true, value)
-            }
-        };
+        let decision = self.policy.decide(&PolicyContext {
+            dir,
+            region: &region,
+            requests,
+            delta_beta: &dbetas,
+            bounds: &bounds,
+            cfg: &self.cfg,
+        });
+        let m = decision.m;
+        assert_eq!(
+            m.len(),
+            n,
+            "policy {:?} returned {} grants for {} requests",
+            self.policy.name(),
+            m.len(),
+            n
+        );
+        for (j, &mj) in m.iter().enumerate() {
+            assert!(
+                mj == 0 || (bounds[j].0..=bounds[j].1).contains(&mj),
+                "policy {:?} granted m = {mj} outside bounds {:?} for request {j}",
+                self.policy.name(),
+                bounds[j]
+            );
+        }
+        assert!(
+            region.admits(&m),
+            "policy {:?} produced inadmissible grants",
+            self.policy.name()
+        );
 
-        debug_assert!(region.admits(&m), "policy produced inadmissible grants");
         let mut grants = Vec::new();
         for j in 0..n {
             if m[j] >= 1 {
@@ -290,87 +314,11 @@ impl Scheduler {
             grants,
             m,
             delta_beta: dbetas,
-            objective_value,
+            objective_value: decision.objective_value,
             region,
-            optimal,
+            optimal: decision.optimal,
         }
     }
-
-    /// FCFS: oldest request first, maximal feasible grant each.
-    fn fcfs(
-        &self,
-        region: &Region,
-        requests: &[RequestState<'_>],
-        bounds: &[(u32, u32)],
-        max_concurrent: Option<usize>,
-    ) -> Vec<u32> {
-        let n = requests.len();
-        let mut order: Vec<usize> = (0..n).collect();
-        order.sort_by(|&x, &y| {
-            requests[y]
-                .waiting_s
-                .partial_cmp(&requests[x].waiting_s)
-                .expect("finite waits")
-        });
-        let mut m = vec![0u32; n];
-        let mut slack = region.b.clone();
-        let mut granted = 0usize;
-        for &j in &order {
-            if let Some(cap) = max_concurrent {
-                if granted >= cap {
-                    break;
-                }
-            }
-            let (lo, hi) = bounds[j];
-            if hi < lo {
-                continue;
-            }
-            let max_fit = region
-                .a
-                .iter()
-                .zip(&slack)
-                .filter(|(row, _)| row[j] > 0.0)
-                .map(|(row, &s)| (s / row[j]).floor().max(0.0))
-                .fold(f64::INFINITY, f64::min);
-            let cap_m = if max_fit.is_finite() {
-                (max_fit as u32).min(hi)
-            } else {
-                hi
-            };
-            if cap_m >= lo {
-                m[j] = cap_m;
-                for (row, sk) in region.a.iter().zip(slack.iter_mut()) {
-                    *sk -= row[j] * cap_m as f64;
-                }
-                granted += 1;
-            }
-        }
-        m
-    }
-
-    /// Equal sharing: the largest common m (capped per-user by eq. 24) that
-    /// keeps the whole grant vector admissible.
-    fn equal_share(&self, region: &Region, bounds: &[(u32, u32)]) -> Vec<u32> {
-        let n = bounds.len();
-        let m_max = self.cfg.spreading.max_gain_ratio;
-        let mut best = vec![0u32; n];
-        for share in 1..=m_max {
-            let candidate: Vec<u32> = bounds
-                .iter()
-                .map(|&(lo, hi)| if hi < lo { 0 } else { share.min(hi) })
-                .collect();
-            if region.admits(&candidate) {
-                best = candidate;
-            } else {
-                break;
-            }
-        }
-        best
-    }
-}
-
-fn value_of(m: &[u32], dbetas: &[f64]) -> f64 {
-    m.iter().zip(dbetas).map(|(&mj, &db)| mj as f64 * db).sum()
 }
 
 #[cfg(test)]
@@ -655,5 +603,41 @@ mod tests {
         let out = s.schedule(LinkDir::Forward, &fwd, &rev, &[]);
         assert!(out.grants.is_empty());
         assert!(out.m.is_empty());
+    }
+
+    #[test]
+    fn contract_violating_policy_fails_loudly() {
+        /// Returns the wrong number of grants.
+        #[derive(Debug, Clone)]
+        struct Broken;
+        impl crate::policy::AdmissionPolicy for Broken {
+            fn name(&self) -> &'static str {
+                "broken"
+            }
+            fn decide(
+                &self,
+                _ctx: &crate::policy::PolicyContext<'_>,
+            ) -> crate::policy::PolicyDecision {
+                crate::policy::PolicyDecision {
+                    m: vec![1; 99],
+                    objective_value: 0.0,
+                    optimal: true,
+                }
+            }
+            fn clone_box(&self) -> BoxedPolicy {
+                Box::new(self.clone())
+            }
+        }
+        let s = Scheduler::new(
+            SchedulerConfig::default_config(),
+            Box::new(Broken) as BoxedPolicy,
+        );
+        let (fwd, rev) = loads(1, 5.0);
+        let specs = vec![req(0, 0, 0.1, 10.0, 1e6, 0.0)];
+        let requests = reqs(&specs);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            s.schedule(LinkDir::Forward, &fwd, &rev, &requests)
+        }));
+        assert!(result.is_err(), "wrong-length grant vector must panic");
     }
 }

@@ -7,12 +7,27 @@
 //! real-time margin (frames/sec × 20 ms), the direct regression guard for
 //! the struct-of-arrays hot-path work.
 //!
+//! The bench also carries the **dispatch-overhead smoke** for the open
+//! admission-policy API: the scheduler's policy is a boxed
+//! `AdmissionPolicy` trait object, constructed either from the deprecated
+//! `Policy` enum shim or resolved by name from the `PolicyRegistry`. Both
+//! must run the frame pipeline at the same speed (asserted within 2 % in
+//! quick mode) — the assert guards the *construction paths* (parameter
+//! drift between the shim and the registry defaults, or a wrapper layer
+//! sneaking into either) rather than dyn-vs-static dispatch, since the
+//! static enum-match scheduler no longer exists. The absolute frames/s
+//! rows in `BENCH_e11_scale.json` are the cross-PR trend guard for the
+//! boxed pipeline's cost itself (PR 2's enum-match scheduler recorded
+//! 9063 fps at 200 mobiles; the boxed redesign measured 9086 on the same
+//! machine).
+//!
 //! Set `WCDMA_BENCH_QUICK=1` (CI smoke mode) to shrink the sweep so the
 //! bench cannot bit-rot without burning CI minutes.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use std::time::Instant;
+use wcdma_admission::{Policy, PolicyRegistry};
 use wcdma_bench::banner;
 use wcdma_sim::{SimConfig, Simulation, Table};
 
@@ -25,9 +40,10 @@ fn scale_cfg(n_mobiles: usize) -> SimConfig {
     c
 }
 
-/// Steps `frames` frames after a short warm-up and returns frames/second.
-fn frames_per_sec(n_mobiles: usize, frames: usize) -> f64 {
-    let mut sim = Simulation::new(scale_cfg(n_mobiles));
+/// Steps `frames` frames of `cfg` after a short warm-up and returns
+/// frames/second.
+fn cfg_frames_per_sec(cfg: SimConfig, frames: usize) -> f64 {
+    let mut sim = Simulation::new(cfg);
     for _ in 0..20 {
         sim.step_frame(); // warm up active sets, power control, capacities
     }
@@ -40,13 +56,40 @@ fn frames_per_sec(n_mobiles: usize, frames: usize) -> f64 {
     frames as f64 / dt
 }
 
+/// Steps `frames` frames after a short warm-up and returns frames/second.
+fn frames_per_sec(n_mobiles: usize, frames: usize) -> f64 {
+    cfg_frames_per_sec(scale_cfg(n_mobiles), frames)
+}
+
+/// Measures the enum-shim-constructed scheduler against the
+/// registry-resolved one (which must carry identical policy parameters)
+/// and returns `(enum_fps, registry_fps)`, best-of-`trials` interleaved
+/// so machine noise hits both variants alike. Both produce boxed
+/// schedulers: a gap beyond noise means the two construction paths no
+/// longer build the same policy.
+fn dispatch_overhead(n_mobiles: usize, frames: usize, trials: usize) -> (f64, f64) {
+    let enum_cfg = scale_cfg(n_mobiles).with_policy(Policy::jaba_sd_default());
+    let registry_cfg = scale_cfg(n_mobiles).with_policy(
+        PolicyRegistry::standard()
+            .resolve("jaba-sd-j2")
+            .expect("standard registry name"),
+    );
+    let mut best = (0.0f64, 0.0f64);
+    for _ in 0..trials {
+        best.0 = best.0.max(cfg_frames_per_sec(enum_cfg.clone(), frames));
+        best.1 = best.1.max(cfg_frames_per_sec(registry_cfg.clone(), frames));
+    }
+    best
+}
+
 fn quick_mode() -> bool {
     std::env::var("WCDMA_BENCH_QUICK").is_ok_and(|v| v != "0" && !v.is_empty())
 }
 
-/// Writes the sweep as a machine-readable snapshot (CI uploads it as
-/// `BENCH_e11_scale.json` so the perf trajectory accumulates over PRs).
-fn write_json_snapshot(path: &str, quick: bool, rows: &[(usize, f64)]) {
+/// Writes the sweep plus the dispatch smoke as a machine-readable snapshot
+/// (CI uploads it as `BENCH_e11_scale.json` so the perf trajectory
+/// accumulates over PRs).
+fn write_json_snapshot(path: &str, quick: bool, rows: &[(usize, f64)], dispatch: (f64, f64)) {
     let entries: Vec<String> = rows
         .iter()
         .map(|(n, fps)| {
@@ -56,9 +99,11 @@ fn write_json_snapshot(path: &str, quick: bool, rows: &[(usize, f64)]) {
             )
         })
         .collect();
+    let (enum_fps, registry_fps) = dispatch;
     let json = format!(
-        "{{\n  \"bench\": \"e11_scale\",\n  \"quick\": {quick},\n  \"rows\": [\n{}\n  ]\n}}\n",
-        entries.join(",\n")
+        "{{\n  \"bench\": \"e11_scale\",\n  \"quick\": {quick},\n  \"rows\": [\n{}\n  ],\n  \"dispatch\": {{\"enum_shim_fps\": {enum_fps:.1}, \"registry_boxed_fps\": {registry_fps:.1}, \"ratio\": {:.4}}}\n}}\n",
+        entries.join(",\n"),
+        registry_fps / enum_fps
     );
     match std::fs::write(path, json) {
         Ok(()) => println!("wrote {path}"),
@@ -86,9 +131,33 @@ fn print_experiment() {
         rows.push((n, fps));
     }
     println!("{}", t.render());
+
+    // Dispatch-overhead smoke: enum-shim vs registry-resolved boxed-trait
+    // scheduler on the same scenario. Best-of-N interleaved trials; on a
+    // noisy runner a gap over threshold gets one clean re-measure before
+    // the quick-mode assert fails the bench.
+    let frames = if quick { 250 } else { 300 };
+    let (mut enum_fps, mut registry_fps) = dispatch_overhead(200, frames, 7);
+    let gap = |a: f64, b: f64| (a - b).abs() / a.max(b);
+    if quick && gap(enum_fps, registry_fps) > 0.02 {
+        (enum_fps, registry_fps) = dispatch_overhead(200, frames, 7);
+    }
+    println!(
+        "policy dispatch: enum-shim {enum_fps:.1} fps vs registry-boxed {registry_fps:.1} fps \
+         ({:+.2} % gap)",
+        100.0 * (registry_fps / enum_fps - 1.0)
+    );
+    if quick {
+        assert!(
+            gap(enum_fps, registry_fps) <= 0.02,
+            "boxed-trait dispatch overhead exceeds 2 %: enum-shim {enum_fps:.1} fps vs \
+             registry-boxed {registry_fps:.1} fps"
+        );
+    }
+
     if let Ok(path) = std::env::var("WCDMA_BENCH_JSON") {
         if !path.is_empty() {
-            write_json_snapshot(&path, quick, &rows);
+            write_json_snapshot(&path, quick, &rows, (enum_fps, registry_fps));
         }
     }
 }

@@ -3,14 +3,20 @@
 //! ```text
 //! wcdma campaign list
 //! wcdma campaign describe <name | --file spec.toml>
-//! wcdma campaign run [<name>] [--file spec.toml] [--quick]
+//! wcdma campaign run [<name>] [--file spec.toml] [--quick] [--trace]
 //!                    [--shards N] [--reps N] [--out DIR]
+//! wcdma policy list
+//! wcdma policy describe <name[:key=value,…]>
 //! ```
 //!
-//! `run` expands the scenario matrix, executes it on the sharded campaign
-//! runner, prints the per-scenario summary table, and writes three
+//! `campaign run` expands the scenario matrix, executes it on the sharded
+//! campaign runner, prints the per-scenario summary table, and writes three
 //! artefacts into `--out` (default `campaign-out/`): `<name>.csv`,
-//! `<name>.json`, and the `BENCH_campaign.json` trend summary.
+//! `<name>.json`, and the `BENCH_campaign.json` trend summary (plus
+//! `<name>-trace.csv` with `--trace`). The `policy` subcommands resolve
+//! through the open admission-policy registry, so a policy registered in
+//! `wcdma-admission` is immediately visible here and usable in any
+//! campaign's policy axis.
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
@@ -19,27 +25,34 @@ use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 use wcdma_sim::campaign::{
-    builtin, builtin_names, campaign_csv, campaign_json, campaign_summary_json, run_spec,
-    CampaignResult, ScenarioSpec,
+    builtin, builtin_names, campaign_csv, campaign_json, campaign_summary_json, campaign_trace_csv,
+    run_spec, trace_campaign, CampaignResult, PolicyRegistry, ScenarioSpec,
 };
 use wcdma_sim::stats::ReplicationStats;
 use wcdma_sim::table::ci;
 use wcdma_sim::Table;
 
 const USAGE: &str = "\
-usage: wcdma campaign <list | describe | run> [options]
+usage: wcdma <campaign | policy> <subcommand> [options]
 
   campaign list
       Show the built-in campaigns.
   campaign describe <name | --file spec.toml>
       Print a campaign spec and its expanded scenario matrix.
-  campaign run [<name>] [--file spec.toml] [--quick] [--shards N]
-               [--reps N] [--out DIR]
+  campaign run [<name>] [--file spec.toml] [--quick] [--trace]
+               [--shards N] [--reps N] [--out DIR]
       Run a campaign (default: paper-eval) and write CSV + JSON artefacts.
+  policy list
+      Show every admission policy in the registry.
+  policy describe <name[:key=value,...]>
+      Show a policy's parameters, or the resolved configuration of a
+      parameterised spec string.
 
 options:
   --file PATH   load the campaign from a TOML spec file instead of a name
   --quick       CI smoke profile: short runs, at most 2 replications
+  --trace       also capture per-frame policy decisions (first replication
+                of every scenario) into <name>-trace.csv
   --shards N    worker threads (default: one per core)
   --reps N      override the spec's replication count
   --out DIR     artefact directory (default: campaign-out)";
@@ -58,6 +71,7 @@ enum Target {
 struct RunArgs {
     target: Target,
     quick: bool,
+    trace: bool,
     shards: usize,
     reps: Option<usize>,
     out: PathBuf,
@@ -69,12 +83,32 @@ enum Command {
     List,
     Describe(Target),
     Run(RunArgs),
+    PolicyList,
+    PolicyDescribe(String),
 }
 
 fn parse_command(args: &[String]) -> Result<Command, String> {
     let mut it = args.iter().map(|s| s.as_str());
     match it.next() {
         Some("campaign") => {}
+        Some("policy") => {
+            let sub = it.next().ok_or("missing policy subcommand")?;
+            let rest: Vec<&str> = it.collect();
+            return match sub {
+                "list" => {
+                    if !rest.is_empty() {
+                        return Err(format!("unexpected arguments: {}", rest.join(" ")));
+                    }
+                    Ok(Command::PolicyList)
+                }
+                "describe" => match rest.as_slice() {
+                    [name] => Ok(Command::PolicyDescribe(name.to_string())),
+                    [] => Err("policy describe needs a policy name".into()),
+                    _ => Err(format!("give exactly one policy name: {}", rest.join(" "))),
+                },
+                other => Err(format!("unknown policy subcommand {other:?}")),
+            };
+        }
         Some(other) => return Err(format!("unknown command {other:?}")),
         None => return Err("missing command".into()),
     }
@@ -109,6 +143,7 @@ fn parse_command(args: &[String]) -> Result<Command, String> {
             let mut run = RunArgs {
                 target: Target::Builtin("paper-eval".into()),
                 quick: false,
+                trace: false,
                 shards: 0,
                 reps: None,
                 out: PathBuf::from("campaign-out"),
@@ -117,6 +152,7 @@ fn parse_command(args: &[String]) -> Result<Command, String> {
             while let Some(tok) = it.next() {
                 match tok {
                     "--quick" => run.quick = true,
+                    "--trace" => run.trace = true,
                     "--file" => {
                         let path = it.next().ok_or("--file needs a path")?;
                         set_target(&mut target, Target::File(PathBuf::from(path)))?;
@@ -220,6 +256,76 @@ fn cmd_describe(target: &Target) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_policy_list() {
+    let registry = PolicyRegistry::standard();
+    let mut t = Table::new(&["policy", "parameters", "summary"]);
+    for entry in registry.entries() {
+        let params: Vec<String> = entry
+            .params
+            .iter()
+            .map(|p| {
+                if p.default.is_infinite() {
+                    format!("{}=<unset>", p.name)
+                } else {
+                    format!("{}={}", p.name, p.default)
+                }
+            })
+            .collect();
+        t.row(&[
+            entry.name.to_string(),
+            if params.is_empty() {
+                "—".into()
+            } else {
+                params.join(", ")
+            },
+            entry.summary.to_string(),
+        ]);
+    }
+    println!("{}", t.render());
+    println!(
+        "use a name (with optional parameters, e.g. \
+         threshold-reservation:margin=0.4) in a campaign's policy axis,\n\
+         or inspect one with: wcdma policy describe <name>"
+    );
+}
+
+fn cmd_policy_describe(spec: &str) -> Result<(), String> {
+    let registry = PolicyRegistry::standard();
+    // Resolving validates the name and any key=value parameters, with the
+    // registry's own what-is-available error messages.
+    let policy = registry.resolve(spec)?;
+    let name = spec
+        .split(':')
+        .next()
+        .expect("split yields the name")
+        .trim();
+    let entry = registry.entry(name).expect("resolve found the entry");
+    println!("# {} — {}\n", entry.name, entry.summary);
+    println!("resolved: {}", policy.describe());
+    if entry.params.is_empty() {
+        println!("\nno parameters");
+    } else {
+        let mut t = Table::new(&["parameter", "default", "description"]);
+        for p in &entry.params {
+            t.row(&[
+                p.name.to_string(),
+                if p.default.is_infinite() {
+                    "<unset>".into()
+                } else {
+                    format!("{}", p.default)
+                },
+                p.doc.to_string(),
+            ]);
+        }
+        println!("\n{}", t.render());
+        println!(
+            "override with {}:{}=<value>[,…] in a policy axis or on this command",
+            entry.name, entry.params[0].name
+        );
+    }
+    Ok(())
+}
+
 fn summary_table(result: &CampaignResult) -> Table {
     let mut t = Table::new(&[
         "scenario",
@@ -295,6 +401,16 @@ fn cmd_run(args: &RunArgs) -> Result<(), String> {
         json.display(),
         bench.display()
     );
+    if args.trace {
+        println!("tracing policy decisions (first replication of every scenario)…");
+        let traces = trace_campaign(&spec)?;
+        let trace = write_artefact(
+            &args.out,
+            &format!("{}-trace.csv", spec.name),
+            &campaign_trace_csv(&traces),
+        )?;
+        println!("wrote {}", trace.display());
+    }
     Ok(())
 }
 
@@ -306,6 +422,11 @@ fn run(args: &[String]) -> Result<(), String> {
         }
         Command::Describe(target) => cmd_describe(&target),
         Command::Run(run_args) => cmd_run(&run_args),
+        Command::PolicyList => {
+            cmd_policy_list();
+            Ok(())
+        }
+        Command::PolicyDescribe(spec) => cmd_policy_describe(&spec),
     }
 }
 
@@ -365,11 +486,48 @@ mod tests {
             Command::Run(RunArgs {
                 target: Target::Builtin("speed-sweep".into()),
                 quick: true,
+                trace: false,
                 shards: 4,
                 reps: Some(5),
                 out: PathBuf::from("results"),
             })
         );
+    }
+
+    #[test]
+    fn parses_policy_subcommands() {
+        assert_eq!(parse(&["policy", "list"]), Ok(Command::PolicyList));
+        assert_eq!(
+            parse(&["policy", "describe", "threshold-reservation:margin=0.4"]),
+            Ok(Command::PolicyDescribe(
+                "threshold-reservation:margin=0.4".into()
+            ))
+        );
+        assert!(parse(&["policy"]).is_err());
+        assert!(parse(&["policy", "describe"]).is_err());
+        assert!(parse(&["policy", "describe", "a", "b"]).is_err());
+        assert!(parse(&["policy", "frobnicate"]).is_err());
+        assert!(parse(&["policy", "list", "extra"]).is_err());
+    }
+
+    #[test]
+    fn parses_trace_flag() {
+        match parse(&["campaign", "run", "--quick", "--trace"]).unwrap() {
+            Command::Run(args) => assert!(args.trace && args.quick),
+            other => panic!("expected run, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn policy_describe_resolves_specs_and_rejects_garbage() {
+        cmd_policy_describe("jaba-sd-j2").expect("plain name");
+        cmd_policy_describe("fcfs:max_concurrent=2").expect("parameterised spec");
+        cmd_policy_describe("equal-share").expect("parameter-free");
+        let err = cmd_policy_describe("round-robin").expect_err("unknown policy");
+        assert!(err.contains("available"), "{err}");
+        assert!(err.contains("weighted-fair-share"), "{err}");
+        let err = cmd_policy_describe("fcfs:max_concurrent=0").expect_err("bad parameter");
+        assert!(err.contains("max_concurrent"), "{err}");
     }
 
     #[test]

@@ -57,7 +57,10 @@ pub fn builtin(name: &str) -> Option<ScenarioSpec> {
             ];
         }
         "policy-comparison" => {
-            spec.description = "Every comparison policy on the balanced baseline".into();
+            spec.description =
+                "Every registry policy (paper set + adaptive-CAC additions) on the balanced \
+                 baseline"
+                    .into();
             spec.seed = 0x90_11C7;
             spec.replications = 3;
             spec.policies = super::spec::policy_names()
@@ -104,6 +107,18 @@ mod tests {
             assert_eq!(reparsed, spec);
         }
         assert!(builtin("no-such-campaign").is_none());
+    }
+
+    #[test]
+    fn policy_comparison_covers_the_open_registry() {
+        let spec = builtin("policy-comparison").unwrap();
+        for name in ["jaba-sd-j2", "weighted-fair-share", "threshold-reservation"] {
+            assert!(
+                spec.policies.iter().any(|p| p == name),
+                "policy-comparison must include {name}: {:?}",
+                spec.policies
+            );
+        }
     }
 
     #[test]

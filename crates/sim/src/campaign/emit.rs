@@ -5,10 +5,12 @@
 
 use std::fmt::Write as _;
 
+use wcdma_mac::LinkDir;
 use wcdma_math::stats::Welford;
 
 use crate::stats::ReplicationStats;
 use crate::table::Table;
+use crate::trace::DecisionRecord;
 
 use super::runner::{CampaignResult, ScenarioResult};
 
@@ -163,6 +165,57 @@ pub fn campaign_json(result: &CampaignResult) -> String {
         result.scenarios.len(),
         scenarios.join(",\n")
     )
+}
+
+/// Renders per-frame policy decisions (from
+/// [`super::runner::trace_campaign`] or any
+/// [`crate::trace::DecisionLog`]) as CSV: one row per scheduling round,
+/// with the grant vector compacted into a `user:m|user:m` column.
+pub fn campaign_trace_csv(traces: &[(String, Vec<DecisionRecord>)]) -> String {
+    let mut t = Table::new(&[
+        "scenario",
+        "t_s",
+        "dir",
+        "requests",
+        "granted",
+        "total_m",
+        "objective_value",
+        "optimal",
+        "min_slack",
+        "grants",
+    ]);
+    for (label, records) in traces {
+        for rec in records {
+            let grants: Vec<String> = rec
+                .users
+                .iter()
+                .zip(&rec.m)
+                .filter(|(_, &m)| m > 0)
+                .map(|(u, m)| format!("{u}:{m}"))
+                .collect();
+            let min_slack = rec.min_slack();
+            t.row(&[
+                label.clone(),
+                format!("{}", rec.t_s),
+                match rec.dir {
+                    LinkDir::Forward => "forward".into(),
+                    LinkDir::Reverse => "reverse".into(),
+                },
+                rec.users.len().to_string(),
+                rec.granted().to_string(),
+                rec.total_m().to_string(),
+                format!("{}", rec.objective_value),
+                rec.optimal.to_string(),
+                if min_slack.is_finite() {
+                    format!("{min_slack}")
+                } else {
+                    String::new()
+                },
+                grants.join("|"),
+            ]);
+        }
+    }
+    t.to_csv()
 }
 
 /// Compact `BENCH_campaign.json`-style summary: one flat object per

@@ -9,7 +9,9 @@
 //! * [`spec`] — [`ScenarioSpec`], a plain-text (TOML-subset, zero-dependency)
 //!   description of a campaign, expanded into concrete [`Scenario`]s (each
 //!   wrapping a [`crate::SimConfig`]) through the named axis registries
-//!   ([`TrafficMix`], [`SpeedClass`], [`CsiQuality`], the policy table).
+//!   ([`TrafficMix`], [`SpeedClass`], [`CsiQuality`], and the open
+//!   admission-policy registry [`PolicyRegistry`] — names with optional
+//!   `key=value` parameters, e.g. `threshold-reservation:margin=0.4`).
 //! * [`runner`] — [`run_campaign`], a work-stealing sharded driver over the
 //!   (scenario × replication) job grid with deterministic per-replication
 //!   seed substreams; results are folded in replication order through
@@ -27,8 +29,12 @@ pub mod runner;
 pub mod spec;
 
 pub use builtin::{builtin, builtin_names};
-pub use emit::{campaign_csv, campaign_json, campaign_summary_json};
-pub use runner::{run_campaign, run_spec, CampaignResult, ScenarioResult};
+pub use emit::{campaign_csv, campaign_json, campaign_summary_json, campaign_trace_csv};
+pub use runner::{run_campaign, run_spec, trace_campaign, CampaignResult, ScenarioResult};
 pub use spec::{
     policy_by_name, policy_names, CsiQuality, Scenario, ScenarioSpec, SpeedClass, TrafficMix,
 };
+// The policy registry is the campaign layer's resolution path for the
+// policy axis; re-exported so registry consumers (the CLI) need not depend
+// on `wcdma-admission` directly.
+pub use wcdma_admission::{AdmissionPolicy, BoxedPolicy, PolicyEntry, PolicyRegistry};

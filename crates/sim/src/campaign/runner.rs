@@ -15,6 +15,7 @@ use std::sync::OnceLock;
 
 use crate::engine::Simulation;
 use crate::stats::{ReplicationStats, SimReport};
+use crate::trace::{run_with_trace, DecisionRecord};
 
 use super::spec::{Scenario, ScenarioSpec};
 
@@ -128,6 +129,51 @@ pub fn run_spec(spec: &ScenarioSpec, shards: usize) -> Result<CampaignResult, St
         spec.replications,
         shards,
     ))
+}
+
+/// Re-runs the *first replication* of every matrix cell with a decision
+/// trace attached and returns `(cell label, decisions)` per cell, in
+/// expansion order. The replication seed matches what [`run_campaign`]
+/// gives replication 0, so the traced run is bit-identical to the
+/// campaign's own first replication. Cells run in parallel (one worker
+/// per core, same work-stealing cursor as [`run_campaign`]); each cell's
+/// records are captured by its own log, so the result does not depend on
+/// the worker count. Feed it to [`super::emit::campaign_trace_csv`].
+pub fn trace_campaign(spec: &ScenarioSpec) -> Result<Vec<(String, Vec<DecisionRecord>)>, String> {
+    let scenarios = spec.expand()?;
+    let n_jobs = scenarios.len();
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(n_jobs)
+        .max(1);
+    let mut slots: Vec<OnceLock<Vec<DecisionRecord>>> = Vec::new();
+    slots.resize_with(n_jobs, OnceLock::new);
+    let cursor = AtomicUsize::new(0);
+    {
+        let slots = &slots;
+        let cursor = &cursor;
+        let scenarios = &scenarios;
+        std::thread::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(move || loop {
+                    let job = cursor.fetch_add(1, Ordering::Relaxed);
+                    if job >= n_jobs {
+                        break;
+                    }
+                    let base = &scenarios[job].cfg;
+                    let cfg = base.with_seed(wcdma_math::mix_seed(base.seed, 1));
+                    let (_report, records) = run_with_trace(cfg);
+                    slots[job].set(records).expect("job claimed exactly once");
+                });
+            }
+        });
+    }
+    Ok(scenarios
+        .into_iter()
+        .zip(slots)
+        .map(|(sc, mut slot)| (sc.label, slot.take().expect("all jobs completed")))
+        .collect())
 }
 
 #[cfg(test)]

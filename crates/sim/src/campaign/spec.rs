@@ -12,7 +12,7 @@
 //! plain text files with no external dependencies. [`ScenarioSpec::to_toml`]
 //! round-trips.
 
-use wcdma_admission::Policy;
+use wcdma_admission::{BoxedPolicy, PolicyRegistry};
 use wcdma_mac::LinkDir;
 
 use crate::config::SimConfig;
@@ -174,21 +174,15 @@ impl CsiQuality {
     }
 }
 
-/// Resolves a policy registry name (the [`SimConfig::comparison_policies`]
-/// table) into a [`Policy`].
-pub fn policy_by_name(name: &str) -> Option<Policy> {
-    SimConfig::comparison_policies()
-        .into_iter()
-        .find(|(n, _)| *n == name)
-        .map(|(_, p)| p)
+/// Resolves a policy axis value — a [`PolicyRegistry`] name, optionally
+/// with `name:key=value` parameters — into a policy object.
+pub fn policy_by_name(name: &str) -> Option<BoxedPolicy> {
+    PolicyRegistry::standard().resolve(name).ok()
 }
 
-/// Every policy registry name, in canonical order.
+/// Every standard policy registry name, in canonical order.
 pub fn policy_names() -> Vec<&'static str> {
-    SimConfig::comparison_policies()
-        .into_iter()
-        .map(|(n, _)| n)
-        .collect()
+    PolicyRegistry::standard().names()
 }
 
 /// One concrete cell of an expanded campaign matrix.
@@ -313,14 +307,12 @@ impl ScenarioSpec {
         if self.policies.is_empty() {
             return Err("policy axis must be non-empty".into());
         }
+        // The registry's own errors name what *is* available: unknown
+        // policies list every registered name, bad parameters list the
+        // entry's declared parameters.
+        let registry = PolicyRegistry::standard();
         for p in &self.policies {
-            if policy_by_name(p).is_none() {
-                return Err(format!(
-                    "unknown policy {:?} (known: {})",
-                    p,
-                    policy_names().join(", ")
-                ));
-            }
+            registry.resolve(p)?;
         }
         for &n in &self.loads {
             if n == 0 {
@@ -345,6 +337,7 @@ impl ScenarioSpec {
     /// gets the seed substream `mix_seed(self.seed, i + 1)`.
     pub fn expand(&self) -> Result<Vec<Scenario>, String> {
         self.validate()?;
+        let registry = PolicyRegistry::standard();
         let mut base = SimConfig::baseline();
         base.rings = self.rings;
         base.cell_radius_m = self.cell_radius_m;
@@ -372,7 +365,8 @@ impl ScenarioSpec {
                                 if let Some(n) = load {
                                     cfg.n_data = n;
                                 }
-                                cfg.policy = policy_by_name(policy).expect("validated policy name");
+                                cfg.policy =
+                                    registry.resolve(policy).expect("validated policy name");
                                 cfg.seed = wcdma_math::mix_seed(self.seed, out.len() as u64 + 1);
                                 let mut axes = vec![
                                     ("mix".to_string(), mix.name().to_string()),
@@ -757,17 +751,14 @@ fn apply_matrix_key(spec: &mut ScenarioSpec, key: &str, value: &Value) -> Result
                 .collect::<Result<_, _>>()?
         }
         "policy" => {
+            let registry = PolicyRegistry::standard();
             spec.policies = items
                 .iter()
                 .map(|v| {
                     let n = v.as_str()?;
-                    policy_by_name(n).map(|_| n.to_string()).ok_or_else(|| {
-                        format!(
-                            "unknown policy {:?} (known: {})",
-                            n,
-                            policy_names().join(", ")
-                        )
-                    })
+                    // The registry error lists the available names (and,
+                    // for parameterised specs, the declared parameters).
+                    registry.resolve(n).map(|_| n.to_string())
                 })
                 .collect::<Result<_, _>>()?
         }
@@ -942,6 +933,43 @@ policy = [\"fcfs\"]
         assert!(q.duration_s < spec.duration_s);
         assert!(q.replications <= 2);
         q.validate().expect("quickened spec stays valid");
+    }
+
+    #[test]
+    fn unknown_policy_error_lists_every_registry_name() {
+        // The policy axis resolves through the open registry: a typo must
+        // come back with the full menu, including the registry-only
+        // policies the old enum could not express.
+        let err = ScenarioSpec::parse("[matrix]\npolicy = \"bogus\"\n").expect_err("unknown");
+        assert!(err.contains("unknown policy"), "{err}");
+        for name in policy_names() {
+            assert!(err.contains(name), "error must list {name:?}: {err}");
+        }
+        assert!(err.contains("weighted-fair-share") && err.contains("threshold-reservation"));
+        // Same contract on the validate() path (spec built in code).
+        let mut spec = paper_matrix();
+        spec.policies = vec!["not-a-policy".into()];
+        let err = spec.validate().expect_err("unknown");
+        assert!(err.contains("threshold-reservation"), "{err}");
+    }
+
+    #[test]
+    fn parameterised_policy_axis_expands_and_round_trips() {
+        let mut spec = paper_matrix();
+        spec.policies = vec![
+            "weighted-fair-share".into(),
+            "threshold-reservation:margin=0.4".into(),
+        ];
+        let scenarios = spec.expand().expect("parameterised axis expands");
+        assert!(scenarios
+            .iter()
+            .any(|s| s.label.contains("policy=threshold-reservation:margin=0.4")));
+        let reparsed = ScenarioSpec::parse(&spec.to_toml()).expect("round-trip");
+        assert_eq!(reparsed, spec);
+        // Bad parameters are rejected with the declared-parameter list.
+        spec.policies = vec!["threshold-reservation:margn=0.4".into()];
+        let err = spec.validate().expect_err("bad parameter");
+        assert!(err.contains("margin"), "{err}");
     }
 
     #[test]

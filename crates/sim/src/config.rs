@@ -1,6 +1,6 @@
 //! Simulation scenario configuration.
 
-use wcdma_admission::{Objective, PhyModel, Policy, SchedulerConfig};
+use wcdma_admission::{BoxedPolicy, Objective, PhyModel, Policy, SchedulerConfig};
 use wcdma_cdma::CdmaConfig;
 use wcdma_mac::{LinkDir, MacTimers};
 use wcdma_phy::{BerModel, FixedPhy, SpreadingConfig, Vtaoc};
@@ -93,8 +93,11 @@ pub struct SimConfig {
     pub target_ber: f64,
     /// Design-point mean CSI (dB) for the fixed PHY baseline.
     pub fixed_design_csi_db: f64,
-    /// Scheduling policy under test.
-    pub policy: Policy,
+    /// Scheduling policy under test — any [`wcdma_admission::AdmissionPolicy`]
+    /// object; registry names resolve via
+    /// [`wcdma_admission::PolicyRegistry::resolve`], and the deprecated
+    /// [`Policy`] enum still converts through `.into()`.
+    pub policy: BoxedPolicy,
     /// Minimum justified burst duration T1 (s).
     pub t1_min_burst_s: f64,
     /// Simulated time (s).
@@ -129,7 +132,7 @@ impl SimConfig {
             phy: PhyKind::Adaptive,
             target_ber: 1e-3,
             fixed_design_csi_db: 3.0,
-            policy: Policy::jaba_sd_default(),
+            policy: Policy::jaba_sd_default().into(),
             t1_min_burst_s: 0.04,
             duration_s: 60.0,
             warmup_s: 5.0,
@@ -198,10 +201,12 @@ impl SimConfig {
         Ok(())
     }
 
-    /// Returns a copy with a different policy (sweep helper).
-    pub fn with_policy(&self, policy: Policy) -> Self {
+    /// Returns a copy with a different policy (sweep helper). Accepts a
+    /// policy object, or a deprecated [`Policy`] enum value via its shim
+    /// conversion.
+    pub fn with_policy(&self, policy: impl Into<BoxedPolicy>) -> Self {
         let mut c = self.clone();
-        c.policy = policy;
+        c.policy = policy.into();
         c
     }
 
@@ -243,7 +248,11 @@ impl SimConfig {
         c
     }
 
-    /// Named policies for the comparison experiments.
+    /// The paper's comparison table as deprecated [`Policy`] enum values —
+    /// kept for the experiment drivers' signatures. The open, superset
+    /// registry (including the policies the enum cannot express) is
+    /// [`wcdma_admission::PolicyRegistry::standard`], which the campaign
+    /// layer's [`crate::campaign::policy_by_name`] resolves through.
     pub fn comparison_policies() -> Vec<(&'static str, Policy)> {
         vec![
             ("jaba-sd-j2", Policy::jaba_sd_default()),

@@ -38,6 +38,7 @@ use wcdma_math::{mix_seed, Xoshiro256pp};
 
 use crate::config::SimConfig;
 use crate::stats::{SimReport, SimStats};
+use crate::trace::{DecisionRecord, DecisionTrace};
 use crate::traffic::WebSource;
 
 /// A burst currently being transmitted.
@@ -79,6 +80,9 @@ pub struct Simulation {
     /// direction, taken before a scheduling round (the queue cannot stay
     /// borrowed while grants mutate it).
     sched_reqs: Vec<BurstRequest>,
+    /// Optional decision-trace sink (None in the zero-allocation hot
+    /// path; see [`crate::trace`]).
+    trace: Option<Box<dyn DecisionTrace>>,
 }
 
 impl Simulation {
@@ -169,7 +173,20 @@ impl Simulation {
             pending_count: vec![0; total],
             finished: Vec::new(),
             sched_reqs: Vec::new(),
+            trace: None,
         }
+    }
+
+    /// Attaches a decision-trace sink: every subsequent scheduling round
+    /// with pending requests is reported to it as a
+    /// [`DecisionRecord`]. Replaces any previously attached sink.
+    pub fn attach_trace(&mut self, trace: Box<dyn DecisionTrace>) {
+        self.trace = Some(trace);
+    }
+
+    /// Detaches and returns the current trace sink, if any.
+    pub fn take_trace(&mut self) -> Option<Box<dyn DecisionTrace>> {
+        self.trace.take()
     }
 
     /// Current simulation time (s).
@@ -350,6 +367,18 @@ impl Simulation {
             &requests,
         );
         drop(requests);
+        if let Some(trace) = self.trace.as_mut() {
+            trace.record(DecisionRecord {
+                t_s: self.t,
+                dir,
+                users: self.sched_reqs.iter().map(|r| r.user).collect(),
+                m: outcome.m.clone(),
+                delta_beta: outcome.delta_beta.clone(),
+                objective_value: outcome.objective_value,
+                optimal: outcome.optimal,
+                slack: outcome.region.slack(&outcome.m),
+            });
+        }
         let mut denied = false;
         for j in 0..self.sched_reqs.len() {
             // Outcomes are aligned with the request order: `m[j]` and

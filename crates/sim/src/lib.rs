@@ -12,6 +12,9 @@
 //! * [`runner`] — parallel replication running with confidence intervals.
 //! * [`campaign`] — declarative scenario matrices ([`campaign::ScenarioSpec`]),
 //!   the sharded work-stealing campaign runner, and CSV/JSON emitters.
+//! * [`trace`] — decision-trace hooks: capture every per-frame policy
+//!   decision ([`trace::DecisionRecord`]) for tests and the campaign CSV
+//!   layer.
 //! * [`experiments`] — drivers for the E1–E8 experiment suite.
 //! * [`table`] — text/CSV rendering of result rows.
 
@@ -25,6 +28,7 @@ pub mod experiments;
 pub mod runner;
 pub mod stats;
 pub mod table;
+pub mod trace;
 pub mod traffic;
 
 pub use campaign::{run_campaign, run_spec, CampaignResult, Scenario, ScenarioSpec};
@@ -33,3 +37,4 @@ pub use engine::Simulation;
 pub use runner::{run_replications, Aggregate};
 pub use stats::{ReplicationStats, SimReport, SimStats};
 pub use table::Table;
+pub use trace::{run_with_trace, DecisionLog, DecisionRecord, DecisionTrace};

@@ -117,9 +117,10 @@ fn cdma_mac_ilp_feed_admission() {
     assert_eq!(queue.pending().len(), 1);
     assert!(queue.pending()[0].waiting_time(0.5) > 0.4);
 
-    // admission sits on top: a scheduler exists for the policy under test.
+    // admission sits on top: a scheduler exists for the policy under test
+    // (the deprecated enum shim converts into the trait object).
     let scheduler = Scheduler::new(SchedulerConfig::default_config(), Policy::jaba_sd_default());
-    assert!(matches!(scheduler.policy(), Policy::JabaSd { .. }));
+    assert_eq!(scheduler.policy().name(), "jaba-sd");
 }
 
 /// Layer 4 → 5: the admission policies parameterise the dynamic simulation,
