@@ -1,4 +1,5 @@
-//! E11 — frame-pipeline scaling: frames/second vs mobile count.
+//! E11 — frame-pipeline scaling: frames/second vs mobile count, and vs
+//! intra-frame thread count.
 //!
 //! The ROADMAP's north star is serving heavy traffic from very large user
 //! populations, so the 20 ms frame loop (mobility → network → traffic →
@@ -6,6 +7,14 @@
 //! sweeps the population and reports achieved frames/second and the
 //! real-time margin (frames/sec × 20 ms), the direct regression guard for
 //! the struct-of-arrays hot-path work.
+//!
+//! The **thread sweep** measures the deterministic intra-frame parallelism
+//! (`SimConfig::frame_threads`, chunked per-mobile phase with the
+//! chunk-order load fold): frames/s at 1/2/4/8 threads for large
+//! populations. In quick mode the sweep shrinks to 5k mobiles × {1, 4}
+//! threads and **asserts the 4-thread row is no slower than the 1-thread
+//! row** — the CI guard that the parallel path never regresses below
+//! inline execution at scale.
 //!
 //! The bench also carries the **dispatch-overhead smoke** for the open
 //! admission-policy API: the scheduler's policy is a boxed
@@ -86,10 +95,48 @@ fn quick_mode() -> bool {
     std::env::var("WCDMA_BENCH_QUICK").is_ok_and(|v| v != "0" && !v.is_empty())
 }
 
+/// Measures frames/s for one (mobiles, frame_threads) cell of the thread
+/// sweep. Results are bit-identical across thread counts — only the
+/// wall-clock changes.
+fn thread_cell(n_mobiles: usize, threads: usize, frames: usize) -> f64 {
+    cfg_frames_per_sec(scale_cfg(n_mobiles).with_frame_threads(threads), frames)
+}
+
+/// Frames per thread-sweep cell in quick (CI smoke) mode.
+const QUICK_SWEEP_FRAMES: usize = 60;
+
+/// The intra-frame parallelism sweep: `(mobiles, threads, frames/s)` rows.
+fn thread_sweep(quick: bool) -> Vec<(usize, usize, f64)> {
+    let (sizes, threads): (&[usize], &[usize]) = if quick {
+        (&[5000], &[1, 4])
+    } else {
+        (&[5000, 20_000, 100_000], &[1, 2, 4, 8])
+    };
+    let mut rows = Vec::with_capacity(sizes.len() * threads.len());
+    for &n in sizes {
+        // Fixed work budget per row so the 100k-mobile cells stay sane.
+        let frames = if quick {
+            QUICK_SWEEP_FRAMES
+        } else {
+            (600_000 / n).clamp(20, 150)
+        };
+        for &t in threads {
+            rows.push((n, t, thread_cell(n, t, frames)));
+        }
+    }
+    rows
+}
+
 /// Writes the sweep plus the dispatch smoke as a machine-readable snapshot
 /// (CI uploads it as `BENCH_e11_scale.json` so the perf trajectory
 /// accumulates over PRs).
-fn write_json_snapshot(path: &str, quick: bool, rows: &[(usize, f64)], dispatch: (f64, f64)) {
+fn write_json_snapshot(
+    path: &str,
+    quick: bool,
+    rows: &[(usize, f64)],
+    sweep: &[(usize, usize, f64)],
+    dispatch: (f64, f64),
+) {
     let entries: Vec<String> = rows
         .iter()
         .map(|(n, fps)| {
@@ -99,10 +146,21 @@ fn write_json_snapshot(path: &str, quick: bool, rows: &[(usize, f64)], dispatch:
             )
         })
         .collect();
+    let sweep_entries: Vec<String> = sweep
+        .iter()
+        .map(|(n, t, fps)| {
+            format!(
+                "    {{\"mobiles\": {n}, \"threads\": {t}, \"frames_per_sec\": {fps:.1}, \
+                 \"x_realtime\": {:.2}}}",
+                fps * 0.02
+            )
+        })
+        .collect();
     let (enum_fps, registry_fps) = dispatch;
     let json = format!(
-        "{{\n  \"bench\": \"e11_scale\",\n  \"quick\": {quick},\n  \"rows\": [\n{}\n  ],\n  \"dispatch\": {{\"enum_shim_fps\": {enum_fps:.1}, \"registry_boxed_fps\": {registry_fps:.1}, \"ratio\": {:.4}}}\n}}\n",
+        "{{\n  \"bench\": \"e11_scale\",\n  \"quick\": {quick},\n  \"rows\": [\n{}\n  ],\n  \"thread_sweep\": [\n{}\n  ],\n  \"dispatch\": {{\"enum_shim_fps\": {enum_fps:.1}, \"registry_boxed_fps\": {registry_fps:.1}, \"ratio\": {:.4}}}\n}}\n",
         entries.join(",\n"),
+        sweep_entries.join(",\n"),
         registry_fps / enum_fps
     );
     match std::fs::write(path, json) {
@@ -132,6 +190,61 @@ fn print_experiment() {
     }
     println!("{}", t.render());
 
+    // Thread sweep: deterministic intra-frame parallelism. Results are
+    // bit-identical across thread counts; only frames/s moves.
+    let mut sweep = thread_sweep(quick);
+    let mut ts = Table::new(&["mobiles", "frame threads", "frames/sec", "speedup vs 1T"]);
+    for &(n, t, fps) in &sweep {
+        let base = sweep
+            .iter()
+            .find(|&&(bn, bt, _)| bn == n && bt == 1)
+            .map(|&(_, _, f)| f)
+            .unwrap_or(fps);
+        ts.row(&[
+            n.to_string(),
+            t.to_string(),
+            format!("{fps:.1}"),
+            format!("{:.2}x", fps / base),
+        ]);
+    }
+    println!("{}", ts.render());
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    if quick && cores >= 2 {
+        // CI guard: at 5k mobiles the 4-thread row must be no slower than
+        // the 1-thread row. One clean re-measure absorbs scheduler noise
+        // before the assert fails the bench. On a single-core machine the
+        // guard is vacuous (threads cannot run concurrently), so it is
+        // skipped rather than asserted against pure scheduling overhead.
+        let cell = |rows: &[(usize, usize, f64)], t: usize| {
+            rows.iter()
+                .find(|&&(n, rt, _)| n == 5000 && rt == t)
+                .map(|&(_, _, f)| f)
+                .expect("quick sweep covers 5k x {1,4}")
+        };
+        let (mut one, mut four) = (cell(&sweep, 1), cell(&sweep, 4));
+        if four < 0.95 * one {
+            // One clean re-measure of just the two guard cells, patched
+            // back into the sweep so the guard, the printed note, and the
+            // JSON snapshot all report the same numbers.
+            one = thread_cell(5000, 1, QUICK_SWEEP_FRAMES);
+            four = thread_cell(5000, 4, QUICK_SWEEP_FRAMES);
+            for row in sweep.iter_mut() {
+                if row.0 == 5000 && (row.1 == 1 || row.1 == 4) {
+                    row.2 = if row.1 == 1 { one } else { four };
+                }
+            }
+            println!("re-measured 5k guard cells: 1T {one:.1} fps, 4T {four:.1} fps");
+        }
+        // A 5 % noise floor keeps the guard from flaking on shared CI
+        // runners while still catching any real parallel-path regression.
+        assert!(
+            four >= 0.95 * one,
+            "4-thread frame pipeline slower than 1-thread at 5k mobiles: {four:.1} vs {one:.1} fps"
+        );
+    } else if quick {
+        println!("single-core machine: skipping the 4-thread-vs-1-thread guard");
+    }
+
     // Dispatch-overhead smoke: enum-shim vs registry-resolved boxed-trait
     // scheduler on the same scenario. Best-of-N interleaved trials; on a
     // noisy runner a gap over threshold gets one clean re-measure before
@@ -157,7 +270,7 @@ fn print_experiment() {
 
     if let Ok(path) = std::env::var("WCDMA_BENCH_JSON") {
         if !path.is_empty() {
-            write_json_snapshot(&path, quick, &rows, (enum_fps, registry_fps));
+            write_json_snapshot(&path, quick, &rows, &sweep, (enum_fps, registry_fps));
         }
     }
 }

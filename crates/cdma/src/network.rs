@@ -28,12 +28,27 @@
 //! and measurement-report rows use fixed strides (`active_set_max`,
 //! `reduced_active_set`, the 8-pilot SCRM cap), so [`Network::step`]
 //! performs **zero heap allocations in steady state**: every buffer —
-//! including the double-buffered load vectors and the pilot/interference
-//! scratch — is a persistent field reused each frame.
+//! including the double-buffered load vectors and the per-chunk scratch —
+//! is a persistent field reused each frame.
+//!
+//! # Deterministic intra-frame parallelism
+//!
+//! The per-mobile phase of [`Network::step`] runs over **fixed-size mobile
+//! chunks** ([`wcdma_math::par::DEFAULT_CHUNK`]) on a persistent
+//! [`FramePool`] ([`Network::set_frame_threads`]). Each chunk owns its own
+//! scratch buffers and **partial per-cell load accumulators**; after the
+//! parallel phase the partials are folded **in chunk order** on the calling
+//! thread, so every `f64` sum reduces in one fixed association and the
+//! results are bit-identical for *any* thread count (chunk boundaries
+//! depend only on the mobile count, never on the thread count). Per-link,
+//! per-voice-source RNG substreams are already independent per mobile, so
+//! no RNG coordination is needed. The chunked fold is used even at one
+//! thread — it *is* the canonical summation order.
 
 use wcdma_channel::ChannelLink;
 use wcdma_geo::{CellId, HexLayout, Point};
 use wcdma_math::db::thermal_noise_watt;
+use wcdma_math::par::{chunk_count, FramePool, Partition, DEFAULT_CHUNK};
 
 use crate::config::CdmaConfig;
 use crate::pilot::{measure_pilots_into, ActiveSet, PilotStrength};
@@ -44,6 +59,10 @@ use crate::voice::VoiceActivity;
 
 /// The SCRM carries at most 8 pilot reports (footnote 6).
 const SCRM_MAX_PILOTS: usize = 8;
+
+/// Mobiles per parallel chunk. Fixed (thread-count independent) so the
+/// chunk-order fold below is bit-identical for every `frame_threads`.
+const MOBILE_CHUNK: usize = DEFAULT_CHUNK;
 
 /// Kind of user occupying the network.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -222,18 +241,60 @@ pub struct Network {
     /// Cells whose forward budget was exceeded last frame (clamped).
     overloaded: Vec<bool>,
 
-    // ---- persistent per-frame scratch ----
-    scratch_dist: Vec<f64>,
-    scratch_pilot_rx: Vec<f64>,
-    scratch_leg_gains: Vec<f64>,
-    scratch_leg_powers: Vec<f64>,
+    // ---- persistent per-frame scratch, one set per parallel chunk ----
+    chunk_scratch: Vec<ChunkScratch>,
 
+    // ---- per-mobile-invariant config derivations, hoisted out of the
+    // ---- Phase-1 loop (computed once at construction) ----
+    /// FCH processing gain θ_f.
+    fch_theta: f64,
+    /// Pilot + common-channel forward power floor per cell (W).
+    base_fwd_w: f64,
+    /// Thermal noise floor at the base station (W).
+    noise_floor_w: f64,
+    /// Thermal noise at the mobile (W).
     mobile_noise_w: f64,
+
     /// Ideal (true) vs stepped (false) reverse power control.
     ideal_reverse_pc: bool,
     inner_loop: InnerLoop,
+    /// Worker pool for the chunked per-mobile phase (1 thread = inline).
+    pool: FramePool,
     seed: u64,
     next_stream: u64,
+}
+
+/// Per-chunk working memory: measurement scratch plus the chunk's partial
+/// per-cell load accumulators. Pre-sized once (see
+/// [`Network::set_frame_threads`] / the first [`Network::step`]); never
+/// reallocated in steady state.
+#[derive(Debug, Clone)]
+struct ChunkScratch {
+    /// Wrap-around distances to every cell (len `n_cells`).
+    dist: Vec<f64>,
+    /// Received pilot power per cell (len `n_cells`).
+    pilot_rx: Vec<f64>,
+    /// Active-set leg gains (len `active_set_max`).
+    leg_gains: Vec<f64>,
+    /// Active-set leg powers (len `active_set_max`).
+    leg_powers: Vec<f64>,
+    /// Partial forward transmit power per cell, this chunk's mobiles only.
+    fwd_w: Vec<f64>,
+    /// Partial reverse received power per cell, this chunk's mobiles only.
+    rev_w: Vec<f64>,
+}
+
+impl ChunkScratch {
+    fn new(n_cells: usize, active_set_max: usize) -> Self {
+        Self {
+            dist: vec![0.0; n_cells],
+            pilot_rx: vec![0.0; n_cells],
+            leg_gains: vec![0.0; active_set_max],
+            leg_powers: vec![0.0; active_set_max],
+            fwd_w: vec![0.0; n_cells],
+            rev_w: vec![0.0; n_cells],
+        }
+    }
 }
 
 impl Network {
@@ -244,7 +305,6 @@ impl Network {
         let base_fwd = cfg.pilot_power_w + cfg.common_power_w;
         let noise = cfg.noise_floor_w();
         let inner_loop = InnerLoop::new(0.5, 1e-8, cfg.mobile_max_power_w);
-        let asm = cfg.active_set_max;
         Self {
             mobile_noise_w: thermal_noise_watt(cfg.chip_rate, 8.0),
             layout,
@@ -275,15 +335,55 @@ impl Network {
             fwd_prev_w: vec![base_fwd; k],
             rev_prev_w: vec![noise; k],
             overloaded: vec![false; k],
-            scratch_dist: vec![0.0; k],
-            scratch_pilot_rx: vec![0.0; k],
-            scratch_leg_gains: vec![0.0; asm],
-            scratch_leg_powers: vec![0.0; asm],
+            chunk_scratch: Vec::new(),
+            fch_theta: cfg.fch_processing_gain(),
+            base_fwd_w: base_fwd,
+            noise_floor_w: noise,
             ideal_reverse_pc: false,
             inner_loop,
+            pool: FramePool::new(1),
             seed,
             next_stream: 1,
             cfg,
+        }
+    }
+
+    /// Sets the intra-frame parallelism: total threads working each
+    /// [`Network::step`] (`0` ⇒ one per available core, `1` ⇒ inline, the
+    /// default). Pre-sizes the per-chunk scratch for the current mobile
+    /// count. **Results are bit-identical for every thread count** — the
+    /// per-mobile phase always runs over the same fixed-size chunks and
+    /// the per-cell load partials always fold in chunk order.
+    pub fn set_frame_threads(&mut self, threads: usize) {
+        let threads = wcdma_math::par::resolve_threads(threads).max(1);
+        if threads != self.pool.threads() {
+            self.pool = FramePool::new(threads);
+        }
+        self.ensure_chunk_scratch();
+    }
+
+    /// Current intra-frame parallelism (total threads per step).
+    pub fn frame_threads(&self) -> usize {
+        self.pool.threads()
+    }
+
+    /// The persistent frame worker pool — shared with callers (the
+    /// simulation engine's mobility and CSI loops) so one set of workers
+    /// serves the whole frame.
+    pub fn frame_pool(&self) -> &FramePool {
+        &self.pool
+    }
+
+    /// Grows the per-chunk scratch to cover the current mobile count
+    /// (no-op — and no allocation — once sized; chunk count depends only
+    /// on the mobile count, never on the thread count).
+    fn ensure_chunk_scratch(&mut self) {
+        let want = chunk_count(self.n_mobiles, MOBILE_CHUNK);
+        if self.chunk_scratch.len() < want {
+            let k = self.n_cells;
+            let asm = self.cfg.active_set_max;
+            self.chunk_scratch
+                .resize_with(want, || ChunkScratch::new(k, asm));
         }
     }
 
@@ -453,8 +553,11 @@ impl Network {
     /// Advances the network by one frame of `dt` seconds.
     ///
     /// Zero heap allocations in steady state: the load vectors are
-    /// double-buffered, pilot/leg scratch is persistent, and all per-mobile
-    /// results land in the pre-sized flat tables.
+    /// double-buffered, per-chunk scratch is persistent, and all per-mobile
+    /// results land in the pre-sized flat tables. The per-mobile phase runs
+    /// chunked on the frame pool (see [`Network::set_frame_threads`]) and
+    /// the per-cell load partials fold in chunk order, so the outcome is
+    /// bit-identical for every thread count.
     pub fn step(&mut self, dt: f64) {
         assert!(dt > 0.0);
         let k = self.n_cells;
@@ -464,173 +567,70 @@ impl Network {
         // *_total_w buffers are stale storage about to be overwritten.
         std::mem::swap(&mut self.fwd_total_w, &mut self.fwd_prev_w);
         std::mem::swap(&mut self.rev_total_w, &mut self.rev_prev_w);
+        self.ensure_chunk_scratch();
+        let n_chunks = chunk_count(self.n_mobiles, MOBILE_CHUNK);
 
-        // Phase 1: channels, pilots, active sets, power control.
-        for m in 0..self.n_mobiles {
-            let row = m * k;
-            // Advance every link's long-term state and refresh gains. The
-            // shadowing correlation depends only on the mobile's shared
-            // displacement, so it is computed once per mobile; the fast
-            // fading state is never read on this path (the burst layer
-            // integrates fading analytically via VTAOC), so it is not
-            // advanced — each fading RNG substream is independent, keeping
-            // all outputs bit-identical.
-            let shadow_rho = self.links[row].shadow_rho(self.moved_m[m], dt);
-            self.layout
-                .distances_into(self.pos[m], &mut self.scratch_dist);
-            for cell in 0..k {
-                let link = &mut self.links[row + cell];
-                link.advance_long_term_with_rho(shadow_rho);
-                self.gains[row + cell] = link.long_term_gain(self.scratch_dist[cell]);
-            }
-            self.moved_m[m] = 0.0;
-
-            // Pilot measurement against last frame's forward powers.
-            let mut total_rx = self.mobile_noise_w;
-            for cell in 0..k {
-                total_rx += self.fwd_prev_w[cell] * self.gains[row + cell];
-                self.scratch_pilot_rx[cell] = self.cfg.pilot_power_w * self.gains[row + cell];
-            }
-            measure_pilots_into(
-                &self.scratch_pilot_rx,
-                total_rx,
-                &mut self.pilots[row..row + k],
-            );
-            self.active_set[m].update_sorted(
-                &self.pilots[row..row + k],
-                self.cfg.t_add,
-                self.cfg.t_drop,
-                self.cfg.active_set_max,
-            );
-            // Reduced active set for the SCH, reused by the grant
-            // application below and by the measurement report.
-            let rs = m * red_stride;
-            self.reduced_count[m] = self.active_set[m].reduced_into(
-                &self.pilots[row..row + k],
-                &mut self.reduced[rs..rs + red_stride],
-            );
-
-            // Voice activity gating.
-            self.fch_on[m] = match self.kind[m] {
-                UserKind::Data => true,
-                UserKind::Voice => self.voice[m].as_mut().expect("voice state").step(dt),
+        // Phases 1+2a, parallel over fixed-size mobile chunks: channels,
+        // pilots, active sets, power control, and each chunk's *partial*
+        // per-cell load accumulation. Chunks touch disjoint rows of every
+        // per-mobile table and write loads only into their own partials,
+        // so the chunk → thread assignment cannot affect any result.
+        {
+            let shared = StepShared {
+                cfg: &self.cfg,
+                layout: &self.layout,
+                k,
+                leg_stride,
+                red_stride,
+                dt,
+                pos: &self.pos,
+                kind: &self.kind,
+                sch_grant: &self.sch_grant,
+                fwd_prev_w: &self.fwd_prev_w,
+                rev_prev_w: &self.rev_prev_w,
+                mobile_noise_w: self.mobile_noise_w,
+                fch_theta: self.fch_theta,
+                ideal_reverse_pc: self.ideal_reverse_pc,
+                inner_loop: self.inner_loop,
             };
-
-            // Forward FCH power control (ideal): interference at the mobile
-            // counts other-cell power fully and own-active-set power through
-            // the orthogonality loss.
-            let mut interference = self.mobile_noise_w;
-            for cell in 0..k {
-                let w = self.fwd_prev_w[cell] * self.gains[row + cell];
-                if self.active_set[m].contains(CellId(cell as u32)) {
-                    interference += w * self.cfg.orthogonality_loss;
-                } else {
-                    interference += w;
-                }
-            }
-            let members = self.active_set[m].members();
-            let nl = members.len();
-            for (i, &c) in members.iter().enumerate() {
-                self.scratch_leg_gains[i] = self.gains[row + c.index()];
-            }
-            let theta = self.cfg.fch_processing_gain();
-            forward_fch_powers_into(
-                self.cfg.fch_ebi0_target,
-                theta,
-                interference,
-                &self.scratch_leg_gains[..nl],
-                &mut self.scratch_leg_powers[..nl],
-            );
-            let ls = m * leg_stride;
-            for (i, (&leg, &p)) in members
-                .iter()
-                .zip(&self.scratch_leg_powers[..nl])
-                .enumerate()
-            {
-                self.fch_legs[ls + i] = (leg, p);
-            }
-            self.fch_leg_count[m] = nl;
-            self.ebi0_fwd[m] = forward_fch_ebi0(
-                theta,
-                interference,
-                &self.scratch_leg_powers[..nl],
-                &self.scratch_leg_gains[..nl],
-            );
-
-            // Reverse power control toward the best leg of last frame's L.
-            debug_assert!(nl > 0, "active set never empty");
-            let mut best_cell = members[0];
-            let mut best_gain = self.gains[row + best_cell.index()];
-            for &c in &members[1..] {
-                let g = self.gains[row + c.index()];
-                if g > best_gain {
-                    best_gain = g;
-                    best_cell = c;
-                }
-            }
-            let ideal = reverse_fch_power(
-                self.cfg.fch_ebi0_target,
-                theta,
-                self.rev_prev_w[best_cell.index()],
-                best_gain,
-                self.cfg.mobile_max_power_w,
-            );
-            self.rev_fch_w[m] = if self.ideal_reverse_pc {
-                ideal
-            } else {
-                self.inner_loop.step(self.rev_fch_w[m], ideal)
+            let parts = StepParts {
+                moved_m: Partition::new(&mut self.moved_m, MOBILE_CHUNK),
+                voice: Partition::new(&mut self.voice, MOBILE_CHUNK),
+                active_set: Partition::new(&mut self.active_set, MOBILE_CHUNK),
+                rev_fch_w: Partition::new(&mut self.rev_fch_w, MOBILE_CHUNK),
+                ebi0_fwd: Partition::new(&mut self.ebi0_fwd, MOBILE_CHUNK),
+                ebi0_rev: Partition::new(&mut self.ebi0_rev, MOBILE_CHUNK),
+                fch_on: Partition::new(&mut self.fch_on, MOBILE_CHUNK),
+                links: Partition::new(&mut self.links, MOBILE_CHUNK * k),
+                gains: Partition::new(&mut self.gains, MOBILE_CHUNK * k),
+                pilots: Partition::new(&mut self.pilots, MOBILE_CHUNK * k),
+                fch_legs: Partition::new(&mut self.fch_legs, MOBILE_CHUNK * leg_stride),
+                fch_leg_count: Partition::new(&mut self.fch_leg_count, MOBILE_CHUNK),
+                reduced: Partition::new(&mut self.reduced, MOBILE_CHUNK * red_stride),
+                reduced_count: Partition::new(&mut self.reduced_count, MOBILE_CHUNK),
+                scratch: Partition::new(&mut self.chunk_scratch, 1),
             };
-            self.ebi0_rev[m] = reverse_fch_ebi0(
-                theta,
-                self.rev_prev_w[best_cell.index()],
-                best_gain,
-                self.rev_fch_w[m],
-            );
+            self.pool.run(n_chunks, |ci| {
+                // SAFETY: `FramePool::run` hands out each chunk index
+                // exactly once, so all `Partition::chunk(ci)` views inside
+                // are exclusive.
+                unsafe { step_chunk(&shared, &parts, ci) }
+            });
         }
 
-        // Phase 2: accumulate new loads into the (reused) current buffers.
-        let base_fwd = self.cfg.pilot_power_w + self.cfg.common_power_w;
-        self.fwd_total_w.fill(base_fwd);
-        self.rev_total_w.fill(self.cfg.noise_floor_w());
-        for m in 0..self.n_mobiles {
-            let row = m * k;
-            let ls = m * leg_stride;
-            let nl = self.fch_leg_count[m];
-            // Forward FCH legs.
-            if self.fch_on[m] {
-                for &(cell, p) in &self.fch_legs[ls..ls + nl] {
-                    self.fwd_total_w[cell.index()] += p;
-                }
+        // Phase 2b — the deterministic fold: per-cell load partials are
+        // reduced **in chunk order** onto the base levels. This fixed
+        // association is the canonical summation order (also used at one
+        // thread), which is what makes the loads bit-identical across
+        // thread counts.
+        self.fwd_total_w.fill(self.base_fwd_w);
+        self.rev_total_w.fill(self.noise_floor_w);
+        for s in &self.chunk_scratch[..n_chunks] {
+            for (t, &p) in self.fwd_total_w.iter_mut().zip(&s.fwd_w) {
+                *t += p;
             }
-            // Forward SCH grant on the reduced active set.
-            if let Some(g) = self.sch_grant[m] {
-                if g.forward {
-                    let rs = m * red_stride;
-                    let rc = self.reduced_count[m];
-                    let alpha = alpha_fl(self.active_set[m].len(), rc);
-                    for &cell in &self.reduced[rs..rs + rc] {
-                        if let Some(&(_, p)) =
-                            self.fch_legs[ls..ls + nl].iter().find(|(c, _)| *c == cell)
-                        {
-                            self.fwd_total_w[cell.index()] += g.m as f64 * g.gamma_s * p * alpha;
-                        }
-                    }
-                }
-            }
-            // Reverse: pilot + FCH + SCH.
-            let pilot_tx = self.rev_fch_w[m] / self.cfg.fch_pilot_ratio;
-            let mut tx = pilot_tx;
-            if self.fch_on[m] {
-                tx += self.rev_fch_w[m];
-            }
-            if let Some(g) = self.sch_grant[m] {
-                if !g.forward {
-                    tx += g.m as f64 * g.gamma_s * self.rev_fch_w[m];
-                }
-            }
-            let tx = tx.min(self.cfg.mobile_max_power_w);
-            for cell in 0..k {
-                self.rev_total_w[cell] += tx * self.gains[row + cell];
+            for (t, &p) in self.rev_total_w.iter_mut().zip(&s.rev_w) {
+                *t += p;
             }
         }
         // Forward budget clamp: flag and clamp overloaded cells.
@@ -723,6 +723,227 @@ impl Network {
     /// Achieved FCH Eb/I0 (forward, reverse) for mobile `j`.
     pub fn fch_quality(&self, j: usize) -> (f64, f64) {
         (self.ebi0_fwd[j], self.ebi0_rev[j])
+    }
+}
+
+/// Read-only per-frame inputs shared by every chunk of the parallel
+/// per-mobile phase.
+struct StepShared<'a> {
+    cfg: &'a CdmaConfig,
+    layout: &'a HexLayout,
+    k: usize,
+    leg_stride: usize,
+    red_stride: usize,
+    dt: f64,
+    pos: &'a [Point],
+    kind: &'a [UserKind],
+    sch_grant: &'a [Option<SchGrant>],
+    fwd_prev_w: &'a [f64],
+    rev_prev_w: &'a [f64],
+    mobile_noise_w: f64,
+    fch_theta: f64,
+    ideal_reverse_pc: bool,
+    inner_loop: InnerLoop,
+}
+
+/// The mutable per-mobile state, partitioned into `MOBILE_CHUNK`-mobile
+/// chunks (per-cell and leg tables are partitioned at `MOBILE_CHUNK ×
+/// stride` elements so chunk `ci` of every field covers the same mobiles).
+struct StepParts<'a> {
+    moved_m: Partition<'a, f64>,
+    voice: Partition<'a, Option<VoiceActivity>>,
+    active_set: Partition<'a, ActiveSet>,
+    rev_fch_w: Partition<'a, f64>,
+    ebi0_fwd: Partition<'a, f64>,
+    ebi0_rev: Partition<'a, f64>,
+    fch_on: Partition<'a, bool>,
+    links: Partition<'a, ChannelLink>,
+    gains: Partition<'a, f64>,
+    pilots: Partition<'a, PilotStrength>,
+    fch_legs: Partition<'a, (CellId, f64)>,
+    fch_leg_count: Partition<'a, usize>,
+    reduced: Partition<'a, CellId>,
+    reduced_count: Partition<'a, usize>,
+    scratch: Partition<'a, ChunkScratch>,
+}
+
+/// One chunk of the per-mobile phase: Phase 1 (channel advance, pilots,
+/// active sets, FCH power control) fused with Phase 2a (this chunk's
+/// partial per-cell load accumulation). Pure per-mobile work — the only
+/// cross-mobile inputs are last frame's loads, which are frozen for the
+/// whole frame.
+///
+/// # Safety
+///
+/// `ci` must be claimed exclusively (each index at most one live caller),
+/// as `FramePool::run` guarantees; all `Partition::chunk(ci)` views below
+/// are then disjoint across concurrent calls.
+unsafe fn step_chunk(sh: &StepShared<'_>, parts: &StepParts<'_>, ci: usize) {
+    let base = ci * MOBILE_CHUNK;
+    let k = sh.k;
+    // SAFETY: `ci` is exclusive per the function contract.
+    let moved_m = unsafe { parts.moved_m.chunk(ci) };
+    let voice = unsafe { parts.voice.chunk(ci) };
+    let active_set = unsafe { parts.active_set.chunk(ci) };
+    let rev_fch_w = unsafe { parts.rev_fch_w.chunk(ci) };
+    let ebi0_fwd = unsafe { parts.ebi0_fwd.chunk(ci) };
+    let ebi0_rev = unsafe { parts.ebi0_rev.chunk(ci) };
+    let fch_on = unsafe { parts.fch_on.chunk(ci) };
+    let links = unsafe { parts.links.chunk(ci) };
+    let gains = unsafe { parts.gains.chunk(ci) };
+    let pilots = unsafe { parts.pilots.chunk(ci) };
+    let fch_legs = unsafe { parts.fch_legs.chunk(ci) };
+    let fch_leg_count = unsafe { parts.fch_leg_count.chunk(ci) };
+    let reduced = unsafe { parts.reduced.chunk(ci) };
+    let reduced_count = unsafe { parts.reduced_count.chunk(ci) };
+    let scratch = &mut unsafe { parts.scratch.chunk(ci) }[0];
+
+    scratch.fwd_w.fill(0.0);
+    scratch.rev_w.fill(0.0);
+    for (lm, moved) in moved_m.iter_mut().enumerate() {
+        let m = base + lm; // global mobile index (read-only tables)
+        let row = lm * k;
+        // Advance every link's long-term state and refresh gains. The
+        // shadowing correlation depends only on the mobile's shared
+        // displacement, so it is computed once per mobile; the fast
+        // fading state is never read on this path (the burst layer
+        // integrates fading analytically via VTAOC), so it is not
+        // advanced — each fading RNG substream is independent, keeping
+        // all outputs bit-identical.
+        let shadow_rho = links[row].shadow_rho(*moved, sh.dt);
+        sh.layout.distances_into(sh.pos[m], &mut scratch.dist);
+        for cell in 0..k {
+            let link = &mut links[row + cell];
+            link.advance_long_term_with_rho(shadow_rho);
+            gains[row + cell] = link.long_term_gain(scratch.dist[cell]);
+        }
+        *moved = 0.0;
+
+        // Pilot measurement against last frame's forward powers.
+        let mut total_rx = sh.mobile_noise_w;
+        for cell in 0..k {
+            total_rx += sh.fwd_prev_w[cell] * gains[row + cell];
+            scratch.pilot_rx[cell] = sh.cfg.pilot_power_w * gains[row + cell];
+        }
+        measure_pilots_into(&scratch.pilot_rx, total_rx, &mut pilots[row..row + k]);
+        active_set[lm].update_sorted(
+            &pilots[row..row + k],
+            sh.cfg.t_add,
+            sh.cfg.t_drop,
+            sh.cfg.active_set_max,
+        );
+        // Reduced active set for the SCH, reused by the grant
+        // application below and by the measurement report.
+        let rs = lm * sh.red_stride;
+        reduced_count[lm] = active_set[lm]
+            .reduced_into(&pilots[row..row + k], &mut reduced[rs..rs + sh.red_stride]);
+
+        // Voice activity gating.
+        fch_on[lm] = match sh.kind[m] {
+            UserKind::Data => true,
+            UserKind::Voice => voice[lm].as_mut().expect("voice state").step(sh.dt),
+        };
+
+        // Forward FCH power control (ideal): interference at the mobile
+        // counts other-cell power fully and own-active-set power through
+        // the orthogonality loss.
+        let mut interference = sh.mobile_noise_w;
+        for cell in 0..k {
+            let w = sh.fwd_prev_w[cell] * gains[row + cell];
+            if active_set[lm].contains(CellId(cell as u32)) {
+                interference += w * sh.cfg.orthogonality_loss;
+            } else {
+                interference += w;
+            }
+        }
+        let members = active_set[lm].members();
+        let nl = members.len();
+        for (i, &c) in members.iter().enumerate() {
+            scratch.leg_gains[i] = gains[row + c.index()];
+        }
+        forward_fch_powers_into(
+            sh.cfg.fch_ebi0_target,
+            sh.fch_theta,
+            interference,
+            &scratch.leg_gains[..nl],
+            &mut scratch.leg_powers[..nl],
+        );
+        let ls = lm * sh.leg_stride;
+        for (i, (&leg, &p)) in members.iter().zip(&scratch.leg_powers[..nl]).enumerate() {
+            fch_legs[ls + i] = (leg, p);
+        }
+        fch_leg_count[lm] = nl;
+        ebi0_fwd[lm] = forward_fch_ebi0(
+            sh.fch_theta,
+            interference,
+            &scratch.leg_powers[..nl],
+            &scratch.leg_gains[..nl],
+        );
+
+        // Reverse power control toward the best leg of last frame's L.
+        debug_assert!(nl > 0, "active set never empty");
+        let mut best_cell = members[0];
+        let mut best_gain = gains[row + best_cell.index()];
+        for &c in &members[1..] {
+            let g = gains[row + c.index()];
+            if g > best_gain {
+                best_gain = g;
+                best_cell = c;
+            }
+        }
+        let ideal = reverse_fch_power(
+            sh.cfg.fch_ebi0_target,
+            sh.fch_theta,
+            sh.rev_prev_w[best_cell.index()],
+            best_gain,
+            sh.cfg.mobile_max_power_w,
+        );
+        rev_fch_w[lm] = if sh.ideal_reverse_pc {
+            ideal
+        } else {
+            sh.inner_loop.step(rev_fch_w[lm], ideal)
+        };
+        ebi0_rev[lm] = reverse_fch_ebi0(
+            sh.fch_theta,
+            sh.rev_prev_w[best_cell.index()],
+            best_gain,
+            rev_fch_w[lm],
+        );
+
+        // Phase 2a: this mobile's load contributions, accumulated into
+        // the chunk partials in mobile order (the fold adds whole chunks
+        // in chunk order, so the global summation order is fixed).
+        if fch_on[lm] {
+            for &(cell, p) in &fch_legs[ls..ls + nl] {
+                scratch.fwd_w[cell.index()] += p;
+            }
+        }
+        if let Some(g) = sh.sch_grant[m] {
+            if g.forward {
+                let rc = reduced_count[lm];
+                let alpha = alpha_fl(active_set[lm].len(), rc);
+                for &cell in &reduced[rs..rs + rc] {
+                    if let Some(&(_, p)) = fch_legs[ls..ls + nl].iter().find(|(c, _)| *c == cell) {
+                        scratch.fwd_w[cell.index()] += g.m as f64 * g.gamma_s * p * alpha;
+                    }
+                }
+            }
+        }
+        // Reverse: pilot + FCH + SCH.
+        let pilot_tx = rev_fch_w[lm] / sh.cfg.fch_pilot_ratio;
+        let mut tx = pilot_tx;
+        if fch_on[lm] {
+            tx += rev_fch_w[lm];
+        }
+        if let Some(g) = sh.sch_grant[m] {
+            if !g.forward {
+                tx += g.m as f64 * g.gamma_s * rev_fch_w[lm];
+            }
+        }
+        let tx = tx.min(sh.cfg.mobile_max_power_w);
+        for cell in 0..k {
+            scratch.rev_w[cell] += tx * gains[row + cell];
+        }
     }
 }
 
@@ -909,6 +1130,51 @@ mod tests {
             after > before,
             "reverse burst must raise L: {after} vs {before}"
         );
+    }
+
+    #[test]
+    fn frame_threads_do_not_change_results() {
+        // Enough mobiles to span several 256-mobile chunks, with grants in
+        // play; every thread count must produce bit-identical state.
+        let build = |threads: usize| {
+            let cfg = CdmaConfig::default_system();
+            let mut net = Network::new(cfg, HexLayout::new(1, 1000.0), 77);
+            let mut rng = Xoshiro256pp::new(77 ^ 0xD00D);
+            populate_round_robin(&mut net, 520, 60, 3.0, &mut rng);
+            net.set_frame_threads(threads);
+            net.set_grant(
+                net.data_mobiles()[0],
+                Some(SchGrant {
+                    m: 8,
+                    forward: true,
+                    gamma_s: 1.0,
+                }),
+            );
+            for _ in 0..20 {
+                net.step(0.02);
+            }
+            net
+        };
+        let one = build(1);
+        assert_eq!(one.frame_threads(), 1);
+        for threads in [2, 4, 5] {
+            let nt = build(threads);
+            assert_eq!(nt.frame_threads(), threads);
+            assert_eq!(
+                one.forward_load_w(),
+                nt.forward_load_w(),
+                "{threads} threads"
+            );
+            assert_eq!(
+                one.reverse_load_w(),
+                nt.reverse_load_w(),
+                "{threads} threads"
+            );
+            for &j in &one.data_mobiles() {
+                assert_eq!(one.measurement(j), nt.measurement(j), "mobile {j}");
+                assert_eq!(one.fch_quality(j), nt.fch_quality(j));
+            }
+        }
     }
 
     #[test]

@@ -4,7 +4,7 @@
 //! wcdma campaign list
 //! wcdma campaign describe <name | --file spec.toml>
 //! wcdma campaign run [<name>] [--file spec.toml] [--quick] [--trace]
-//!                    [--shards N] [--reps N] [--out DIR]
+//!                    [--shards N] [--frame-threads N] [--reps N] [--out DIR]
 //! wcdma policy list
 //! wcdma policy describe <name[:key=value,…]>
 //! ```
@@ -26,7 +26,7 @@ use std::process::ExitCode;
 
 use wcdma_sim::campaign::{
     builtin, builtin_names, campaign_csv, campaign_json, campaign_summary_json, campaign_trace_csv,
-    run_spec, trace_campaign, CampaignResult, PolicyRegistry, ScenarioSpec,
+    run_spec_threads, trace_campaign, CampaignResult, PolicyRegistry, ScenarioSpec,
 };
 use wcdma_sim::stats::ReplicationStats;
 use wcdma_sim::table::ci;
@@ -40,7 +40,7 @@ usage: wcdma <campaign | policy> <subcommand> [options]
   campaign describe <name | --file spec.toml>
       Print a campaign spec and its expanded scenario matrix.
   campaign run [<name>] [--file spec.toml] [--quick] [--trace]
-               [--shards N] [--reps N] [--out DIR]
+               [--shards N] [--frame-threads N] [--reps N] [--out DIR]
       Run a campaign (default: paper-eval) and write CSV + JSON artefacts.
   policy list
       Show every admission policy in the registry.
@@ -54,6 +54,11 @@ options:
   --trace       also capture per-frame policy decisions (first replication
                 of every scenario) into <name>-trace.csv
   --shards N    worker threads (default: one per core)
+  --frame-threads N
+                threads *inside* each replication's frame loop (default:
+                auto — cores left over by the shards; capped so shards ×
+                frame-threads never oversubscribes; results are
+                bit-identical for every value)
   --reps N      override the spec's replication count
   --out DIR     artefact directory (default: campaign-out)";
 
@@ -73,6 +78,7 @@ struct RunArgs {
     quick: bool,
     trace: bool,
     shards: usize,
+    frame_threads: usize,
     reps: Option<usize>,
     out: PathBuf,
 }
@@ -145,6 +151,7 @@ fn parse_command(args: &[String]) -> Result<Command, String> {
                 quick: false,
                 trace: false,
                 shards: 0,
+                frame_threads: 0,
                 reps: None,
                 out: PathBuf::from("campaign-out"),
             };
@@ -165,6 +172,13 @@ fn parse_command(args: &[String]) -> Result<Command, String> {
                         if run.shards == 0 {
                             return Err("--shards must be ≥ 1".into());
                         }
+                    }
+                    "--frame-threads" => {
+                        let v = it.next().ok_or("--frame-threads needs a value")?;
+                        // 0 is the explicit spelling of "auto".
+                        run.frame_threads = v
+                            .parse::<usize>()
+                            .map_err(|_| format!("bad --frame-threads value {v:?}"))?;
                     }
                     "--reps" => {
                         let v = it.next().ok_or("--reps needs a value")?;
@@ -375,7 +389,7 @@ fn cmd_run(args: &RunArgs) -> Result<(), String> {
             args.shards.to_string()
         }
     );
-    let result = run_spec(&spec, args.shards)?;
+    let result = run_spec_threads(&spec, args.shards, args.frame_threads)?;
     println!("{}", summary_table(&result).render());
 
     std::fs::create_dir_all(&args.out)
@@ -475,6 +489,8 @@ mod tests {
             "--quick",
             "--shards",
             "4",
+            "--frame-threads",
+            "2",
             "--reps",
             "5",
             "--out",
@@ -488,10 +504,26 @@ mod tests {
                 quick: true,
                 trace: false,
                 shards: 4,
+                frame_threads: 2,
                 reps: Some(5),
                 out: PathBuf::from("results"),
             })
         );
+    }
+
+    #[test]
+    fn frame_threads_flag_defaults_to_auto_and_rejects_garbage() {
+        match parse(&["campaign", "run"]).unwrap() {
+            Command::Run(args) => assert_eq!(args.frame_threads, 0, "default is auto"),
+            other => panic!("expected run, got {other:?}"),
+        }
+        // 0 is accepted as the explicit spelling of auto.
+        match parse(&["campaign", "run", "--frame-threads", "0"]).unwrap() {
+            Command::Run(args) => assert_eq!(args.frame_threads, 0),
+            other => panic!("expected run, got {other:?}"),
+        }
+        assert!(parse(&["campaign", "run", "--frame-threads"]).is_err());
+        assert!(parse(&["campaign", "run", "--frame-threads", "many"]).is_err());
     }
 
     #[test]
@@ -537,6 +569,7 @@ mod tests {
                 assert_eq!(args.target, Target::Builtin("paper-eval".into()));
                 assert!(!args.quick);
                 assert_eq!(args.shards, 0);
+                assert_eq!(args.frame_threads, 0);
                 assert_eq!(args.out, PathBuf::from("campaign-out"));
             }
             other => panic!("expected run, got {other:?}"),

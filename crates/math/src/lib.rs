@@ -11,6 +11,9 @@
 //! * [`stats`] — streaming statistics (Welford, P² quantiles, histograms,
 //!   replication confidence intervals).
 //! * [`complex`] — minimal complex arithmetic for the Jakes fading model.
+//! * [`par`] — deterministic intra-frame parallelism: the persistent
+//!   [`FramePool`] chunk-worker pool and the disjoint-chunk slice windows
+//!   behind the bit-identical chunk-order fold.
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
@@ -18,11 +21,13 @@
 pub mod complex;
 pub mod db;
 pub mod dist;
+pub mod par;
 pub mod rng;
 pub mod special;
 pub mod stats;
 
 pub use complex::C64;
 pub use db::{db_to_lin, lin_to_db};
+pub use par::{FramePool, Partition, ScatterSlice};
 pub use rng::{mix_seed, SplitMix64, Xoshiro256pp};
 pub use stats::Welford;

@@ -30,7 +30,10 @@ pub mod spec;
 
 pub use builtin::{builtin, builtin_names};
 pub use emit::{campaign_csv, campaign_json, campaign_summary_json, campaign_trace_csv};
-pub use runner::{run_campaign, run_spec, trace_campaign, CampaignResult, ScenarioResult};
+pub use runner::{
+    arbitrate_frame_threads, run_campaign, run_campaign_threads, run_spec, run_spec_threads,
+    trace_campaign, CampaignResult, ScenarioResult,
+};
 pub use spec::{
     policy_by_name, policy_names, CsiQuality, Scenario, ScenarioSpec, SpeedClass, TrafficMix,
 };

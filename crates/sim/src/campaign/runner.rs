@@ -43,15 +43,52 @@ pub struct CampaignResult {
     pub scenarios: Vec<ScenarioResult>,
 }
 
+/// Caps the per-replication intra-frame thread count so that
+/// `shards × frame_threads` never oversubscribes the machine: the
+/// per-shard core budget is `available_cores / shards` (at least 1).
+/// `requested == 0` takes the whole budget; an explicit request is
+/// honoured up to the budget. Any outcome is safe — `frame_threads`
+/// never changes results — this only arbitrates throughput.
+pub fn arbitrate_frame_threads(requested: usize, shards: usize) -> usize {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let budget = (cores / shards.max(1)).max(1);
+    if requested == 0 {
+        budget
+    } else {
+        requested.min(budget)
+    }
+}
+
 /// Runs every scenario `n_reps` times across `shards` worker threads
 /// (`shards == 0` ⇒ one per available core). Work-stealing over the job
 /// grid; deterministic per-replication seed substreams; the result is
-/// bit-identical for every shard count.
+/// bit-identical for every shard count. Each replication runs with one
+/// intra-frame thread — use [`run_campaign_threads`] to also parallelize
+/// within frames.
 pub fn run_campaign(
     name: &str,
     scenarios: Vec<Scenario>,
     n_reps: usize,
     shards: usize,
+) -> CampaignResult {
+    run_campaign_threads(name, scenarios, n_reps, shards, 1)
+}
+
+/// [`run_campaign`] with nested parallelism: every replication runs its
+/// frame pipeline on `frame_threads` threads (`0` ⇒ auto), arbitrated by
+/// [`arbitrate_frame_threads`] against the shard count so the two
+/// parallelism layers never oversubscribe the cores. Results are
+/// bit-identical for every `(shards, frame_threads)` combination: shard
+/// invariance comes from the replication-order fold, frame-thread
+/// invariance from the fixed-chunk-order fold inside the frame pipeline.
+pub fn run_campaign_threads(
+    name: &str,
+    scenarios: Vec<Scenario>,
+    n_reps: usize,
+    shards: usize,
+    frame_threads: usize,
 ) -> CampaignResult {
     assert!(n_reps >= 1, "need at least one replication");
     assert!(!scenarios.is_empty(), "need at least one scenario");
@@ -65,6 +102,7 @@ pub fn run_campaign(
     }
     .min(n_jobs)
     .max(1);
+    let frame_threads = arbitrate_frame_threads(frame_threads, workers);
 
     // Each job slot is written exactly once by whichever shard claims it.
     let mut slots: Vec<OnceLock<SimReport>> = Vec::new();
@@ -83,7 +121,8 @@ pub fn run_campaign(
                     }
                     let (si, rep) = (job / n_reps, job % n_reps);
                     let base = &scenarios[si].cfg;
-                    let cfg = base.with_seed(wcdma_math::mix_seed(base.seed, 1 + rep as u64));
+                    let mut cfg = base.with_seed(wcdma_math::mix_seed(base.seed, 1 + rep as u64));
+                    cfg.frame_threads = frame_threads;
                     let report = Simulation::new(cfg).run();
                     slots[job].set(report).expect("job claimed exactly once");
                 });
@@ -122,12 +161,23 @@ pub fn run_campaign(
 /// Expands a [`ScenarioSpec`] and runs it: the one-call campaign driver
 /// used by the CLI and the examples.
 pub fn run_spec(spec: &ScenarioSpec, shards: usize) -> Result<CampaignResult, String> {
+    run_spec_threads(spec, shards, 1)
+}
+
+/// [`run_spec`] with an intra-frame thread count (`0` ⇒ auto), arbitrated
+/// against the shard count by [`arbitrate_frame_threads`].
+pub fn run_spec_threads(
+    spec: &ScenarioSpec,
+    shards: usize,
+    frame_threads: usize,
+) -> Result<CampaignResult, String> {
     let scenarios = spec.expand()?;
-    Ok(run_campaign(
+    Ok(run_campaign_threads(
         &spec.name,
         scenarios,
         spec.replications,
         shards,
+        frame_threads,
     ))
 }
 
@@ -213,6 +263,35 @@ mod tests {
             assert_eq!(a.reports, b.reports, "per-replication reports must match");
             assert_eq!(a.stats, b.stats, "streaming stats must be bit-identical");
         }
+    }
+
+    #[test]
+    fn frame_thread_count_does_not_change_results() {
+        // 1 shard so the arbitration budget leaves room for >1 frame
+        // thread on any multi-core machine; results must match the
+        // single-threaded fold bit for bit either way.
+        let run = |ft| run_campaign_threads("tiny", tiny_scenarios(), 2, 1, ft);
+        let one = run(1);
+        let auto = run(0);
+        for (a, b) in one.scenarios.iter().zip(&auto.scenarios) {
+            assert_eq!(a.reports, b.reports, "per-replication reports must match");
+            assert_eq!(a.stats, b.stats, "streaming stats must be bit-identical");
+        }
+    }
+
+    #[test]
+    fn arbitration_caps_nested_parallelism() {
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        // Auto takes the whole per-shard budget.
+        assert_eq!(arbitrate_frame_threads(0, 1), cores);
+        // Explicit requests are honoured up to the budget.
+        assert_eq!(arbitrate_frame_threads(1, 1), 1);
+        assert!(arbitrate_frame_threads(usize::MAX, 1) == cores);
+        // Saturated shards leave one frame thread per shard.
+        assert_eq!(arbitrate_frame_threads(0, cores), 1);
+        assert_eq!(arbitrate_frame_threads(8, 2 * cores), 1);
     }
 
     #[test]

@@ -112,6 +112,12 @@ pub struct SimConfig {
     pub csi_error_sigma_db: f64,
     /// CSI feedback delay in frames seen by the scheduler (0 = ideal).
     pub csi_delay_frames: usize,
+    /// Intra-frame parallelism: total threads working each frame's
+    /// per-mobile loops (`1` = inline, `0` = one per available core).
+    /// **Never changes results**: the frame pipeline chunks mobiles into
+    /// fixed-size blocks and folds all `f64` reductions in chunk order,
+    /// so every thread count produces bit-identical output.
+    pub frame_threads: usize,
 }
 
 impl SimConfig {
@@ -139,6 +145,7 @@ impl SimConfig {
             seed: 0x1CE_BEEF,
             csi_error_sigma_db: 0.0,
             csi_delay_frames: 0,
+            frame_threads: 1,
         }
     }
 
@@ -245,6 +252,15 @@ impl SimConfig {
     pub fn with_hotspot(&self, overload: f64) -> Self {
         let mut c = self.clone();
         c.hotspot_overload = overload;
+        c
+    }
+
+    /// Returns a copy with a different intra-frame thread count
+    /// (`0` = one per available core). Results are bit-identical for
+    /// every value — this is purely a throughput knob.
+    pub fn with_frame_threads(&self, frame_threads: usize) -> Self {
+        let mut c = self.clone();
+        c.frame_threads = frame_threads;
         c
     }
 

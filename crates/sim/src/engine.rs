@@ -20,11 +20,19 @@
 //! [`Simulation::step_frame`] performs **zero heap allocations in steady
 //! state**: per-user burst/request bookkeeping is indexed (`active_count` /
 //! `pending_count` instead of queue scans), measurement reports are
-//! borrowed [`wcdma_cdma::MeasurementView`]s, burst completion uses a
-//! persistent scratch list, and scheduling rounds consume grant outcomes by
-//! request order. Allocation happens only on event edges: a new request
-//! entering the queue, a grant extending the active-burst list, or the ILP
-//! solve inside a scheduling round.
+//! borrowed [`wcdma_cdma::MeasurementView`]s, burst completion is a single
+//! order-preserving compaction pass over a persistent scratch list, and
+//! scheduling rounds consume grant outcomes by request order. Allocation
+//! happens only on event edges: a new request entering the queue, a grant
+//! extending the active-burst list, or the ILP solve inside a scheduling
+//! round.
+//!
+//! With `SimConfig::frame_threads > 1` the mobility, network, and CSI
+//! loops run chunked on the network's persistent
+//! [`wcdma_math::par::FramePool`]; chunk boundaries are fixed and every
+//! reduction folds in chunk order, so **any thread count produces
+//! bit-identical results** (and the zero-allocation invariant still
+//! holds — the pool allocates nothing per frame).
 
 use wcdma_admission::{RequestState, Scheduler};
 use wcdma_cdma::{
@@ -32,8 +40,9 @@ use wcdma_cdma::{
 };
 use wcdma_channel::CsiEstimator;
 use wcdma_geo::mobility::{MobilityModel, RandomWaypoint};
-use wcdma_geo::HexLayout;
+use wcdma_geo::{HexLayout, Point};
 use wcdma_mac::{BurstRequest, LinkDir, MacStateMachine, RequestQueue};
+use wcdma_math::par::{chunk_count, Partition, ScatterSlice, DEFAULT_CHUNK};
 use wcdma_math::{mix_seed, Xoshiro256pp};
 
 use crate::config::SimConfig;
@@ -42,7 +51,7 @@ use crate::trace::{DecisionRecord, DecisionTrace};
 use crate::traffic::WebSource;
 
 /// A burst currently being transmitted.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy)]
 struct ActiveBurst {
     user: usize,
     dir: LinkDir,
@@ -74,8 +83,12 @@ pub struct Simulation {
     active_count: Vec<u32>,
     /// Pending queue entries per user (replaces queue scans).
     pending_count: Vec<u32>,
-    /// Persistent scratch: indices of bursts finishing this frame.
+    /// Persistent scratch: indices of bursts finishing this frame
+    /// (ascending — the compaction pass consumes them in order).
     finished: Vec<usize>,
+    /// Persistent scratch: next frame's positions, computed in parallel
+    /// before being applied to the network in mobile order.
+    new_pos: Vec<Point>,
     /// Persistent scratch: snapshots of the pending requests of one
     /// direction, taken before a scheduling round (the queue cannot stay
     /// borrowed while grants mutate it).
@@ -137,6 +150,9 @@ impl Simulation {
                 macs.push(None);
             }
         }
+        // One persistent worker pool serves the whole frame (network,
+        // mobility, and CSI loops); 1 thread degenerates to inline loops.
+        net.set_frame_threads(cfg.frame_threads);
         let ideal_csi = cfg.csi_error_sigma_db == 0.0 && cfg.csi_delay_frames == 0;
         let csi_pipes = (0..total)
             .map(|j| {
@@ -172,6 +188,7 @@ impl Simulation {
             active_count: vec![0; total],
             pending_count: vec![0; total],
             finished: Vec::new(),
+            new_pos: vec![Point::new(0.0, 0.0); total],
             sched_reqs: Vec::new(),
             trace: None,
         }
@@ -234,9 +251,25 @@ impl Simulation {
     pub fn step_frame(&mut self) {
         let dt = self.cfg.cdma.frame_s;
 
-        // 1. Mobility.
-        for j in 0..self.mobility.len() {
-            let pos = self.mobility[j].step(dt);
+        // 1. Mobility: every walker owns its RNG substream, so the new
+        // positions are computed chunk-parallel into persistent scratch,
+        // then applied to the network in mobile order (the application is
+        // O(n) arithmetic; all randomness is in the parallel part).
+        {
+            let walkers = Partition::new(&mut self.mobility, DEFAULT_CHUNK);
+            let out = Partition::new(&mut self.new_pos, DEFAULT_CHUNK);
+            self.net.frame_pool().run(walkers.n_chunks(), |ci| {
+                // SAFETY: `FramePool::run` claims each chunk exactly once,
+                // and both partitions use the same chunk size, so the
+                // walker/output chunks are exclusive and aligned.
+                unsafe {
+                    for (w, o) in walkers.chunk(ci).iter_mut().zip(out.chunk(ci)) {
+                        *o = w.step(dt);
+                    }
+                }
+            });
+        }
+        for (j, &pos) in self.new_pos.iter().enumerate() {
             self.net.move_mobile(j, pos);
         }
 
@@ -247,13 +280,32 @@ impl Simulation {
         }
 
         // 2b. CSI feedback pipelines: what the scheduler will *see* this
-        // frame (possibly delayed and noisy versions of the truth).
-        for &j in &self.data_idx {
-            let (true_fwd, true_rev) = self.net.fch_quality(j);
-            self.observed_ebi0[j] = match self.csi_pipes[j].as_mut() {
-                None => (true_fwd, true_rev),
-                Some((fwd, rev)) => (fwd.observe(true_fwd), rev.observe(true_rev)),
-            };
+        // frame (possibly delayed and noisy versions of the truth). Each
+        // estimator pair owns its RNG substream and writes only its own
+        // user's slot, so the loop runs chunk-parallel over the
+        // (duplicate-free) data-user index list.
+        {
+            let idx: &[usize] = &self.data_idx;
+            let net = &self.net;
+            let pipes = ScatterSlice::new(&mut self.csi_pipes);
+            let obs = ScatterSlice::new(&mut self.observed_ebi0);
+            net.frame_pool()
+                .run(chunk_count(idx.len(), DEFAULT_CHUNK), |ci| {
+                    let lo = ci * DEFAULT_CHUNK;
+                    let hi = (lo + DEFAULT_CHUNK).min(idx.len());
+                    for &j in &idx[lo..hi] {
+                        let (true_fwd, true_rev) = net.fch_quality(j);
+                        // SAFETY: `data_idx` holds unique indices and each
+                        // chunk range is claimed exactly once, so every `j`
+                        // is touched by exactly one thread.
+                        unsafe {
+                            *obs.get_mut(j) = match pipes.get_mut(j).as_mut() {
+                                None => (true_fwd, true_rev),
+                                Some((fwd, rev)) => (fwd.observe(true_fwd), rev.observe(true_rev)),
+                            };
+                        }
+                    }
+                });
         }
 
         // 3. Traffic + MAC decay.
@@ -301,22 +353,39 @@ impl Simulation {
                 self.finished.push(idx);
             }
         }
-        for fi in (0..self.finished.len()).rev() {
-            let burst = self.active.remove(self.finished[fi]);
-            self.active_count[burst.user] -= 1;
-            let delay = (self.t + dt) - burst.arrival_s;
-            if self.recording() {
-                self.stats.burst_delay.push(delay);
-                self.stats.burst_delay_p95.push(delay);
-                self.stats.bursts_completed += 1;
+        // Single order-preserving compaction pass: completions are
+        // processed in ascending burst order (= the deterministic order
+        // the delivery loop found them in) and survivors slide left, so
+        // a frame finishing F of A bursts costs O(A), not O(F·A).
+        if !self.finished.is_empty() {
+            let mut fi = 0;
+            let mut write = 0;
+            for read in 0..self.active.len() {
+                if fi < self.finished.len() && self.finished[fi] == read {
+                    fi += 1;
+                    let burst = self.active[read];
+                    self.active_count[burst.user] -= 1;
+                    let delay = (self.t + dt) - burst.arrival_s;
+                    if self.recording() {
+                        self.stats.burst_delay.push(delay);
+                        self.stats.burst_delay_p95.push(delay);
+                        self.stats.bursts_completed += 1;
+                    }
+                    self.net.set_grant(burst.user, None);
+                    if let Some(mac) = self.macs[burst.user].as_mut() {
+                        mac.on_burst_end();
+                    }
+                    if let Some(src) = self.sources[burst.user].as_mut() {
+                        src.on_complete();
+                    }
+                } else {
+                    if write != read {
+                        self.active[write] = self.active[read];
+                    }
+                    write += 1;
+                }
             }
-            self.net.set_grant(burst.user, None);
-            if let Some(mac) = self.macs[burst.user].as_mut() {
-                mac.on_burst_end();
-            }
-            if let Some(src) = self.sources[burst.user].as_mut() {
-                src.on_complete();
-            }
+            self.active.truncate(write);
         }
 
         // 5. Scheduling, independently per link direction (Section 3.1).

@@ -12,6 +12,7 @@
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::cell::Cell;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 use wcdma::sim::{SimConfig, Simulation};
 
@@ -25,8 +26,19 @@ std::thread_local! {
     static ALLOCS: Cell<u64> = const { Cell::new(0) };
 }
 
+// Process-wide counter for the *parallel* frame pipeline: frame-pool
+// workers allocate (or must not) on their own threads, invisible to the
+// main thread's thread-local count. Gated by a flag so it only observes
+// the windows the test opens — with one `#[test]` in this binary, no
+// foreign thread allocates inside those windows.
+static GLOBAL_ALLOCS: AtomicU64 = AtomicU64::new(0);
+static TRACK_GLOBAL: AtomicBool = AtomicBool::new(false);
+
 fn bump() {
     ALLOCS.with(|c| c.set(c.get() + 1));
+    if TRACK_GLOBAL.load(Ordering::Relaxed) {
+        GLOBAL_ALLOCS.fetch_add(1, Ordering::Relaxed);
+    }
 }
 
 unsafe impl GlobalAlloc for CountingAlloc {
@@ -124,5 +136,35 @@ fn steady_state_frames_do_not_allocate() {
     assert!(
         delivering_frames > 0,
         "expected event-free frames with bursts in flight"
+    );
+
+    // Scenario C: the *parallel* frame pipeline (frame_threads > 1) —
+    // traffic silenced as in scenario A, but every quiet frame now runs
+    // the chunked mobility / network / CSI loops on the frame pool.
+    // Counted process-wide so allocations on worker threads are seen:
+    // the pool hand-off and the per-chunk scratch must be allocation-free
+    // in steady state too. The population must exceed the 256-mobile
+    // chunk size, or `FramePool::run` takes its single-chunk inline
+    // shortcut and the workers (and the epoch hand-off) never execute.
+    let mut cfg = SimConfig::baseline();
+    cfg.n_voice = 560;
+    cfg.n_data = 40;
+    cfg.traffic.mean_reading_s = 1e9;
+    cfg.seed = 0xA110E;
+    cfg.frame_threads = 3;
+    let mut sim = Simulation::new(cfg);
+    for _ in 0..60 {
+        sim.step_frame(); // warm-up: scratch + pool settle
+    }
+    GLOBAL_ALLOCS.store(0, Ordering::SeqCst);
+    TRACK_GLOBAL.store(true, Ordering::SeqCst);
+    for _ in 0..100 {
+        sim.step_frame();
+    }
+    TRACK_GLOBAL.store(false, Ordering::SeqCst);
+    assert_eq!(
+        GLOBAL_ALLOCS.load(Ordering::SeqCst),
+        0,
+        "quiet steady-state frames must not allocate on any frame-pool thread"
     );
 }
