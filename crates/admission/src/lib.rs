@@ -29,14 +29,19 @@ pub mod scheduler;
 pub mod temporal;
 
 pub use csi::{delta_beta, sch_mean_csi, PhyModel};
-pub use measurement::{forward_region, region_problem, reverse_region, Region};
+pub use measurement::{
+    copy_region_into, forward_region, forward_region_into, region_problem, reverse_region,
+    reverse_region_into, Region,
+};
 pub use objective::{delay_penalty, Objective};
 pub use policy::{
     AdmissionPolicy, BoxedPolicy, EqualShare, Fcfs, JabaSd, PolicyContext, PolicyDecision,
-    ThresholdReservation, WeightedFairShare,
+    PolicyScratch, ThresholdReservation, WeightedFairShare,
 };
 pub use registry::{PolicyEntry, PolicyParamSpec, PolicyRegistry, ResolvedParams};
-pub use scheduler::{Grant, Policy, RequestState, ScheduleOutcome, Scheduler, SchedulerConfig};
+pub use scheduler::{
+    Grant, Policy, RequestState, SchedStats, ScheduleOutcome, Scheduler, SchedulerConfig, SolveMode,
+};
 pub use temporal::{
     spatial_only_value, temporal_exhaustive, temporal_greedy, Placement, TemporalConfig,
     TemporalRequest, TemporalSchedule,

@@ -21,7 +21,7 @@ use wcdma_geo::CellId;
 use wcdma_ilp::Problem;
 
 /// A linear admissible region `A m ≤ b` over the pending requests.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Region {
     /// Constraint rows, one per cell with at least one nonzero entry.
     pub a: Vec<Vec<f64>>,
@@ -70,10 +70,60 @@ pub fn forward_region(
     gamma_s: f64,
     reqs: &[MeasurementView<'_>],
 ) -> Region {
+    let mut out = Region::default();
+    let mut spare = Vec::new();
+    forward_region_into(
+        fwd_load_w,
+        pmax_w,
+        gamma_s,
+        reqs.iter().copied(),
+        &mut out,
+        &mut spare,
+    );
+    out
+}
+
+/// Fetches (or creates from the spare pool) the row for `cell`, keeping
+/// first-encounter row order.
+fn row_for<'r>(
+    cell: CellId,
+    out: &'r mut Region,
+    spare: &mut Vec<Vec<f64>>,
+    n: usize,
+) -> &'r mut Vec<f64> {
+    match out.cells.iter().position(|c| *c == cell) {
+        Some(i) => &mut out.a[i],
+        None => {
+            let mut row = spare.pop().unwrap_or_default();
+            row.clear();
+            row.resize(n, 0.0);
+            out.a.push(row);
+            out.cells.push(cell);
+            out.a.last_mut().expect("just pushed")
+        }
+    }
+}
+
+/// In-place variant of [`forward_region`]: rebuilds `out` for the given
+/// requests, recycling its old rows through `spare` so a warm caller
+/// allocates nothing. Row order, coefficients and headrooms are identical to
+/// the allocating variant.
+pub fn forward_region_into<'m, I>(
+    fwd_load_w: &[f64],
+    pmax_w: f64,
+    gamma_s: f64,
+    reqs: I,
+    out: &mut Region,
+    spare: &mut Vec<Vec<f64>>,
+) where
+    I: Iterator<Item = MeasurementView<'m>> + Clone,
+{
     assert!(pmax_w > 0.0 && gamma_s > 0.0);
-    let n = reqs.len();
-    let mut rows: Vec<(CellId, Vec<f64>)> = Vec::new();
-    for (j, r) in reqs.iter().enumerate() {
+    let n = reqs.clone().count();
+    spare.append(&mut out.a);
+    out.b.clear();
+    out.cells.clear();
+    for (j, r) in reqs.enumerate() {
         for cell in r.reduced_set {
             // ΔP at this cell per unit m: γ_s · P_{j,cell} · α^{FL}.
             let p_jk = r
@@ -86,26 +136,28 @@ pub fn forward_region(
                 continue;
             }
             let coeff = gamma_s * p_jk * r.alpha_fl;
-            let row = match rows.iter_mut().find(|(c, _)| c == cell) {
-                Some((_, row)) => row,
-                None => {
-                    rows.push((*cell, vec![0.0; n]));
-                    &mut rows.last_mut().expect("just pushed").1
-                }
-            };
-            row[j] += coeff;
+            row_for(*cell, out, spare, n)[j] += coeff;
         }
     }
-    let mut a = Vec::with_capacity(rows.len());
-    let mut b = Vec::with_capacity(rows.len());
-    let mut cells = Vec::with_capacity(rows.len());
-    for (cell, row) in rows {
-        let headroom = (pmax_w - fwd_load_w[cell.index()]).max(0.0);
-        a.push(row);
-        b.push(headroom);
-        cells.push(cell);
+    for i in 0..out.cells.len() {
+        let headroom = (pmax_w - fwd_load_w[out.cells[i].index()]).max(0.0);
+        out.b.push(headroom);
     }
-    Region { a, b, cells }
+}
+
+/// Copies `src` into `dst`, recycling `dst`'s old rows through `spare`.
+pub fn copy_region_into(src: &Region, dst: &mut Region, spare: &mut Vec<Vec<f64>>) {
+    spare.append(&mut dst.a);
+    for row in &src.a {
+        let mut r = spare.pop().unwrap_or_default();
+        r.clear();
+        r.extend_from_slice(row);
+        dst.a.push(r);
+    }
+    dst.b.clear();
+    dst.b.extend_from_slice(&src.b);
+    dst.cells.clear();
+    dst.cells.extend_from_slice(&src.cells);
 }
 
 /// Builds the reverse-link admissible region (eq. 9–18).
@@ -120,20 +172,40 @@ pub fn reverse_region(
     kappa: f64,
     reqs: &[MeasurementView<'_>],
 ) -> Region {
+    let mut out = Region::default();
+    let mut spare = Vec::new();
+    reverse_region_into(
+        rev_load_w,
+        lmax_w,
+        gamma_s,
+        kappa,
+        reqs.iter().copied(),
+        &mut out,
+        &mut spare,
+    );
+    out
+}
+
+/// In-place variant of [`reverse_region`]: rebuilds `out` for the given
+/// requests, recycling its old rows through `spare`. Row order, coefficients
+/// and headrooms are identical to the allocating variant.
+pub fn reverse_region_into<'m, I>(
+    rev_load_w: &[f64],
+    lmax_w: f64,
+    gamma_s: f64,
+    kappa: f64,
+    reqs: I,
+    out: &mut Region,
+    spare: &mut Vec<Vec<f64>>,
+) where
+    I: Iterator<Item = MeasurementView<'m>> + Clone,
+{
     assert!(lmax_w > 0.0 && gamma_s > 0.0 && kappa >= 1.0);
-    let n = reqs.len();
-    let mut rows: Vec<(CellId, Vec<f64>)> = Vec::new();
-    let add = |cell: CellId, j: usize, coeff: f64, rows: &mut Vec<(CellId, Vec<f64>)>| {
-        let row = match rows.iter_mut().find(|(c, _)| *c == cell) {
-            Some((_, row)) => row,
-            None => {
-                rows.push((cell, vec![0.0; n]));
-                &mut rows.last_mut().expect("just pushed").1
-            }
-        };
-        row[j] += coeff;
-    };
-    for (j, r) in reqs.iter().enumerate() {
+    let n = reqs.clone().count();
+    spare.append(&mut out.a);
+    out.b.clear();
+    out.cells.clear();
+    for (j, r) in reqs.enumerate() {
         // Host cell = strongest reduced-set member; used for projection.
         let host = *r.reduced_set.first().expect("reduced set never empty");
         let host_trl = r
@@ -156,7 +228,7 @@ pub fn reverse_region(
                 continue;
             }
             let coeff = gamma_s * r.alpha_rl * r.zeta * t_rl * rev_load_w[cell.index()];
-            add(cell, j, coeff, &mut rows);
+            row_for(cell, out, spare, n)[j] += coeff;
         }
         // Neighbour cells from the SCRM, projected via relative path loss
         // (eq. 13–15): δP_{k,k'} = t^{FL}_{j,k'} / t^{FL}_{j,host}.
@@ -170,20 +242,14 @@ pub fn reverse_region(
                 }
                 let rel_path = t_fl / host_tfl;
                 let coeff = gamma_s * r.alpha_rl * r.zeta * host_trl * host_l * rel_path * kappa;
-                add(cell, j, coeff, &mut rows);
+                row_for(cell, out, spare, n)[j] += coeff;
             }
         }
     }
-    let mut a = Vec::with_capacity(rows.len());
-    let mut b = Vec::with_capacity(rows.len());
-    let mut cells = Vec::with_capacity(rows.len());
-    for (cell, row) in rows {
-        let headroom = (lmax_w - rev_load_w[cell.index()]).max(0.0);
-        a.push(row);
-        b.push(headroom);
-        cells.push(cell);
+    for i in 0..out.cells.len() {
+        let headroom = (lmax_w - rev_load_w[out.cells[i].index()]).max(0.0);
+        out.b.push(headroom);
     }
-    Region { a, b, cells }
 }
 
 /// Assembles an ILP [`Problem`] from a region, objective weights and grant

@@ -70,7 +70,7 @@
 //! [`crate::registry::PolicyEntry`] for it (see
 //! [`crate::registry::PolicyRegistry::register`]).
 
-use wcdma_ilp::{branch_and_bound, greedy};
+use wcdma_ilp::{branch_and_bound, greedy, BbWorkspace, Problem};
 use wcdma_mac::LinkDir;
 
 use crate::measurement::{region_problem, Region};
@@ -119,6 +119,33 @@ pub struct PolicyDecision {
     pub optimal: bool,
 }
 
+/// Reusable decision buffers owned by the scheduler, one per link
+/// direction: the grant vector the policy writes into, plus solver state
+/// ([`Problem`] shell and branch-and-bound workspace) that
+/// [`AdmissionPolicy::decide_into`] implementations may reuse so a warm
+/// scheduling round allocates nothing.
+#[derive(Debug, Clone, Default)]
+pub struct PolicyScratch {
+    /// Grant vector output aligned with the request order (`0` = reject).
+    pub m: Vec<u32>,
+    /// The objective value the policy assigns to its own decision.
+    pub objective_value: f64,
+    /// Whether the decision is provably optimal for the policy's objective.
+    pub optimal: bool,
+    /// Reusable ILP shell for solver-backed policies.
+    problem: Problem,
+    /// Persistent branch-and-bound workspace (also the node counter).
+    bb: BbWorkspace,
+}
+
+impl PolicyScratch {
+    /// Branch-and-bound nodes visited across this scratch's lifetime
+    /// (feeds the scheduler's `SchedStats::bb_nodes`).
+    pub fn bb_total_nodes(&self) -> u64 {
+        self.bb.total_nodes()
+    }
+}
+
 /// A burst admission policy: turns one round's [`PolicyContext`] into a
 /// grant vector.
 ///
@@ -139,6 +166,28 @@ pub trait AdmissionPolicy: std::fmt::Debug + Send + Sync {
 
     /// Decides the grants for one scheduling round.
     fn decide(&self, ctx: &PolicyContext<'_>) -> PolicyDecision;
+
+    /// Decides the grants for one scheduling round into caller-owned
+    /// buffers. The default wraps [`decide`](Self::decide); solver-backed
+    /// policies override it to reuse `out`'s problem shell and workspace so
+    /// a warm round allocates nothing. Must produce the same decision as
+    /// `decide` for the same context.
+    fn decide_into(&self, ctx: &PolicyContext<'_>, out: &mut PolicyScratch) {
+        let d = self.decide(ctx);
+        out.m.clear();
+        out.m.extend_from_slice(&d.m);
+        out.objective_value = d.objective_value;
+        out.optimal = d.optimal;
+    }
+
+    /// Whether the decision is a pure function of the [`PolicyContext`]
+    /// (no hidden state, no randomness), so the scheduler may skip a round
+    /// whose context is bit-identical to the previous one and replay the
+    /// cached outcome. Defaults to `false` to stay safe for external
+    /// policies; every built-in overrides it to `true`.
+    fn cacheable(&self) -> bool {
+        false
+    }
 
     /// Clones the policy behind the box ([`BoxedPolicy`] implements
     /// [`Clone`] through this).
@@ -307,6 +356,55 @@ impl AdmissionPolicy for JabaSd {
         }
     }
 
+    fn decide_into(&self, ctx: &PolicyContext<'_>, out: &mut PolicyScratch) {
+        // Same decision as `decide`, but the problem shell and the
+        // branch-and-bound workspace come from `out`: a warm round fills
+        // existing buffers and solves without allocating. The workspace
+        // solver is bit-identical to the one-shot `branch_and_bound`.
+        let PolicyScratch {
+            m,
+            objective_value,
+            optimal,
+            problem,
+            bb,
+        } = out;
+        problem.c.clear();
+        problem
+            .c
+            .extend(ctx.requests.iter().zip(ctx.delta_beta).map(|(r, &db)| {
+                self.objective
+                    .weight(db, r.priority, r.waiting_s, &ctx.cfg.timers)
+            }));
+        problem.lo.clear();
+        problem.lo.extend(ctx.bounds.iter().map(|b| b.0));
+        problem.hi.clear();
+        problem.hi.extend(ctx.bounds.iter().map(|b| b.1));
+        problem.a.clear();
+        for row in &ctx.region.a {
+            problem.a.extend_from_slice(row);
+        }
+        problem.b.clear();
+        problem.b.extend_from_slice(&ctx.region.b);
+        problem.validate().expect("invalid problem");
+        if self.exact {
+            let (sol, complete) = bb.solve(problem, self.node_limit);
+            m.clear();
+            m.extend_from_slice(&sol.m);
+            *objective_value = sol.objective;
+            *optimal = complete;
+        } else {
+            let sol = bb.greedy(problem);
+            m.clear();
+            m.extend_from_slice(&sol.m);
+            *objective_value = sol.objective;
+            *optimal = true;
+        }
+    }
+
+    fn cacheable(&self) -> bool {
+        true
+    }
+
     fn clone_box(&self) -> BoxedPolicy {
         Box::new(*self)
     }
@@ -383,6 +481,10 @@ impl AdmissionPolicy for Fcfs {
         }
     }
 
+    fn cacheable(&self) -> bool {
+        true
+    }
+
     fn clone_box(&self) -> BoxedPolicy {
         Box::new(*self)
     }
@@ -425,6 +527,10 @@ impl AdmissionPolicy for EqualShare {
             objective_value,
             optimal: true,
         }
+    }
+
+    fn cacheable(&self) -> bool {
+        true
     }
 
     fn clone_box(&self) -> BoxedPolicy {
@@ -548,6 +654,10 @@ impl AdmissionPolicy for WeightedFairShare {
         }
     }
 
+    fn cacheable(&self) -> bool {
+        true
+    }
+
     fn clone_box(&self) -> BoxedPolicy {
         Box::new(*self)
     }
@@ -608,6 +718,10 @@ impl AdmissionPolicy for ThresholdReservation {
             objective_value,
             optimal: true,
         }
+    }
+
+    fn cacheable(&self) -> bool {
+        true
     }
 
     fn clone_box(&self) -> BoxedPolicy {
@@ -714,9 +828,10 @@ mod tests {
     }
 
     fn schedule_with(policy: BoxedPolicy, specs: &[ReqSpec]) -> crate::scheduler::ScheduleOutcome {
-        let s = Scheduler::new(SchedulerConfig::default_config(), policy);
+        let mut s = Scheduler::new(SchedulerConfig::default_config(), policy);
         let (fwd, rev) = loads(1, 14.0);
         s.schedule(wcdma_mac::LinkDir::Forward, &fwd, &rev, &reqs(specs))
+            .clone()
     }
 
     #[test]

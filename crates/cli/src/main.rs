@@ -4,7 +4,8 @@
 //! wcdma campaign list
 //! wcdma campaign describe <name | --file spec.toml>
 //! wcdma campaign run [<name>] [--file spec.toml] [--quick] [--trace]
-//!                    [--shards N] [--frame-threads N] [--reps N] [--out DIR]
+//!                    [--sched-stats] [--shards N] [--frame-threads N]
+//!                    [--reps N] [--out DIR]
 //! wcdma policy list
 //! wcdma policy describe <name[:key=value,…]>
 //! ```
@@ -26,7 +27,8 @@ use std::process::ExitCode;
 
 use wcdma_sim::campaign::{
     builtin, builtin_names, campaign_csv, campaign_json, campaign_summary_json, campaign_trace_csv,
-    run_spec_threads, trace_campaign, CampaignResult, PolicyRegistry, ScenarioSpec,
+    run_spec_threads, sched_stats_campaign, trace_campaign, CampaignResult, PolicyRegistry,
+    ScenarioSpec,
 };
 use wcdma_sim::stats::ReplicationStats;
 use wcdma_sim::table::ci;
@@ -40,7 +42,8 @@ usage: wcdma <campaign | policy> <subcommand> [options]
   campaign describe <name | --file spec.toml>
       Print a campaign spec and its expanded scenario matrix.
   campaign run [<name>] [--file spec.toml] [--quick] [--trace]
-               [--shards N] [--frame-threads N] [--reps N] [--out DIR]
+               [--sched-stats] [--shards N] [--frame-threads N]
+               [--reps N] [--out DIR]
       Run a campaign (default: paper-eval) and write CSV + JSON artefacts.
   policy list
       Show every admission policy in the registry.
@@ -53,6 +56,9 @@ options:
   --quick       CI smoke profile: short runs, at most 2 replications
   --trace       also capture per-frame policy decisions (first replication
                 of every scenario) into <name>-trace.csv
+  --sched-stats print per-scenario scheduling-phase statistics (solves,
+                warm-start hits, cached rounds, B&B nodes) from the first
+                replication of every scenario
   --shards N    worker threads (default: one per core)
   --frame-threads N
                 threads *inside* each replication's frame loop (default:
@@ -77,6 +83,7 @@ struct RunArgs {
     target: Target,
     quick: bool,
     trace: bool,
+    sched_stats: bool,
     shards: usize,
     frame_threads: usize,
     reps: Option<usize>,
@@ -150,6 +157,7 @@ fn parse_command(args: &[String]) -> Result<Command, String> {
                 target: Target::Builtin("paper-eval".into()),
                 quick: false,
                 trace: false,
+                sched_stats: false,
                 shards: 0,
                 frame_threads: 0,
                 reps: None,
@@ -160,6 +168,7 @@ fn parse_command(args: &[String]) -> Result<Command, String> {
                 match tok {
                     "--quick" => run.quick = true,
                     "--trace" => run.trace = true,
+                    "--sched-stats" => run.sched_stats = true,
                     "--file" => {
                         let path = it.next().ok_or("--file needs a path")?;
                         set_target(&mut target, Target::File(PathBuf::from(path)))?;
@@ -425,7 +434,44 @@ fn cmd_run(args: &RunArgs) -> Result<(), String> {
         )?;
         println!("wrote {}", trace.display());
     }
+    if args.sched_stats {
+        println!("collecting scheduling statistics (first replication of every scenario)…");
+        let stats = sched_stats_campaign(&spec)?;
+        println!("{}", sched_stats_table(&stats).render());
+    }
     Ok(())
+}
+
+/// Renders per-scenario scheduling-phase statistics: how much of the
+/// scheduling work the warm-started workspaces and the identical-round
+/// cache absorbed.
+fn sched_stats_table(stats: &[(String, wcdma_sim::campaign::SchedStats)]) -> Table {
+    let mut t = Table::new(&[
+        "scenario",
+        "rounds",
+        "solves",
+        "warm hits",
+        "cached",
+        "bb nodes",
+        "warm rate",
+    ]);
+    for (label, s) in stats {
+        let rate = if s.solves > 0 {
+            format!("{:.0}%", 100.0 * s.warm_hits as f64 / s.solves as f64)
+        } else {
+            "—".into()
+        };
+        t.row(&[
+            label.clone(),
+            s.rounds.to_string(),
+            s.solves.to_string(),
+            s.warm_hits.to_string(),
+            s.skipped_identical.to_string(),
+            s.bb_nodes.to_string(),
+            rate,
+        ]);
+    }
+    t
 }
 
 fn run(args: &[String]) -> Result<(), String> {
@@ -503,6 +549,7 @@ mod tests {
                 target: Target::Builtin("speed-sweep".into()),
                 quick: true,
                 trace: false,
+                sched_stats: false,
                 shards: 4,
                 frame_threads: 2,
                 reps: Some(5),
@@ -548,6 +595,42 @@ mod tests {
             Command::Run(args) => assert!(args.trace && args.quick),
             other => panic!("expected run, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn parses_sched_stats_flag() {
+        match parse(&["campaign", "run", "--quick", "--sched-stats"]).unwrap() {
+            Command::Run(args) => {
+                assert!(args.sched_stats && args.quick);
+                assert!(!args.trace, "flags are independent");
+            }
+            other => panic!("expected run, got {other:?}"),
+        }
+        match parse(&["campaign", "run"]).unwrap() {
+            Command::Run(args) => assert!(!args.sched_stats, "off by default"),
+            other => panic!("expected run, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sched_stats_table_renders_rates() {
+        use wcdma_sim::campaign::SchedStats;
+        let rows = vec![
+            (
+                "busy".to_string(),
+                SchedStats {
+                    rounds: 10,
+                    solves: 4,
+                    warm_hits: 3,
+                    skipped_identical: 6,
+                    bb_nodes: 123,
+                },
+            ),
+            ("idle".to_string(), SchedStats::default()),
+        ];
+        let rendered = sched_stats_table(&rows).render();
+        assert!(rendered.contains("75%"), "{rendered}");
+        assert!(rendered.contains("—"), "{rendered}");
     }
 
     #[test]

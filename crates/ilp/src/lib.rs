@@ -6,10 +6,13 @@
 //! * [`problem::Problem`] — `max c'm, A m ≤ b, m_j ∈ {0} ∪ [lo_j, hi_j]`
 //!   (the semi-continuous domain encodes the minimum-burst-duration rule,
 //!   eq. 24).
-//! * [`solvers::branch_and_bound`] — exact solver (JABA-SD's engine).
+//! * [`solvers::branch_and_bound`] — exact solver (JABA-SD's engine), with
+//!   [`solvers::BbWorkspace`] as its persistent zero-allocation form.
 //! * [`solvers::exhaustive`] — enumeration oracle for verification.
 //! * [`solvers::greedy`] — density heuristic, quantified against the exact
 //!   solver in experiment E7.
+//! * [`simplex::SimplexWorkspace`] — warm-startable dense simplex for the LP
+//!   relaxation (see its module docs for the determinism invariants).
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
@@ -17,7 +20,9 @@
 pub mod problem;
 pub mod simplex;
 pub mod solvers;
+#[cfg(test)]
+mod test_rng;
 
 pub use problem::{Problem, Solution};
-pub use simplex::{lp_relaxation, simplex_max, LpSolution};
-pub use solvers::{branch_and_bound, exhaustive, greedy};
+pub use simplex::{lp_relaxation, lp_relaxation_into, simplex_max, LpSolution, SimplexWorkspace};
+pub use solvers::{branch_and_bound, exhaustive, greedy, BbWorkspace};

@@ -13,12 +13,17 @@
 //! to justify its setup cost is not granted at all.
 
 /// A bounded-variable integer linear program with ≤ constraints.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// The constraint matrix is stored flat (row-major) so a `Problem` held in a
+/// persistent workspace can be refilled each scheduling round without nested
+/// per-row allocations; use [`Problem::a`] / [`Problem::row`] to read it.
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Problem {
     /// Objective coefficients, length n.
     pub c: Vec<f64>,
-    /// Constraint matrix, row-major: `a[k][j]`, K rows × n columns.
-    pub a: Vec<Vec<f64>>,
+    /// Constraint matrix, flat row-major: entry `(k, j)` lives at
+    /// `a[k * n + j]`, K rows × n columns.
+    pub a: Vec<f64>,
     /// Right-hand sides, length K.
     pub b: Vec<f64>,
     /// Per-variable minimum granted value (≥ 1), length n.
@@ -28,7 +33,7 @@ pub struct Problem {
 }
 
 /// A candidate solution.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Solution {
     /// Granted values, length n (0 = rejected).
     pub m: Vec<u32>,
@@ -37,13 +42,26 @@ pub struct Solution {
 }
 
 impl Problem {
-    /// Creates and validates a problem.
+    /// Creates and validates a problem from nested constraint rows.
     ///
     /// # Panics
     /// Panics on shape mismatches, negative constraint coefficients, or
-    /// non-positive rhs budgets paired with positive coefficients would make
-    /// everything infeasible — those are caught by `validate`.
+    /// non-finite entries — those are caught by `validate`.
     pub fn new(c: Vec<f64>, a: Vec<Vec<f64>>, b: Vec<f64>, lo: Vec<u32>, hi: Vec<u32>) -> Self {
+        let n = c.len();
+        let mut flat = Vec::with_capacity(a.len() * n);
+        for (k, row) in a.iter().enumerate() {
+            assert!(row.len() == n, "row {k} has wrong width");
+            flat.extend_from_slice(row);
+        }
+        Self::from_flat(c, flat, b, lo, hi)
+    }
+
+    /// Creates and validates a problem from an already-flat row-major matrix.
+    ///
+    /// # Panics
+    /// Panics if `validate` fails (message starts with "invalid problem").
+    pub fn from_flat(c: Vec<f64>, a: Vec<f64>, b: Vec<f64>, lo: Vec<u32>, hi: Vec<u32>) -> Self {
         let p = Self { c, a, b, lo, hi };
         p.validate().expect("invalid problem");
         p
@@ -59,20 +77,30 @@ impl Problem {
         self.b.len()
     }
 
+    /// Constraint coefficient `(k, j)` of the flat row-major matrix.
+    #[inline]
+    pub fn a(&self, k: usize, j: usize) -> f64 {
+        self.a[k * self.c.len() + j]
+    }
+
+    /// Constraint row `k` as a slice of length `num_vars()`.
+    #[inline]
+    pub fn row(&self, k: usize) -> &[f64] {
+        let n = self.c.len();
+        &self.a[k * n..k * n + n]
+    }
+
     /// Validates shapes and value ranges.
     pub fn validate(&self) -> Result<(), String> {
         let n = self.c.len();
         if self.lo.len() != n || self.hi.len() != n {
             return Err("bounds length mismatch".into());
         }
-        if self.a.len() != self.b.len() {
+        if self.a.len() != self.b.len() * n {
             return Err("constraint rows / rhs mismatch".into());
         }
-        for (k, row) in self.a.iter().enumerate() {
-            if row.len() != n {
-                return Err(format!("row {k} has wrong width"));
-            }
-            if row.iter().any(|&x| x < 0.0 || !x.is_finite()) {
+        for k in 0..self.b.len() {
+            if self.row(k).iter().any(|&x| x < 0.0 || !x.is_finite()) {
                 return Err(format!("row {k} has negative/non-finite coefficient"));
             }
         }
@@ -106,8 +134,13 @@ impl Problem {
                 return false;
             }
         }
-        for (row, &bk) in self.a.iter().zip(&self.b) {
-            let lhs: f64 = row.iter().zip(m).map(|(&a, &mj)| a * mj as f64).sum();
+        for (k, &bk) in self.b.iter().enumerate() {
+            let lhs: f64 = self
+                .row(k)
+                .iter()
+                .zip(m)
+                .map(|(&a, &mj)| a * mj as f64)
+                .sum();
             // Purely relative tolerance: constraint values range from watts
             // (~1e1) down to received powers (~1e-13); an absolute floor
             // would swamp the small-scale rows.
@@ -159,6 +192,39 @@ mod tests {
         assert!(!p.is_feasible(&[5, 0])); // above hi
         assert!(p.is_feasible(&[1, 0]));
         assert!(!p.is_feasible(&[0])); // wrong arity
+    }
+
+    #[test]
+    fn flat_accessors_match_layout() {
+        let p = Problem::new(
+            vec![1.0, 2.0, 3.0],
+            vec![vec![0.5, 1.5, 2.5], vec![4.0, 5.0, 6.0]],
+            vec![10.0, 20.0],
+            vec![1, 1, 1],
+            vec![4, 4, 4],
+        );
+        assert_eq!(p.a(0, 0), 0.5);
+        assert_eq!(p.a(0, 2), 2.5);
+        assert_eq!(p.a(1, 1), 5.0);
+        assert_eq!(p.row(1), &[4.0, 5.0, 6.0]);
+        assert_eq!(p.a.len(), 6);
+        // from_flat round-trips to the same problem.
+        let q = Problem::from_flat(
+            vec![1.0, 2.0, 3.0],
+            vec![0.5, 1.5, 2.5, 4.0, 5.0, 6.0],
+            vec![10.0, 20.0],
+            vec![1, 1, 1],
+            vec![4, 4, 4],
+        );
+        assert_eq!(p, q);
+    }
+
+    #[test]
+    fn zero_variable_problem_is_valid() {
+        let p = Problem::default();
+        assert_eq!(p.num_vars(), 0);
+        assert!(p.validate().is_ok());
+        assert!(p.is_feasible(&[]));
     }
 
     #[test]

@@ -8,6 +8,12 @@
 //!   bound). This is the JABA-SD optimal scheduler's engine.
 //! * [`greedy`] — density-ordered heuristic with a final top-up pass;
 //!   near-optimal at a fraction of the cost (quantified by E7).
+//!
+//! [`BbWorkspace`] is the persistent form of the branch-and-bound state: all
+//! scratch (variable order, surrogate weights, the per-depth slack stack, the
+//! incumbent) lives in reusable buffers, so a steady-state solve allocates
+//! nothing while visiting nodes in *exactly* the order — and with exactly the
+//! arithmetic — of the original per-solve implementation.
 
 use crate::problem::{Problem, Solution};
 
@@ -45,47 +51,210 @@ pub fn exhaustive(p: &Problem) -> Solution {
     best
 }
 
-/// Node state for branch and bound.
-struct Bb<'a> {
-    p: &'a Problem,
+/// Persistent branch-and-bound state: reusable variable order, surrogate
+/// weights, assignment buffer, per-depth slack stack, and incumbent. A warm
+/// workspace solves with zero allocations (the slack stack replaces the
+/// per-node `Vec` clone with a `copy_within` to the next depth level, which
+/// is bit-identical arithmetic).
+#[derive(Debug, Clone, Default)]
+pub struct BbWorkspace {
     /// Variable processing order (by density, best first).
     order: Vec<usize>,
     /// Surrogate weights: column sums of A (λ = 1 row combination).
     surrogate: Vec<f64>,
+    /// Current assignment during the search.
+    m: Vec<u32>,
+    /// Slack stack: `(n + 1)` levels of `k` rows; level `d` is the slack at
+    /// search depth `d`.
+    slack: Vec<f64>,
     best: Solution,
+    last_nodes: u64,
+    total_nodes: u64,
+}
+
+impl BbWorkspace {
+    /// A fresh workspace with no retained buffers.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Exact branch-and-bound solve, reusing this workspace's buffers.
+    ///
+    /// `node_limit` caps the search (0 = unlimited); on hitting the cap the
+    /// best incumbent so far is returned together with `complete = false`.
+    /// The returned reference stays valid until the next call; clone it to
+    /// keep it. Node order and arithmetic are identical to
+    /// [`branch_and_bound`], so results are bit-for-bit the same.
+    pub fn solve(&mut self, p: &Problem, node_limit: u64) -> (&Solution, bool) {
+        let n = p.num_vars();
+        let k = p.num_constraints();
+        self.prepare(p);
+        self.greedy_fill(p); // warm start with the greedy incumbent
+        self.m.clear();
+        self.m.resize(n, 0);
+        // Slack level 0 = full budgets.
+        self.slack.clear();
+        self.slack.resize((n + 1) * k, 0.0);
+        self.slack[..k].copy_from_slice(&p.b);
+        let mut run = BbRun {
+            p,
+            order: &self.order,
+            surrogate: &self.surrogate,
+            best: &mut self.best,
+            m: &mut self.m,
+            slack: &mut self.slack,
+            k,
+            nodes: 0,
+            node_limit,
+        };
+        let complete = run.search(0, 0.0);
+        self.last_nodes = run.nodes;
+        self.total_nodes += self.last_nodes;
+        (&self.best, complete)
+    }
+
+    /// Density-greedy heuristic with a top-up pass, reusing this workspace's
+    /// buffers. Identical result to [`greedy`].
+    pub fn greedy(&mut self, p: &Problem) -> &Solution {
+        let k = p.num_constraints();
+        self.prepare(p);
+        if self.slack.len() < k {
+            self.slack.resize(k, 0.0);
+        }
+        self.greedy_fill(p);
+        &self.best
+    }
+
+    /// Nodes visited by the most recent [`solve`](Self::solve).
+    pub fn last_nodes(&self) -> u64 {
+        self.last_nodes
+    }
+
+    /// Nodes visited across all solves in this workspace's lifetime.
+    pub fn total_nodes(&self) -> u64 {
+        self.total_nodes
+    }
+
+    /// Fills `surrogate` and the density-sorted `order` for `p`.
+    ///
+    /// The sort is a hand-rolled *stable* insertion sort (the standard
+    /// library's stable sort allocates a merge buffer), using the same
+    /// comparator as the original `sort_by` — stable sorts with equal
+    /// comparators produce equal orders.
+    fn prepare(&mut self, p: &Problem) {
+        let n = p.num_vars();
+        let k = p.num_constraints();
+        self.surrogate.clear();
+        for j in 0..n {
+            self.surrogate.push((0..k).map(|r| p.a(r, j)).sum::<f64>());
+        }
+        self.order.clear();
+        self.order.extend(0..n);
+        let order = &mut self.order;
+        let surrogate = &self.surrogate;
+        for i in 1..n {
+            let x = order[i];
+            let dx = density(p.c[x], surrogate[x]);
+            let mut at = i;
+            while at > 0 {
+                let y = order[at - 1];
+                let dy = density(p.c[y], surrogate[y]);
+                // Descending density; keep equal keys in original order.
+                if dx.partial_cmp(&dy).expect("finite densities") == std::cmp::Ordering::Greater {
+                    order[at] = y;
+                    at -= 1;
+                } else {
+                    break;
+                }
+            }
+            order[at] = x;
+        }
+    }
+
+    /// The greedy heuristic body, writing into `self.best` and using slack
+    /// level 0 as scratch. Requires `prepare` and a slack buffer ≥ k.
+    fn greedy_fill(&mut self, p: &Problem) {
+        let n = p.num_vars();
+        let k = p.num_constraints();
+        if self.slack.len() < k {
+            self.slack.resize(k, 0.0);
+        }
+        let best = &mut self.best;
+        best.m.clear();
+        best.m.resize(n, 0);
+        let m = &mut best.m;
+        let slack = &mut self.slack[..k];
+        slack.copy_from_slice(&p.b);
+        for &j in &self.order {
+            if !p.admissible(j) || p.c[j] <= 0.0 {
+                continue;
+            }
+            let cap = (0..k)
+                .filter(|&r| p.a(r, j) > 0.0)
+                .map(|r| (slack[r] / p.a(r, j)).floor().max(0.0))
+                .fold(f64::INFINITY, f64::min);
+            let cap = if cap.is_finite() {
+                (cap as u32).min(p.hi[j])
+            } else {
+                p.hi[j]
+            };
+            if cap >= p.lo[j] {
+                m[j] = cap;
+                for (r, sk) in slack.iter_mut().enumerate() {
+                    *sk -= p.a(r, j) * cap as f64;
+                }
+            }
+        }
+        // Top-up: raise any variable still below hi while slack allows
+        // (covers cases where a later variable freed by rounding fits).
+        let mut improved = true;
+        while improved {
+            improved = false;
+            for &j in &self.order {
+                if m[j] == 0 || m[j] >= p.hi[j] || p.c[j] <= 0.0 {
+                    continue;
+                }
+                let fits = slack
+                    .iter()
+                    .zip(&p.b)
+                    .enumerate()
+                    .all(|(r, (&s, &bk))| p.a(r, j) <= s + 1e-12 * bk.abs());
+                if fits {
+                    m[j] += 1;
+                    for (r, sk) in slack.iter_mut().enumerate() {
+                        *sk -= p.a(r, j);
+                    }
+                    improved = true;
+                }
+            }
+        }
+        best.objective = p.objective(&best.m);
+    }
+}
+
+/// One branch-and-bound run: disjoint borrows of the workspace fields so the
+/// recursion can mutate the incumbent, assignment, and slack stack at once.
+struct BbRun<'a> {
+    p: &'a Problem,
+    order: &'a [usize],
+    surrogate: &'a [f64],
+    best: &'a mut Solution,
+    m: &'a mut [u32],
+    slack: &'a mut [f64],
+    k: usize,
     nodes: u64,
     node_limit: u64,
 }
 
 /// Exact branch-and-bound solution.
 ///
-/// `node_limit` caps the search (0 = unlimited); on hitting the cap the best
-/// incumbent so far is returned together with `optimal = false`.
+/// One-shot wrapper over [`BbWorkspace::solve`]: `node_limit` caps the search
+/// (0 = unlimited); on hitting the cap the best incumbent so far is returned
+/// together with `optimal = false`.
 pub fn branch_and_bound(p: &Problem, node_limit: u64) -> (Solution, bool) {
-    let n = p.num_vars();
-    // Density order: c_j per unit surrogate weight, descending.
-    let surrogate: Vec<f64> = (0..n)
-        .map(|j| p.a.iter().map(|row| row[j]).sum::<f64>())
-        .collect();
-    let mut order: Vec<usize> = (0..n).collect();
-    order.sort_by(|&x, &y| {
-        let dx = density(p.c[x], surrogate[x]);
-        let dy = density(p.c[y], surrogate[y]);
-        dy.partial_cmp(&dx).expect("finite densities")
-    });
-
-    let mut bb = Bb {
-        p,
-        order,
-        surrogate,
-        best: greedy(p), // warm start with the greedy incumbent
-        nodes: 0,
-        node_limit,
-    };
-    let mut m = vec![0u32; n];
-    let slack: Vec<f64> = p.b.clone();
-    let complete = bb.search(0, &mut m, slack, 0.0);
-    (bb.best, complete)
+    let mut ws = BbWorkspace::new();
+    let (s, complete) = ws.solve(p, node_limit);
+    (s.clone(), complete)
 }
 
 fn density(c: f64, w: f64) -> f64 {
@@ -100,39 +269,36 @@ fn density(c: f64, w: f64) -> f64 {
     }
 }
 
-impl Bb<'_> {
+impl BbRun<'_> {
     /// Depth-first search. Returns false if the node limit tripped.
-    fn search(&mut self, depth: usize, m: &mut Vec<u32>, slack: Vec<f64>, value: f64) -> bool {
+    fn search(&mut self, depth: usize, value: f64) -> bool {
         self.nodes += 1;
         if self.node_limit != 0 && self.nodes > self.node_limit {
             return false;
         }
         if depth == self.order.len() {
             if value > self.best.objective {
-                self.best = Solution {
-                    m: m.clone(),
-                    objective: value,
-                };
+                self.best.m.clear();
+                self.best.m.extend_from_slice(self.m);
+                self.best.objective = value;
             }
             return true;
         }
         // Prune: current value + optimistic bound on the remainder.
-        let ub = value + self.upper_bound(depth, &slack);
+        let ub = value + self.upper_bound(depth);
         if ub <= self.best.objective + 1e-12 {
             return true;
         }
+        let k = self.k;
+        let cur = depth * k;
         let j = self.order[depth];
         let mut complete = true;
 
         // Highest feasible value first (good incumbents early).
         if self.p.admissible(j) && self.p.c[j] > 0.0 {
-            let max_by_slack = self
-                .p
-                .a
-                .iter()
-                .zip(&slack)
-                .filter(|(row, _)| row[j] > 0.0)
-                .map(|(row, &s)| (s / row[j]).floor())
+            let max_by_slack = (0..k)
+                .filter(|&r| self.p.a(r, j) > 0.0)
+                .map(|r| (self.slack[cur + r] / self.p.a(r, j)).floor())
                 .fold(f64::INFINITY, f64::min);
             let cap = if max_by_slack.is_finite() {
                 (max_by_slack.max(0.0) as u32).min(self.p.hi[j])
@@ -141,11 +307,14 @@ impl Bb<'_> {
             };
             if cap >= self.p.lo[j] {
                 for v in (self.p.lo[j]..=cap).rev() {
-                    let mut s2 = slack.clone();
+                    // Child slack = current slack − v·column, built in the
+                    // next stack level (replaces the per-node clone).
+                    self.slack.copy_within(cur..cur + k, cur + k);
                     let mut ok = true;
-                    for ((row, sk), bk) in self.p.a.iter().zip(s2.iter_mut()).zip(&self.p.b) {
-                        *sk -= row[j] * v as f64;
-                        if *sk < -1e-9 * bk.abs() {
+                    for r in 0..k {
+                        let sk = &mut self.slack[cur + k + r];
+                        *sk -= self.p.a(r, j) * v as f64;
+                        if *sk < -1e-9 * self.p.b[r].abs() {
                             ok = false;
                             break;
                         }
@@ -153,21 +322,24 @@ impl Bb<'_> {
                     if !ok {
                         continue;
                     }
-                    m[j] = v;
-                    complete &= self.search(depth + 1, m, s2, value + self.p.c[j] * v as f64);
-                    m[j] = 0;
+                    self.m[j] = v;
+                    complete &= self.search(depth + 1, value + self.p.c[j] * v as f64);
+                    self.m[j] = 0;
                 }
             }
         }
-        // The reject branch.
-        complete &= self.search(depth + 1, m, slack, value);
+        // The reject branch: child level carries the slack unchanged.
+        self.slack.copy_within(cur..cur + k, cur + k);
+        complete &= self.search(depth + 1, value);
         complete
     }
 
     /// Valid optimistic bound for variables order[depth..]: the minimum of
     /// (a) each variable independently maxed against current slack and
     /// (b) a fractional knapsack on the surrogate constraint.
-    fn upper_bound(&self, depth: usize, slack: &[f64]) -> f64 {
+    fn upper_bound(&self, depth: usize) -> f64 {
+        let k = self.k;
+        let slack = &self.slack[depth * k..depth * k + k];
         let mut independent = 0.0;
         let mut surrogate_slack: f64 = slack.iter().sum();
         if surrogate_slack < 0.0 {
@@ -178,13 +350,9 @@ impl Bb<'_> {
             if !self.p.admissible(j) || self.p.c[j] <= 0.0 {
                 continue;
             }
-            let cap = self
-                .p
-                .a
-                .iter()
-                .zip(slack)
-                .filter(|(row, _)| row[j] > 0.0)
-                .map(|(row, &s)| (s / row[j]).floor().max(0.0))
+            let cap = (0..k)
+                .filter(|&r| self.p.a(r, j) > 0.0)
+                .map(|r| (slack[r] / self.p.a(r, j)).floor().max(0.0))
                 .fold(f64::INFINITY, f64::min);
             let cap = if cap.is_finite() {
                 (cap as u32).min(self.p.hi[j])
@@ -222,70 +390,17 @@ impl Bb<'_> {
 }
 
 /// Density-greedy heuristic with a top-up pass.
+///
+/// One-shot wrapper over [`BbWorkspace::greedy`].
 pub fn greedy(p: &Problem) -> Solution {
-    let n = p.num_vars();
-    let surrogate: Vec<f64> = (0..n)
-        .map(|j| p.a.iter().map(|row| row[j]).sum::<f64>())
-        .collect();
-    let mut order: Vec<usize> = (0..n).collect();
-    order.sort_by(|&x, &y| {
-        let dx = density(p.c[x], surrogate[x]);
-        let dy = density(p.c[y], surrogate[y]);
-        dy.partial_cmp(&dx).expect("finite densities")
-    });
-    let mut m = vec![0u32; n];
-    let mut slack = p.b.clone();
-    for &j in &order {
-        if !p.admissible(j) || p.c[j] <= 0.0 {
-            continue;
-        }
-        let cap =
-            p.a.iter()
-                .zip(&slack)
-                .filter(|(row, _)| row[j] > 0.0)
-                .map(|(row, &s)| (s / row[j]).floor().max(0.0))
-                .fold(f64::INFINITY, f64::min);
-        let cap = if cap.is_finite() {
-            (cap as u32).min(p.hi[j])
-        } else {
-            p.hi[j]
-        };
-        if cap >= p.lo[j] {
-            m[j] = cap;
-            for (row, sk) in p.a.iter().zip(slack.iter_mut()) {
-                *sk -= row[j] * cap as f64;
-            }
-        }
-    }
-    // Top-up: raise any variable still below hi while slack allows
-    // (covers cases where a later variable freed by rounding fits).
-    let mut improved = true;
-    while improved {
-        improved = false;
-        for &j in &order {
-            if m[j] == 0 || m[j] >= p.hi[j] || p.c[j] <= 0.0 {
-                continue;
-            }
-            let fits =
-                p.a.iter()
-                    .zip(&slack)
-                    .zip(&p.b)
-                    .all(|((row, &s), &bk)| row[j] <= s + 1e-12 * bk.abs());
-            if fits {
-                m[j] += 1;
-                for (row, sk) in p.a.iter().zip(slack.iter_mut()) {
-                    *sk -= row[j];
-                }
-                improved = true;
-            }
-        }
-    }
-    p.solution(m)
+    let mut ws = BbWorkspace::new();
+    ws.greedy(p).clone()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::test_rng::rng_problems;
 
     fn toy() -> Problem {
         Problem::new(
@@ -329,7 +444,6 @@ mod tests {
 
     #[test]
     fn bb_matches_exhaustive_randomised() {
-        use wcdma_math_test_rng::rng_problems;
         for (i, p) in rng_problems(40, 5, 6).into_iter().enumerate() {
             let e = exhaustive(&p);
             let (b, complete) = branch_and_bound(&p, 0);
@@ -342,6 +456,30 @@ mod tests {
             );
             assert!(p.is_feasible(&b.m), "instance {i} infeasible");
         }
+    }
+
+    #[test]
+    fn workspace_reuse_is_bit_identical_to_fresh_solves() {
+        // One workspace across many differently-shaped instances must give
+        // exactly the per-instance fresh-solve answer (same node order, same
+        // arithmetic) and count nodes identically.
+        let mut ws = BbWorkspace::new();
+        for (i, p) in rng_problems(40, 5, 6).into_iter().enumerate() {
+            let (fresh, fresh_complete) = branch_and_bound(&p, 0);
+            let mut fresh_ws = BbWorkspace::new();
+            let _ = fresh_ws.solve(&p, 0);
+            let (reused, complete) = ws.solve(&p, 0);
+            assert_eq!(fresh, *reused, "instance {i}: reuse changed the answer");
+            assert_eq!(fresh_complete, complete);
+            assert_eq!(
+                fresh_ws.last_nodes(),
+                ws.last_nodes(),
+                "instance {i}: node count drifted"
+            );
+            let fresh_greedy = greedy(&p);
+            assert_eq!(fresh_greedy, *ws.greedy(&p), "instance {i}: greedy drift");
+        }
+        assert!(ws.total_nodes() >= ws.last_nodes());
     }
 
     #[test]
@@ -421,38 +559,5 @@ mod tests {
         assert!(complete);
         assert_eq!(s.m[1], 16);
         assert_eq!(s.m[0], 2);
-    }
-
-    /// Tiny deterministic random-instance generator for cross-checks.
-    mod wcdma_math_test_rng {
-        use crate::problem::Problem;
-
-        pub fn rng_problems(count: usize, max_vars: usize, max_hi: u32) -> Vec<Problem> {
-            // Simple LCG to avoid a dev-dependency cycle.
-            let mut state = 0x2545_F491_4F6C_DD1Du64;
-            let mut next = move || {
-                state = state
-                    .wrapping_mul(6364136223846793005)
-                    .wrapping_add(1442695040888963407);
-                (state >> 33) as f64 / (1u64 << 31) as f64
-            };
-            (0..count)
-                .map(|_| {
-                    let n = 2 + (next() * (max_vars - 1) as f64) as usize;
-                    let k = 1 + (next() * 3.0) as usize;
-                    let c: Vec<f64> = (0..n).map(|_| (next() * 10.0).round() / 2.0).collect();
-                    let a: Vec<Vec<f64>> = (0..k)
-                        .map(|_| (0..n).map(|_| (next() * 4.0).round() / 2.0).collect())
-                        .collect();
-                    let b: Vec<f64> = (0..k).map(|_| 2.0 + (next() * 12.0).round()).collect();
-                    let lo: Vec<u32> = (0..n).map(|_| 1 + (next() * 2.0) as u32).collect();
-                    let hi: Vec<u32> = lo
-                        .iter()
-                        .map(|&l| l + (next() * max_hi as f64) as u32)
-                        .collect();
-                    Problem::new(c, a, b, lo, hi)
-                })
-                .collect()
-        }
     }
 }

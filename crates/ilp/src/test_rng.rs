@@ -1,0 +1,33 @@
+//! Tiny deterministic random-instance generator shared by the crate's
+//! property tests (solver cross-checks, workspace-reuse bit-identity).
+
+use crate::problem::Problem;
+
+/// Deterministic LCG-driven batch of valid random [`Problem`]s. A simple LCG
+/// avoids a dev-dependency cycle; the stream is fixed so failures reproduce.
+pub fn rng_problems(count: usize, max_vars: usize, max_hi: u32) -> Vec<Problem> {
+    let mut state = 0x2545_F491_4F6C_DD1Du64;
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (state >> 33) as f64 / (1u64 << 31) as f64
+    };
+    (0..count)
+        .map(|_| {
+            let n = 2 + (next() * (max_vars - 1) as f64) as usize;
+            let k = 1 + (next() * 3.0) as usize;
+            let c: Vec<f64> = (0..n).map(|_| (next() * 10.0).round() / 2.0).collect();
+            let a: Vec<Vec<f64>> = (0..k)
+                .map(|_| (0..n).map(|_| (next() * 4.0).round() / 2.0).collect())
+                .collect();
+            let b: Vec<f64> = (0..k).map(|_| 2.0 + (next() * 12.0).round()).collect();
+            let lo: Vec<u32> = (0..n).map(|_| 1 + (next() * 2.0) as u32).collect();
+            let hi: Vec<u32> = lo
+                .iter()
+                .map(|&l| l + (next() * max_hi as f64) as u32)
+                .collect();
+            Problem::new(c, a, b, lo, hi)
+        })
+        .collect()
+}

@@ -15,6 +15,7 @@ pub fn builtin_names() -> &'static [&'static str] {
         "policy-comparison",
         "hotspot-stress",
         "csi-robustness",
+        "burst-stress",
     ]
 }
 
@@ -85,6 +86,17 @@ pub fn builtin(name: &str) -> Option<ScenarioSpec> {
                 CsiQuality::Delayed,
                 CsiQuality::Degraded,
             ];
+        }
+        "burst-stress" => {
+            spec.description = "Burst-heavy smoke: web-dominated traffic at rising data load — \
+                 exercises the warm-started scheduling phase and the chunked \
+                 delivery loop hard"
+                .into();
+            spec.seed = 0xB0257;
+            spec.replications = 2;
+            spec.mixes = vec![TrafficMix::HeavyWeb];
+            spec.loads = vec![8, 16];
+            spec.policies = vec!["jaba-sd-j2".into(), "equal-share".into()];
         }
         _ => return None,
     }

@@ -32,7 +32,7 @@ pub use builtin::{builtin, builtin_names};
 pub use emit::{campaign_csv, campaign_json, campaign_summary_json, campaign_trace_csv};
 pub use runner::{
     arbitrate_frame_threads, run_campaign, run_campaign_threads, run_spec, run_spec_threads,
-    trace_campaign, CampaignResult, ScenarioResult,
+    sched_stats_campaign, trace_campaign, CampaignResult, ScenarioResult,
 };
 pub use spec::{
     policy_by_name, policy_names, CsiQuality, Scenario, ScenarioSpec, SpeedClass, TrafficMix,
@@ -40,4 +40,4 @@ pub use spec::{
 // The policy registry is the campaign layer's resolution path for the
 // policy axis; re-exported so registry consumers (the CLI) need not depend
 // on `wcdma-admission` directly.
-pub use wcdma_admission::{AdmissionPolicy, BoxedPolicy, PolicyEntry, PolicyRegistry};
+pub use wcdma_admission::{AdmissionPolicy, BoxedPolicy, PolicyEntry, PolicyRegistry, SchedStats};

@@ -13,6 +13,8 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
 
+use wcdma_admission::SchedStats;
+
 use crate::engine::Simulation;
 use crate::stats::{ReplicationStats, SimReport};
 use crate::trace::{run_with_trace, DecisionRecord};
@@ -215,6 +217,48 @@ pub fn trace_campaign(spec: &ScenarioSpec) -> Result<Vec<(String, Vec<DecisionRe
                     let cfg = base.with_seed(wcdma_math::mix_seed(base.seed, 1));
                     let (_report, records) = run_with_trace(cfg);
                     slots[job].set(records).expect("job claimed exactly once");
+                });
+            }
+        });
+    }
+    Ok(scenarios
+        .into_iter()
+        .zip(slots)
+        .map(|(sc, mut slot)| (sc.label, slot.take().expect("all jobs completed")))
+        .collect())
+}
+
+/// Re-runs the *first replication* of every matrix cell and returns
+/// `(cell label, final scheduling statistics)` per cell, in expansion
+/// order. Same seeding as [`trace_campaign`], so the instrumented run is
+/// bit-identical to the campaign's own first replication — the stats are
+/// observability only. Cells run in parallel over a work-stealing cursor.
+pub fn sched_stats_campaign(spec: &ScenarioSpec) -> Result<Vec<(String, SchedStats)>, String> {
+    let scenarios = spec.expand()?;
+    let n_jobs = scenarios.len();
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(n_jobs)
+        .max(1);
+    let mut slots: Vec<OnceLock<SchedStats>> = Vec::new();
+    slots.resize_with(n_jobs, OnceLock::new);
+    let cursor = AtomicUsize::new(0);
+    {
+        let slots = &slots;
+        let cursor = &cursor;
+        let scenarios = &scenarios;
+        std::thread::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(move || loop {
+                    let job = cursor.fetch_add(1, Ordering::Relaxed);
+                    if job >= n_jobs {
+                        break;
+                    }
+                    let base = &scenarios[job].cfg;
+                    let cfg = base.with_seed(wcdma_math::mix_seed(base.seed, 1));
+                    let (_report, stats) = Simulation::new(cfg).run_with_sched_stats();
+                    slots[job].set(stats).expect("job claimed exactly once");
                 });
             }
         });

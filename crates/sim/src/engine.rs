@@ -34,7 +34,7 @@
 //! bit-identical results** (and the zero-allocation invariant still
 //! holds — the pool allocates nothing per frame).
 
-use wcdma_admission::{RequestState, Scheduler};
+use wcdma_admission::{RequestState, SchedStats, Scheduler, SolveMode};
 use wcdma_cdma::{
     hotspot_weights, populate_round_robin, populate_weighted, Network, SchGrant, UserKind,
 };
@@ -49,6 +49,25 @@ use crate::config::SimConfig;
 use crate::stats::{SimReport, SimStats};
 use crate::trace::{DecisionRecord, DecisionTrace};
 use crate::traffic::WebSource;
+
+/// Delivery chunk size: active-burst lists are much shorter than the
+/// mobile population, so delivery uses a finer grain than
+/// [`DEFAULT_CHUNK`] to actually spread across workers. Fixed — chunk
+/// boundaries (and therefore the fold order) never depend on thread count.
+const DELIVERY_CHUNK: usize = 32;
+
+/// Reuses a request-scratch allocation across scheduling rounds. The
+/// buffer is emptied first, so no borrow from a previous round survives;
+/// only the raw capacity carries over to the new lifetime.
+fn recycled<'to, 'from>(mut v: Vec<RequestState<'from>>) -> Vec<RequestState<'to>> {
+    v.clear();
+    let (ptr, cap) = (v.as_mut_ptr(), v.capacity());
+    std::mem::forget(v);
+    // SAFETY: the vector is empty, so no element with the old lifetime
+    // exists; `RequestState<'from>` and `RequestState<'to>` have identical
+    // layout (lifetimes are erased at runtime).
+    unsafe { Vec::from_raw_parts(ptr.cast::<RequestState<'to>>(), 0, cap) }
+}
 
 /// A burst currently being transmitted.
 #[derive(Debug, Clone, Copy)]
@@ -86,6 +105,15 @@ pub struct Simulation {
     /// Persistent scratch: indices of bursts finishing this frame
     /// (ascending — the compaction pass consumes them in order).
     finished: Vec<usize>,
+    /// Persistent scratch: per-chunk delivered-bits partial sums (folded
+    /// in chunk order, so any thread count sums identically).
+    deliver_partials: Vec<f64>,
+    /// Persistent scratch: per-chunk finished-burst index lists.
+    finished_chunks: Vec<Vec<usize>>,
+    /// Persistent scratch: the borrowed request views of one scheduling
+    /// round (recycled across rounds via [`recycled`] — the `'static` is
+    /// a placeholder lifetime for the empty, parked buffer).
+    req_scratch: Vec<RequestState<'static>>,
     /// Persistent scratch: next frame's positions, computed in parallel
     /// before being applied to the network in mobile order.
     new_pos: Vec<Point>,
@@ -105,7 +133,10 @@ impl Simulation {
         let layout = HexLayout::new(cfg.rings, cfg.cell_radius_m);
         let bound = layout.cell_radius() * (2.0 * cfg.rings as f64 + 1.0);
         let mut net = Network::new(cfg.cdma.clone(), layout, cfg.seed);
-        let scheduler = Scheduler::new(cfg.scheduler_config(), cfg.policy.clone());
+        let mut scheduler = Scheduler::new(cfg.scheduler_config(), cfg.policy.clone());
+        if cfg.cold_sched {
+            scheduler.set_mode(SolveMode::Cold);
+        }
         let mut placement_rng = Xoshiro256pp::substream(cfg.seed, 0x9_1ACE);
         // Uniform scenarios keep the historical round-robin placement (and
         // its exact RNG consumption); hotspot scenarios overload cell 0.
@@ -188,6 +219,9 @@ impl Simulation {
             active_count: vec![0; total],
             pending_count: vec![0; total],
             finished: Vec::new(),
+            deliver_partials: Vec::new(),
+            finished_chunks: Vec::new(),
+            req_scratch: Vec::new(),
             new_pos: vec![Point::new(0.0, 0.0); total],
             sched_reqs: Vec::new(),
             trace: None,
@@ -231,14 +265,31 @@ impl Simulation {
         self.stats.bursts_completed
     }
 
+    /// Cumulative scheduling-phase statistics (solves, warm-start hits,
+    /// cached rounds, B&B nodes) since the simulation started.
+    pub fn sched_stats(&self) -> SchedStats {
+        self.scheduler.stats()
+    }
+
     /// Runs the whole configured duration and reports.
-    pub fn run(mut self) -> SimReport {
+    pub fn run(self) -> SimReport {
+        self.run_with_sched_stats().0
+    }
+
+    /// Runs the whole configured duration and reports, also returning the
+    /// final scheduling statistics (which are observability only — the
+    /// report itself is byte-for-byte the same as [`run`](Self::run)).
+    pub fn run_with_sched_stats(mut self) -> (SimReport, SchedStats) {
         let frames = self.cfg.n_frames();
         for _ in 0..frames {
             self.step_frame();
         }
         self.stats.window_s = self.cfg.duration_s - self.cfg.warmup_s;
-        self.stats.report(self.cfg.n_data, self.net.num_cells())
+        let sched = self.scheduler.stats();
+        (
+            self.stats.report(self.cfg.n_data, self.net.num_cells()),
+            sched,
+        )
     }
 
     /// Whether statistics are being recorded at the current time.
@@ -334,24 +385,59 @@ impl Simulation {
             }
         }
 
-        // 4. Deliver bits on active bursts.
+        // 4. Deliver bits on active bursts, chunk-parallel on the frame
+        // pool. Chunk boundaries are fixed (DELIVERY_CHUNK) and both
+        // reductions — the delivered-bits sum and the finished-index list
+        // — are folded in chunk order on the calling thread afterwards,
+        // so every thread count produces bit-identical results.
         self.finished.clear();
-        for (idx, burst) in self.active.iter_mut().enumerate() {
-            if self.t < burst.start_s {
-                continue; // MAC setup still in progress
+        let n_chunks = chunk_count(self.active.len(), DELIVERY_CHUNK);
+        if self.deliver_partials.len() < n_chunks {
+            // Event edge: the active list reached a new high-water mark.
+            self.deliver_partials.resize(n_chunks, 0.0);
+            self.finished_chunks.resize_with(n_chunks, Vec::new);
+        }
+        {
+            let t = self.t;
+            let fch_rate = self.cfg.spreading.fch_rate;
+            let net = &self.net;
+            let scheduler = &self.scheduler;
+            let bursts = Partition::new(&mut self.active, DELIVERY_CHUNK);
+            let partials = ScatterSlice::new(&mut self.deliver_partials);
+            let fins = ScatterSlice::new(&mut self.finished_chunks);
+            net.frame_pool().run(n_chunks, |ci| {
+                // SAFETY: `FramePool::run` claims each chunk index exactly
+                // once, and the partial-sum / finished-list slots are
+                // indexed by that same chunk index, so every slot (and
+                // every burst chunk) is touched by exactly one thread.
+                unsafe {
+                    let fin = fins.get_mut(ci);
+                    fin.clear();
+                    let mut sum = 0.0;
+                    for (off, burst) in bursts.chunk(ci).iter_mut().enumerate() {
+                        if t < burst.start_s {
+                            continue; // MAC setup still in progress
+                        }
+                        let meas = net.measurement_view(burst.user);
+                        let db = scheduler.request_delta_beta(meas, burst.dir);
+                        let rate = fch_rate * burst.m as f64 * db;
+                        let delivered = (rate * dt).min(burst.bits_left);
+                        burst.bits_left -= delivered;
+                        sum += delivered;
+                        if burst.bits_left <= 1e-9 {
+                            fin.push(ci * DELIVERY_CHUNK + off);
+                        }
+                    }
+                    *partials.get_mut(ci) = sum;
+                }
+            });
+        }
+        let recording_bits = self.t >= self.cfg.warmup_s;
+        for ci in 0..n_chunks {
+            if recording_bits {
+                self.stats.bits_delivered += self.deliver_partials[ci];
             }
-            let meas = self.net.measurement_view(burst.user);
-            let db = self.scheduler.request_delta_beta(meas, burst.dir);
-            let rate = self.cfg.spreading.fch_rate * burst.m as f64 * db;
-            let bits = rate * dt;
-            let delivered = bits.min(burst.bits_left);
-            burst.bits_left -= delivered;
-            if self.t >= self.cfg.warmup_s {
-                self.stats.bits_delivered += delivered;
-            }
-            if burst.bits_left <= 1e-9 {
-                self.finished.push(idx);
-            }
+            self.finished.extend_from_slice(&self.finished_chunks[ci]);
         }
         // Single order-preserving compaction pass: completions are
         // processed in ascending burst order (= the deterministic order
@@ -408,34 +494,36 @@ impl Simulation {
         if self.sched_reqs.is_empty() {
             return;
         }
-        if self.recording() {
+        let recording = self.recording();
+        if recording {
             self.stats.request_rounds += 1;
         }
-        let requests: Vec<RequestState<'_>> = self
-            .sched_reqs
-            .iter()
-            .map(|r| {
-                // The scheduler acts on the *observed* CSI (feedback
-                // pipeline); bits are later delivered at the true rate.
-                let mut meas = self.net.measurement_view(r.user);
-                let (obs_fwd, obs_rev) = self.observed_ebi0[r.user];
-                meas.fch_ebi0_fwd = obs_fwd;
-                meas.fch_ebi0_rev = obs_rev;
-                RequestState {
-                    meas,
-                    size_bits: r.size_bits,
-                    waiting_s: r.waiting_time(self.t),
-                    priority: r.priority,
-                }
-            })
-            .collect();
+        // Request views live in a recycled scratch buffer: the lifetime is
+        // per-round (the views borrow the network), the capacity persists.
+        let mut requests = recycled(std::mem::take(&mut self.req_scratch));
+        requests.extend(self.sched_reqs.iter().map(|r| {
+            // The scheduler acts on the *observed* CSI (feedback
+            // pipeline); bits are later delivered at the true rate.
+            let mut meas = self.net.measurement_view(r.user);
+            let (obs_fwd, obs_rev) = self.observed_ebi0[r.user];
+            meas.fch_ebi0_fwd = obs_fwd;
+            meas.fch_ebi0_rev = obs_rev;
+            RequestState {
+                meas,
+                size_bits: r.size_bits,
+                waiting_s: r.waiting_time(self.t),
+                priority: r.priority,
+            }
+        }));
         let outcome = self.scheduler.schedule(
             dir,
             self.net.forward_load_w(),
             self.net.reverse_load_w(),
             &requests,
         );
-        drop(requests);
+        // Park the (emptied) buffer for the next round, ending its borrow
+        // of the network before grants mutate it below.
+        self.req_scratch = recycled(requests);
         if let Some(trace) = self.trace.as_mut() {
             trace.record(DecisionRecord {
                 t_s: self.t,
@@ -476,7 +564,7 @@ impl Simulation {
                     gamma_s,
                 }),
             );
-            if self.recording() {
+            if recording {
                 self.stats.grant_m.push(m as f64);
                 self.stats.grant_hist.push(m as f64);
                 self.stats.grant_delta_beta.push(outcome.delta_beta[j]);
@@ -496,8 +584,11 @@ impl Simulation {
             });
             self.active_count[user] += 1;
         }
-        if denied && self.recording() {
+        if denied && recording {
             self.stats.denial_rounds += 1;
+        }
+        if let Some(trace) = self.trace.as_mut() {
+            trace.record_sched(self.scheduler.stats());
         }
     }
 }
@@ -527,6 +618,22 @@ mod tests {
         assert!(report.mean_delay_s > 0.0);
         assert!(report.throughput_kbps > 0.0);
         assert!(report.mean_grant_m >= 1.0);
+    }
+
+    #[test]
+    fn cold_sched_is_bit_identical_and_reports_no_warm_hits() {
+        let (rw, sw) = Simulation::new(quick_cfg()).run_with_sched_stats();
+        let (rc, sc) = Simulation::new(quick_cfg().with_cold_sched(true)).run_with_sched_stats();
+        assert_eq!(rw, rc, "cold scheduling must not change the report");
+        assert_eq!(sw.rounds, sc.rounds);
+        assert_eq!(sw.bb_nodes + sc.bb_nodes > 0, sw.rounds > 0);
+        assert!(
+            sw.warm_hits > 0,
+            "steady web traffic must warm-start: {sw:?}"
+        );
+        assert_eq!(sc.warm_hits, 0, "cold mode never reports warm hits");
+        assert_eq!(sc.skipped_identical, 0, "cold mode never caches");
+        assert_eq!(sc.solves, sc.rounds, "cold mode solves every round: {sc:?}");
     }
 
     #[test]

@@ -14,6 +14,7 @@
 
 use std::sync::{Arc, Mutex};
 
+use wcdma_admission::SchedStats;
 use wcdma_mac::LinkDir;
 
 use crate::config::SimConfig;
@@ -67,6 +68,14 @@ impl DecisionRecord {
 pub trait DecisionTrace: Send {
     /// Called once per scheduling round that had pending requests.
     fn record(&mut self, rec: DecisionRecord);
+
+    /// Called after each scheduling round with the scheduler's cumulative
+    /// [`SchedStats`] (solves, warm-start hits, cached rounds, B&B nodes).
+    /// Default: ignored — stats are observability only and never feed back
+    /// into the run.
+    fn record_sched(&mut self, stats: SchedStats) {
+        let _ = stats;
+    }
 }
 
 /// The standard sink: an appendable, shareable in-memory log. Clones share
@@ -76,12 +85,19 @@ pub trait DecisionTrace: Send {
 #[derive(Debug, Clone, Default)]
 pub struct DecisionLog {
     records: Arc<Mutex<Vec<DecisionRecord>>>,
+    sched: Arc<Mutex<SchedStats>>,
 }
 
 impl DecisionLog {
     /// An empty log.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// The latest cumulative scheduling statistics the engine reported
+    /// (all zeros before the first round).
+    pub fn sched_stats(&self) -> SchedStats {
+        *self.sched.lock().expect("trace lock")
     }
 
     /// Number of records captured so far.
@@ -103,6 +119,10 @@ impl DecisionLog {
 impl DecisionTrace for DecisionLog {
     fn record(&mut self, rec: DecisionRecord) {
         self.records.lock().expect("trace lock").push(rec);
+    }
+
+    fn record_sched(&mut self, stats: SchedStats) {
+        *self.sched.lock().expect("trace lock") = stats;
     }
 }
 

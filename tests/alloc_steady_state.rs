@@ -14,7 +14,11 @@ use std::alloc::{GlobalAlloc, Layout, System};
 use std::cell::Cell;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
+use wcdma::admission::{Policy, RequestState, Scheduler, SchedulerConfig};
+use wcdma::mac::LinkDir;
 use wcdma::sim::{SimConfig, Simulation};
+
+mod common;
 
 struct CountingAlloc;
 
@@ -166,5 +170,85 @@ fn steady_state_frames_do_not_allocate() {
         GLOBAL_ALLOCS.load(Ordering::SeqCst),
         0,
         "quiet steady-state frames must not allocate on any frame-pool thread"
+    );
+
+    // Scenario D: the scheduling phase proper. A warm Scheduler round —
+    // region rebuild, δβ̄/bounds, the full JABA-SD branch-and-bound solve,
+    // outcome build — must be allocation-free once the persistent
+    // per-direction workspaces have seen the problem shape. Waiting times
+    // advance every round (as they do in the engine), so the
+    // identical-round cache does NOT fire: these are full solves.
+    let net = common::warm_network(12, 6, 0xA110F, 25);
+    let mut scheduler =
+        Scheduler::new(SchedulerConfig::default_config(), Policy::jaba_sd_default());
+    let mut requests: Vec<RequestState> = net
+        .data_mobiles()
+        .iter()
+        .map(|&j| RequestState {
+            meas: net.measurement_view(j),
+            size_bits: 250_000.0,
+            waiting_s: 0.0,
+            priority: 0.0,
+        })
+        .collect();
+    for round in 0..10 {
+        // Warm-up: workspace capacities settle (both directions).
+        for r in requests.iter_mut() {
+            r.waiting_s = round as f64 * 0.02;
+        }
+        scheduler.schedule(
+            LinkDir::Forward,
+            net.forward_load_w(),
+            net.reverse_load_w(),
+            &requests,
+        );
+        scheduler.schedule(
+            LinkDir::Reverse,
+            net.forward_load_w(),
+            net.reverse_load_w(),
+            &requests,
+        );
+    }
+    let stats_before = scheduler.stats();
+    let before = allocs();
+    for round in 10..110 {
+        for r in requests.iter_mut() {
+            r.waiting_s = round as f64 * 0.02;
+        }
+        scheduler.schedule(
+            LinkDir::Forward,
+            net.forward_load_w(),
+            net.reverse_load_w(),
+            &requests,
+        );
+        scheduler.schedule(
+            LinkDir::Reverse,
+            net.forward_load_w(),
+            net.reverse_load_w(),
+            &requests,
+        );
+        // An unchanged repeat exercises the identical-round cache path —
+        // it must be allocation-free too.
+        scheduler.schedule(
+            LinkDir::Forward,
+            net.forward_load_w(),
+            net.reverse_load_w(),
+            &requests,
+        );
+    }
+    let after = allocs();
+    let stats = scheduler.stats();
+    assert_eq!(
+        after - before,
+        0,
+        "warm scheduling rounds must not allocate"
+    );
+    assert!(
+        stats.solves - stats_before.solves >= 200,
+        "the window must contain full solves, not just cache hits: {stats:?}"
+    );
+    assert!(
+        stats.skipped_identical - stats_before.skipped_identical >= 100,
+        "the repeats must hit the identical-round cache: {stats:?}"
     );
 }

@@ -24,7 +24,8 @@ fn meas(mobile: usize, cell: u32, fch_power: f64, ebi0_db: f64) -> DataUserMeasu
 
 #[test]
 fn exhausted_power_budget_rejects_everything() {
-    let scheduler = Scheduler::new(SchedulerConfig::default_config(), Policy::jaba_sd_default());
+    let mut scheduler =
+        Scheduler::new(SchedulerConfig::default_config(), Policy::jaba_sd_default());
     // All cells exactly at P_max: zero headroom everywhere.
     let pmax = SchedulerConfig::default_config().pmax_w;
     let fwd = vec![pmax; 3];
@@ -51,7 +52,7 @@ fn exhausted_power_budget_rejects_everything() {
 #[test]
 fn exhausted_reverse_budget_rejects_everything() {
     let cfg = SchedulerConfig::default_config();
-    let scheduler = Scheduler::new(cfg.clone(), Policy::jaba_sd_default());
+    let mut scheduler = Scheduler::new(cfg.clone(), Policy::jaba_sd_default());
     let fwd = vec![5.0; 2];
     // Reverse load already at the limit.
     let rev = vec![cfg.lmax_w; 2];
@@ -77,7 +78,7 @@ fn grant_storm_never_violates_region() {
         },
         Policy::EqualShare,
     ] {
-        let scheduler = Scheduler::new(SchedulerConfig::default_config(), policy);
+        let mut scheduler = Scheduler::new(SchedulerConfig::default_config(), policy);
         let fwd = vec![19.2];
         let rev = vec![1e-13];
         let metas: Vec<DataUserMeasurement> = (0..30)
@@ -202,7 +203,7 @@ fn extreme_csi_noise_does_not_crash_or_deadlock() {
 fn zero_priority_vs_high_priority_ordering() {
     // Priority Δ_j scales the J1 weight: the high-priority user must win a
     // tight budget.
-    let scheduler = Scheduler::new(
+    let mut scheduler = Scheduler::new(
         SchedulerConfig::default_config(),
         Policy::JabaSd {
             objective: wcdma::admission::Objective::J1,
