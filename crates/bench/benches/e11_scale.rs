@@ -11,10 +11,19 @@
 //! The **thread sweep** measures the deterministic intra-frame parallelism
 //! (`SimConfig::frame_threads`, chunked per-mobile phase with the
 //! chunk-order load fold): frames/s at 1/2/4/8 threads for large
-//! populations. In quick mode the sweep shrinks to 5k mobiles × {1, 4}
-//! threads and **asserts the 4-thread row is no slower than the 1-thread
-//! row** — the CI guard that the parallel path never regresses below
-//! inline execution at scale.
+//! populations, with and without candidate-cell culling
+//! (`SimConfig::candidate_k`). In quick mode the sweep shrinks to 5k
+//! mobiles × {1, 4} threads and **asserts the 4-thread row is no slower
+//! than the 1-thread row** — the CI guard that the parallel path never
+//! regresses below inline execution at scale.
+//!
+//! The **large-population rows** (full mode only) are the million-mobile
+//! acceptance path: 100k mobiles exact vs culled on one thread, plus a
+//! 1M-mobile culled row that simply has to complete in real frames/s.
+//! Rows carry their `candidate_k` so downstream trend tooling can keep
+//! exact and culled trajectories apart, and the snapshot records the
+//! machine's core count so thread-sweep rows measured on a single-core
+//! container (pure overhead floor) can be discarded downstream.
 //!
 //! The **scheduling sweep** prices the warm-started scheduling phase
 //! (persistent per-direction simplex workspaces + the identical-round
@@ -80,6 +89,35 @@ fn frames_per_sec(n_mobiles: usize, frames: usize) -> f64 {
     cfg_frames_per_sec(scale_cfg(n_mobiles), frames)
 }
 
+/// Candidate-list size for the culled rows: 3 of the baseline 7 cells —
+/// the minimum the config accepts (`K ≥ active_set_max = 3`), so the
+/// full soft hand-off set still fits inside the candidate list.
+const CULL_K: usize = 3;
+
+/// Candidate refresh cadence for the culled rows (frames).
+const CULL_REFRESH: usize = 8;
+
+/// `scale_cfg` with candidate-cell culling on (`candidate_k = CULL_K`).
+fn culled_cfg(n_mobiles: usize) -> SimConfig {
+    scale_cfg(n_mobiles).with_candidates(CULL_K, CULL_REFRESH)
+}
+
+/// The large-population rows (full mode only): `(mobiles, candidate_k,
+/// frames/s)` at one frame thread. 100k is measured exact *and* culled —
+/// the cross-PR acceptance pair — and the 1M row proves a million-mobile
+/// frame loop completes at a measurable rate.
+fn large_rows() -> Vec<(usize, usize, f64)> {
+    vec![
+        (100_000, 0, cfg_frames_per_sec(scale_cfg(100_000), 20)),
+        (100_000, CULL_K, cfg_frames_per_sec(culled_cfg(100_000), 20)),
+        (
+            1_000_000,
+            CULL_K,
+            cfg_frames_per_sec(culled_cfg(1_000_000), 3),
+        ),
+    ]
+}
+
 /// Measures the enum-shim-constructed scheduler against the
 /// registry-resolved one (which must carry identical policy parameters)
 /// and returns `(enum_fps, registry_fps)`, best-of-`trials` interleaved
@@ -105,25 +143,34 @@ fn quick_mode() -> bool {
     std::env::var("WCDMA_BENCH_QUICK").is_ok_and(|v| v != "0" && !v.is_empty())
 }
 
-/// Measures frames/s for one (mobiles, frame_threads) cell of the thread
-/// sweep. Results are bit-identical across thread counts — only the
-/// wall-clock changes.
-fn thread_cell(n_mobiles: usize, threads: usize, frames: usize) -> f64 {
-    cfg_frames_per_sec(scale_cfg(n_mobiles).with_frame_threads(threads), frames)
+/// Measures frames/s for one (mobiles, frame_threads, candidate_k) cell of
+/// the thread sweep (`candidate_k = 0` ⇒ exact, every cell). Results are
+/// bit-identical across thread counts — only the wall-clock changes.
+fn thread_cell(n_mobiles: usize, threads: usize, candidate_k: usize, frames: usize) -> f64 {
+    let cfg = scale_cfg(n_mobiles)
+        .with_frame_threads(threads)
+        .with_candidates(candidate_k, CULL_REFRESH);
+    cfg_frames_per_sec(cfg, frames)
 }
 
 /// Frames per thread-sweep cell in quick (CI smoke) mode.
 const QUICK_SWEEP_FRAMES: usize = 60;
 
-/// The intra-frame parallelism sweep: `(mobiles, threads, frames/s)` rows.
-fn thread_sweep(quick: bool) -> Vec<(usize, usize, f64)> {
-    let (sizes, threads): (&[usize], &[usize]) = if quick {
-        (&[5000], &[1, 4])
+/// The intra-frame parallelism sweep: `(mobiles, threads, candidate_k,
+/// frames/s)` rows. Full mode repeats the largest population with
+/// candidate culling on, so the snapshot carries a mobiles × threads
+/// matrix for both the exact and the culled hot path.
+fn thread_sweep(quick: bool) -> Vec<(usize, usize, usize, f64)> {
+    let cells: Vec<(usize, usize)> = if quick {
+        [(5000, 0)].into()
     } else {
-        (&[5000, 20_000, 100_000], &[1, 2, 4, 8])
+        let mut c: Vec<(usize, usize)> = [5000, 20_000, 100_000].map(|n| (n, 0)).into();
+        c.push((100_000, CULL_K));
+        c
     };
-    let mut rows = Vec::with_capacity(sizes.len() * threads.len());
-    for &n in sizes {
+    let threads: &[usize] = if quick { &[1, 4] } else { &[1, 2, 4, 8] };
+    let mut rows = Vec::with_capacity(cells.len() * threads.len());
+    for &(n, k) in &cells {
         // Fixed work budget per row so the 100k-mobile cells stay sane.
         let frames = if quick {
             QUICK_SWEEP_FRAMES
@@ -131,7 +178,7 @@ fn thread_sweep(quick: bool) -> Vec<(usize, usize, f64)> {
             (600_000 / n).clamp(20, 150)
         };
         for &t in threads {
-            rows.push((n, t, thread_cell(n, t, frames)));
+            rows.push((n, t, k, thread_cell(n, t, k, frames)));
         }
     }
     rows
@@ -221,7 +268,8 @@ fn write_json_snapshot(
     path: &str,
     quick: bool,
     rows: &[(usize, f64)],
-    sweep: &[(usize, usize, f64)],
+    scale: &[(usize, usize, f64)],
+    sweep: &[(usize, usize, usize, f64)],
     sched: &[SchedRow],
     dispatch: (f64, f64),
 ) {
@@ -234,12 +282,22 @@ fn write_json_snapshot(
             )
         })
         .collect();
+    let scale_entries: Vec<String> = scale
+        .iter()
+        .map(|(n, k, fps)| {
+            format!(
+                "    {{\"mobiles\": {n}, \"candidate_k\": {k}, \"frames_per_sec\": {fps:.2}, \
+                 \"x_realtime\": {:.3}}}",
+                fps * 0.02
+            )
+        })
+        .collect();
     let sweep_entries: Vec<String> = sweep
         .iter()
-        .map(|(n, t, fps)| {
+        .map(|(n, t, k, fps)| {
             format!(
-                "    {{\"mobiles\": {n}, \"threads\": {t}, \"frames_per_sec\": {fps:.1}, \
-                 \"x_realtime\": {:.2}}}",
+                "    {{\"mobiles\": {n}, \"threads\": {t}, \"candidate_k\": {k}, \
+                 \"frames_per_sec\": {fps:.1}, \"x_realtime\": {:.2}}}",
                 fps * 0.02
             )
         })
@@ -260,9 +318,15 @@ fn write_json_snapshot(
         })
         .collect();
     let (enum_fps, registry_fps) = dispatch;
+    // `cores` lets downstream trend tooling discard thread-sweep rows
+    // measured on a single-core container, where every threads > 1 cell is
+    // an overhead floor rather than a scaling measurement.
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     let json = format!(
-        "{{\n  \"bench\": \"e11_scale\",\n  \"quick\": {quick},\n  \"rows\": [\n{}\n  ],\n  \"thread_sweep\": [\n{}\n  ],\n  \"sched_sweep\": [\n{}\n  ],\n  \"dispatch\": {{\"enum_shim_fps\": {enum_fps:.1}, \"registry_boxed_fps\": {registry_fps:.1}, \"ratio\": {:.4}}}\n}}\n",
+        "{{\n  \"bench\": \"e11_scale\",\n  \"quick\": {quick},\n  \"cores\": {cores},\n  \"canonical_order_version\": {},\n  \"rows\": [\n{}\n  ],\n  \"scale_rows\": [\n{}\n  ],\n  \"thread_sweep\": [\n{}\n  ],\n  \"sched_sweep\": [\n{}\n  ],\n  \"dispatch\": {{\"enum_shim_fps\": {enum_fps:.1}, \"registry_boxed_fps\": {registry_fps:.1}, \"ratio\": {:.4}}}\n}}\n",
+        wcdma_math::CANONICAL_ORDER_VERSION,
         entries.join(",\n"),
+        scale_entries.join(",\n"),
         sweep_entries.join(",\n"),
         sched_entries.join(",\n"),
         registry_fps / enum_fps
@@ -294,18 +358,42 @@ fn print_experiment() {
     }
     println!("{}", t.render());
 
+    // Large-population rows (full mode only): 100k exact vs culled, plus
+    // the million-mobile culled row. One frame thread — this is the
+    // single-core hot-path trend, independent of the machine's core count.
+    let scale = if quick { Vec::new() } else { large_rows() };
+    if !scale.is_empty() {
+        let mut ls = Table::new(&["mobiles", "candidate k", "frames/sec", "x realtime"]);
+        for &(n, k, fps) in &scale {
+            ls.row(&[
+                n.to_string(),
+                if k == 0 { "all".into() } else { k.to_string() },
+                format!("{fps:.2}"),
+                format!("{:.3}", fps * 0.02),
+            ]);
+        }
+        println!("{}", ls.render());
+    }
+
     // Thread sweep: deterministic intra-frame parallelism. Results are
     // bit-identical across thread counts; only frames/s moves.
     let mut sweep = thread_sweep(quick);
-    let mut ts = Table::new(&["mobiles", "frame threads", "frames/sec", "speedup vs 1T"]);
-    for &(n, t, fps) in &sweep {
+    let mut ts = Table::new(&[
+        "mobiles",
+        "candidate k",
+        "frame threads",
+        "frames/sec",
+        "speedup vs 1T",
+    ]);
+    for &(n, t, k, fps) in &sweep {
         let base = sweep
             .iter()
-            .find(|&&(bn, bt, _)| bn == n && bt == 1)
-            .map(|&(_, _, f)| f)
+            .find(|&&(bn, bt, bk, _)| bn == n && bt == 1 && bk == k)
+            .map(|&(_, _, _, f)| f)
             .unwrap_or(fps);
         ts.row(&[
             n.to_string(),
+            if k == 0 { "all".into() } else { k.to_string() },
             t.to_string(),
             format!("{fps:.1}"),
             format!("{:.2}x", fps / base),
@@ -319,10 +407,10 @@ fn print_experiment() {
         // before the assert fails the bench. On a single-core machine the
         // guard is vacuous (threads cannot run concurrently), so it is
         // skipped rather than asserted against pure scheduling overhead.
-        let cell = |rows: &[(usize, usize, f64)], t: usize| {
+        let cell = |rows: &[(usize, usize, usize, f64)], t: usize| {
             rows.iter()
-                .find(|&&(n, rt, _)| n == 5000 && rt == t)
-                .map(|&(_, _, f)| f)
+                .find(|&&(n, rt, k, _)| n == 5000 && rt == t && k == 0)
+                .map(|&(_, _, _, f)| f)
                 .expect("quick sweep covers 5k x {1,4}")
         };
         let (mut one, mut four) = (cell(&sweep, 1), cell(&sweep, 4));
@@ -330,11 +418,11 @@ fn print_experiment() {
             // One clean re-measure of just the two guard cells, patched
             // back into the sweep so the guard, the printed note, and the
             // JSON snapshot all report the same numbers.
-            one = thread_cell(5000, 1, QUICK_SWEEP_FRAMES);
-            four = thread_cell(5000, 4, QUICK_SWEEP_FRAMES);
+            one = thread_cell(5000, 1, 0, QUICK_SWEEP_FRAMES);
+            four = thread_cell(5000, 4, 0, QUICK_SWEEP_FRAMES);
             for row in sweep.iter_mut() {
-                if row.0 == 5000 && (row.1 == 1 || row.1 == 4) {
-                    row.2 = if row.1 == 1 { one } else { four };
+                if row.0 == 5000 && row.2 == 0 && (row.1 == 1 || row.1 == 4) {
+                    row.3 = if row.1 == 1 { one } else { four };
                 }
             }
             println!("re-measured 5k guard cells: 1T {one:.1} fps, 4T {four:.1} fps");
@@ -432,6 +520,7 @@ fn print_experiment() {
                 &path,
                 quick,
                 &rows,
+                &scale,
                 &sweep,
                 &sched,
                 (enum_fps, registry_fps),

@@ -3,7 +3,10 @@
 //!
 //! Responsibilities:
 //!
-//! * own one [`ChannelLink`] per (mobile, cell) pair and advance them;
+//! * own one shadowing state per (mobile, cell) pair and advance it — the
+//!   path-loss model and shadowing parameters are identical for every link,
+//!   so they live once on the network ([`wcdma_channel::ShadowState`] holds
+//!   only the 48 hot bytes: value, spare Gaussian, RNG);
 //! * forward pilot measurement → FCH active set with hysteresis → reduced
 //!   active set for the SCH;
 //! * forward FCH power allocation (MRC across soft hand-off legs) and
@@ -44,14 +47,34 @@
 //! per-voice-source RNG substreams are already independent per mobile, so
 //! no RNG coordination is needed. The chunked fold is used even at one
 //! thread — it *is* the canonical summation order.
+//!
+//! # SIMD kernels and candidate cell lists (canonical order v2)
+//!
+//! The per-mobile inner loops over cells — long-term gain refresh, pilot
+//! Ec/Io ratios, and the total-rx/interference accumulations — run as
+//! 4-lane [`wcdma_math::simd`] kernels with lane-order-fixed folds, and
+//! each mobile only visits its **candidate cells**: the top-K cells by
+//! wrap-around distance, refreshed every N frames
+//! ([`Network::set_candidates`]). Together these define canonical
+//! summation order **v2** (`wcdma_math::simd::CANONICAL_ORDER_VERSION`);
+//! the full contract lives in `docs/DETERMINISM.md`. With K = `n_cells`
+//! (the default) the candidate list is the identity and the physics is
+//! exact; with K < `n_cells` distant-cell terms are culled, which changes
+//! results like any physical approximation would, but stays bit-identical
+//! across thread counts, backends, and refresh-aligned runs. Links of
+//! non-candidate cells do not advance their shadowing RNG — every link
+//! owns an independent substream, so frozen streams never shift anyone
+//! else's draws.
 
-use wcdma_channel::ChannelLink;
+use wcdma_channel::{PathLoss, ShadowState, Shadowing};
 use wcdma_geo::{CellId, HexLayout, Point};
 use wcdma_math::db::thermal_noise_watt;
+use wcdma_math::dist::DB_TO_NAT;
 use wcdma_math::par::{chunk_count, FramePool, Partition, DEFAULT_CHUNK};
+use wcdma_math::simd;
 
 use crate::config::CdmaConfig;
-use crate::pilot::{measure_pilots_into, ActiveSet, PilotStrength};
+use crate::pilot::{pilots_from_ratios_into, ActiveSet, PilotStrength};
 use crate::power::{
     forward_fch_ebi0, forward_fch_powers_into, reverse_fch_ebi0, reverse_fch_power, InnerLoop,
 };
@@ -63,6 +86,11 @@ const SCRM_MAX_PILOTS: usize = 8;
 /// Mobiles per parallel chunk. Fixed (thread-count independent) so the
 /// chunk-order fold below is bit-identical for every `frame_threads`.
 const MOBILE_CHUNK: usize = DEFAULT_CHUNK;
+
+/// Default candidate-list refresh cadence in frames (160 ms at the 20 ms
+/// frame): at paper speeds (≤ 100 km/h ≈ 0.56 m/frame) a mobile moves
+/// well under a hundredth of a cell radius between refreshes.
+const DEFAULT_CANDIDATE_REFRESH: u64 = 8;
 
 /// Kind of user occupying the network.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -211,7 +239,12 @@ pub struct Network {
     fch_on: Vec<bool>,
 
     // ---- flat (mobile, cell) matrices, row-major with stride n_cells ----
-    links: Vec<ChannelLink>,
+    /// Per-link shadowing hot state. The path-loss model and the shadowing
+    /// parameters are the same for every link, so they are factored out
+    /// into [`Network::pathloss`] / [`Network::shadow_tpl`] — this keeps
+    /// the per-frame advance walking 48-byte rows instead of full
+    /// `ChannelLink`s (whose fast-fading state the hot path never reads).
+    shadow: Vec<ShadowState>,
     /// Long-term (local-mean) gain to each cell.
     gains: Vec<f64>,
     /// Pilot measurements sorted strongest-first per mobile row.
@@ -241,6 +274,19 @@ pub struct Network {
     /// Cells whose forward budget was exceeded last frame (clamped).
     overloaded: Vec<bool>,
 
+    // ---- per-mobile candidate cell lists (stride `cand_k`) ----
+    /// Candidate cell ids, ascending per row; `u32::MAX` = needs refresh.
+    cand: Vec<u32>,
+    /// Candidates per mobile (resolved; `n_cells` = no culling).
+    cand_k: usize,
+    /// Whether the candidate list is the identity (K = `n_cells`) — skips
+    /// the top-K selection; produces the same rows it would select.
+    cand_identity: bool,
+    /// Refresh cadence in frames.
+    cand_refresh: u64,
+    /// Frames stepped so far (drives the refresh cadence).
+    frame_idx: u64,
+
     // ---- persistent per-frame scratch, one set per parallel chunk ----
     chunk_scratch: Vec<ChunkScratch>,
 
@@ -255,6 +301,13 @@ pub struct Network {
     /// Thermal noise at the mobile (W).
     mobile_noise_w: f64,
 
+    /// The distance path-loss model, shared by every link.
+    pathloss: PathLoss,
+    /// Shadowing parameter template (σ, decorrelation, coherence) shared by
+    /// every link: supplies [`Shadowing::rho`] and [`Shadowing::sigma_db`]
+    /// to the per-link [`ShadowState`] rows. Its own RNG is never drawn
+    /// from after construction.
+    shadow_tpl: Shadowing,
     /// Ideal (true) vs stepped (false) reverse power control.
     ideal_reverse_pc: bool,
     inner_loop: InnerLoop,
@@ -270,10 +323,24 @@ pub struct Network {
 /// reallocated in steady state.
 #[derive(Debug, Clone)]
 struct ChunkScratch {
-    /// Wrap-around distances to every cell (len `n_cells`).
+    /// Wrap-around distances to every cell (len `n_cells`; refresh only).
     dist: Vec<f64>,
-    /// Received pilot power per cell (len `n_cells`).
+    /// Top-K selection scratch, `(distance, cell)` (len `n_cells`).
+    sel: Vec<(f64, u32)>,
+    /// Distances to the candidate cells (len `cand_k`).
+    cand_dist: Vec<f64>,
+    /// Shadowing excursions in natural-log units (len `cand_k`).
+    sh_db: Vec<f64>,
+    /// Linear shadowing gains from the batched exp (len `cand_k`).
+    sh_lin: Vec<f64>,
+    /// Long-term gains to the candidate cells (len `cand_k`).
+    cand_gain: Vec<f64>,
+    /// Gathered previous-frame forward loads (len `cand_k`).
+    cand_fwd: Vec<f64>,
+    /// Received pilot power per candidate (len `cand_k`).
     pilot_rx: Vec<f64>,
+    /// Pilot Ec/Io ratios per candidate (len `cand_k`).
+    ec_io: Vec<f64>,
     /// Active-set leg gains (len `active_set_max`).
     leg_gains: Vec<f64>,
     /// Active-set leg powers (len `active_set_max`).
@@ -285,10 +352,17 @@ struct ChunkScratch {
 }
 
 impl ChunkScratch {
-    fn new(n_cells: usize, active_set_max: usize) -> Self {
+    fn new(n_cells: usize, active_set_max: usize, cand_k: usize) -> Self {
         Self {
             dist: vec![0.0; n_cells],
-            pilot_rx: vec![0.0; n_cells],
+            sel: vec![(0.0, 0); n_cells],
+            cand_dist: vec![0.0; cand_k],
+            sh_db: vec![0.0; cand_k],
+            sh_lin: vec![0.0; cand_k],
+            cand_gain: vec![0.0; cand_k],
+            cand_fwd: vec![0.0; cand_k],
+            pilot_rx: vec![0.0; cand_k],
+            ec_io: vec![0.0; cand_k],
             leg_gains: vec![0.0; active_set_max],
             leg_powers: vec![0.0; active_set_max],
             fwd_w: vec![0.0; n_cells],
@@ -320,7 +394,7 @@ impl Network {
             ebi0_fwd: Vec::new(),
             ebi0_rev: Vec::new(),
             fch_on: Vec::new(),
-            links: Vec::new(),
+            shadow: Vec::new(),
             gains: Vec::new(),
             pilots: Vec::new(),
             fch_legs: Vec::new(),
@@ -335,10 +409,19 @@ impl Network {
             fwd_prev_w: vec![base_fwd; k],
             rev_prev_w: vec![noise; k],
             overloaded: vec![false; k],
+            cand: Vec::new(),
+            cand_k: k,
+            cand_identity: true,
+            cand_refresh: DEFAULT_CANDIDATE_REFRESH,
+            frame_idx: 0,
             chunk_scratch: Vec::new(),
             fch_theta: cfg.fch_processing_gain(),
             base_fwd_w: base_fwd,
             noise_floor_w: noise,
+            pathloss: PathLoss::urban_default(),
+            // Parameters only — the template RNG is drawn once at
+            // construction (for its own state) and never again.
+            shadow_tpl: Shadowing::urban_default(seed, u64::MAX),
             ideal_reverse_pc: false,
             inner_loop,
             pool: FramePool::new(1),
@@ -382,9 +465,58 @@ impl Network {
         if self.chunk_scratch.len() < want {
             let k = self.n_cells;
             let asm = self.cfg.active_set_max;
+            let kc = self.cand_k;
             self.chunk_scratch
-                .resize_with(want, || ChunkScratch::new(k, asm));
+                .resize_with(want, || ChunkScratch::new(k, asm, kc));
         }
+    }
+
+    /// Configures the per-mobile candidate cell lists: each mobile only
+    /// evaluates its `k` nearest cells (wrap-around distance, ties by
+    /// lower cell id), re-selected every `refresh_frames` frames.
+    ///
+    /// `k == 0` (the default) or `k >= num_cells` keeps every cell as a
+    /// candidate: the list is the identity `[0, num_cells)` and results
+    /// are **bit-identical to an unculled network** — the culled and
+    /// unculled configurations share a single code path. Smaller `k`
+    /// culls distant-cell interference terms (a physical approximation
+    /// that sharpens as `rings` grows) and freezes the shadowing streams
+    /// of non-candidate links; results remain deterministic and
+    /// thread-count invariant for a fixed `(k, refresh_frames)`.
+    ///
+    /// Candidate rows are stored ascending by cell id, so the per-cell
+    /// iteration order inside a mobile is the same as the unculled loop —
+    /// this is what makes the `k == num_cells` reduction exact. See
+    /// `docs/DETERMINISM.md`.
+    ///
+    /// # Panics
+    /// If `refresh_frames == 0`.
+    pub fn set_candidates(&mut self, k: usize, refresh_frames: usize) {
+        assert!(refresh_frames >= 1, "refresh cadence must be >= 1 frame");
+        let kc = if k == 0 {
+            self.n_cells
+        } else {
+            k.min(self.n_cells)
+        }
+        .max(1);
+        self.cand_k = kc;
+        self.cand_identity = kc == self.n_cells;
+        self.cand_refresh = refresh_frames as u64;
+        self.cand.clear();
+        self.cand.resize(self.n_mobiles * kc, u32::MAX);
+        // Scratch rows are sized for `cand_k`: rebuild.
+        self.chunk_scratch.clear();
+        self.ensure_chunk_scratch();
+    }
+
+    /// Candidates per mobile (resolved: `num_cells` when culling is off).
+    pub fn candidate_k(&self) -> usize {
+        self.cand_k
+    }
+
+    /// Candidate refresh cadence in frames.
+    pub fn candidate_refresh(&self) -> usize {
+        self.cand_refresh as usize
     }
 
     /// Stride of the forward-leg / reverse-pilot report tables.
@@ -411,19 +543,27 @@ impl Network {
         self.ideal_reverse_pc = ideal;
     }
 
-    /// Adds a mobile at `pos` with the given speed (m/s, sets the fading
-    /// Doppler); returns its index.
-    pub fn add_mobile(&mut self, kind: UserKind, pos: Point, speed_ms: f64) -> usize {
+    /// Adds a mobile at `pos` with the given speed (m/s; fast fading is
+    /// handled analytically by the burst layer, so the speed no longer
+    /// seeds any per-link state); returns its index.
+    pub fn add_mobile(&mut self, kind: UserKind, pos: Point, _speed_ms: f64) -> usize {
         let k = self.n_cells;
-        let doppler = (speed_ms.max(0.5) * self.cfg.carrier_hz / 299_792_458.0).max(1.0);
+        let sigma_db = self.shadow_tpl.sigma_db();
         for cell in 0..k {
             let stream = self.next_stream;
             self.next_stream += 1;
-            self.links.push(ChannelLink::with_defaults(
-                self.seed,
-                stream.wrapping_mul(1021).wrapping_add(cell as u64),
-                doppler,
-                self.cfg.frame_s,
+            // Exactly the substream `ChannelLink::with_defaults` would hand
+            // its shadowing process — and `ShadowState::stationary` makes
+            // the same initial draw — so the refactor from full links to
+            // hot-state rows is bit-identical (pinned by the golden
+            // canonical-order hash).
+            let s = stream.wrapping_mul(1021).wrapping_add(cell as u64);
+            self.shadow.push(ShadowState::stationary(
+                sigma_db,
+                wcdma_math::rng::Xoshiro256pp::substream(
+                    self.seed,
+                    s ^ wcdma_channel::shadowing::SHADOW_STREAM_XOR,
+                ),
             ));
         }
         let voice = match kind {
@@ -463,6 +603,10 @@ impl Network {
         self.rep_fwd_pilot
             .extend(std::iter::repeat((CellId(0), 0.0)).take(self.scrm_stride()));
         self.rep_fwd_count.push(0);
+        // Sentinel row: selected on this mobile's first step regardless of
+        // where the refresh cadence stands.
+        self.cand
+            .extend(std::iter::repeat(u32::MAX).take(self.cand_k));
         self.n_mobiles += 1;
         self.n_mobiles - 1
     }
@@ -541,6 +685,11 @@ impl Network {
     }
 
     /// Long-term gain from mobile `j` to `cell`.
+    ///
+    /// With candidate culling on ([`Network::set_candidates`] with
+    /// `k < num_cells`), only candidate cells carry fresh gains; a
+    /// non-candidate cell returns its last value from when it was a
+    /// candidate (or 0 if it never was).
     pub fn gain(&self, j: usize, cell: CellId) -> f64 {
         self.gains[j * self.n_cells + cell.index()]
     }
@@ -589,9 +738,16 @@ impl Network {
                 fwd_prev_w: &self.fwd_prev_w,
                 rev_prev_w: &self.rev_prev_w,
                 mobile_noise_w: self.mobile_noise_w,
+                pathloss: &self.pathloss,
+                shadow_tpl: &self.shadow_tpl,
                 fch_theta: self.fch_theta,
                 ideal_reverse_pc: self.ideal_reverse_pc,
                 inner_loop: self.inner_loop,
+                cand_k: self.cand_k,
+                cand_identity: self.cand_identity,
+                // The cadence is frame-count based (never wall clock), so
+                // refresh frames align across runs of the same scenario.
+                refresh_all: self.frame_idx % self.cand_refresh == 0,
             };
             let parts = StepParts {
                 moved_m: Partition::new(&mut self.moved_m, MOBILE_CHUNK),
@@ -601,13 +757,14 @@ impl Network {
                 ebi0_fwd: Partition::new(&mut self.ebi0_fwd, MOBILE_CHUNK),
                 ebi0_rev: Partition::new(&mut self.ebi0_rev, MOBILE_CHUNK),
                 fch_on: Partition::new(&mut self.fch_on, MOBILE_CHUNK),
-                links: Partition::new(&mut self.links, MOBILE_CHUNK * k),
+                shadow: Partition::new(&mut self.shadow, MOBILE_CHUNK * k),
                 gains: Partition::new(&mut self.gains, MOBILE_CHUNK * k),
                 pilots: Partition::new(&mut self.pilots, MOBILE_CHUNK * k),
                 fch_legs: Partition::new(&mut self.fch_legs, MOBILE_CHUNK * leg_stride),
                 fch_leg_count: Partition::new(&mut self.fch_leg_count, MOBILE_CHUNK),
                 reduced: Partition::new(&mut self.reduced, MOBILE_CHUNK * red_stride),
                 reduced_count: Partition::new(&mut self.reduced_count, MOBILE_CHUNK),
+                cand: Partition::new(&mut self.cand, MOBILE_CHUNK * self.cand_k),
                 scratch: Partition::new(&mut self.chunk_scratch, 1),
             };
             self.pool.run(n_chunks, |ci| {
@@ -659,16 +816,17 @@ impl Network {
                 );
             }
             let fs = m * scrm_stride;
-            // Phase 1 fills every pilot row, so the SCRM always carries the
-            // full (capped) report; `rep_fwd_count` stays 0 only for
-            // networks that never stepped.
-            let nf = scrm_stride;
+            // Phase 1 fills the first `cand_k` pilot slots of every row, so
+            // the SCRM carries the full (doubly capped) report;
+            // `rep_fwd_count` stays 0 only for networks that never stepped.
+            let nf = scrm_stride.min(self.cand_k);
             for i in 0..nf {
                 let p = self.pilots[row + i];
                 self.rep_fwd_pilot[fs + i] = (p.cell, p.ec_io);
             }
             self.rep_fwd_count[m] = nf;
         }
+        self.frame_idx += 1;
     }
 
     /// Borrows the burst-request measurement report for data mobile `j`
@@ -741,9 +899,19 @@ struct StepShared<'a> {
     fwd_prev_w: &'a [f64],
     rev_prev_w: &'a [f64],
     mobile_noise_w: f64,
+    /// Shared path-loss model (identical for every link).
+    pathloss: &'a PathLoss,
+    /// Shared shadowing parameters (ρ and σ for the per-link states).
+    shadow_tpl: &'a Shadowing,
     fch_theta: f64,
     ideal_reverse_pc: bool,
     inner_loop: InnerLoop,
+    /// Candidates per mobile (`== k` when culling is off).
+    cand_k: usize,
+    /// Candidate list is the identity `[0, k)` — skip top-K selection.
+    cand_identity: bool,
+    /// Re-select every candidate row this frame (cadence hit).
+    refresh_all: bool,
 }
 
 /// The mutable per-mobile state, partitioned into `MOBILE_CHUNK`-mobile
@@ -757,13 +925,14 @@ struct StepParts<'a> {
     ebi0_fwd: Partition<'a, f64>,
     ebi0_rev: Partition<'a, f64>,
     fch_on: Partition<'a, bool>,
-    links: Partition<'a, ChannelLink>,
+    shadow: Partition<'a, ShadowState>,
     gains: Partition<'a, f64>,
     pilots: Partition<'a, PilotStrength>,
     fch_legs: Partition<'a, (CellId, f64)>,
     fch_leg_count: Partition<'a, usize>,
     reduced: Partition<'a, CellId>,
     reduced_count: Partition<'a, usize>,
+    cand: Partition<'a, u32>,
     scratch: Partition<'a, ChunkScratch>,
 }
 
@@ -789,45 +958,103 @@ unsafe fn step_chunk(sh: &StepShared<'_>, parts: &StepParts<'_>, ci: usize) {
     let ebi0_fwd = unsafe { parts.ebi0_fwd.chunk(ci) };
     let ebi0_rev = unsafe { parts.ebi0_rev.chunk(ci) };
     let fch_on = unsafe { parts.fch_on.chunk(ci) };
-    let links = unsafe { parts.links.chunk(ci) };
+    let shadow = unsafe { parts.shadow.chunk(ci) };
     let gains = unsafe { parts.gains.chunk(ci) };
     let pilots = unsafe { parts.pilots.chunk(ci) };
     let fch_legs = unsafe { parts.fch_legs.chunk(ci) };
     let fch_leg_count = unsafe { parts.fch_leg_count.chunk(ci) };
     let reduced = unsafe { parts.reduced.chunk(ci) };
     let reduced_count = unsafe { parts.reduced_count.chunk(ci) };
+    let cand = unsafe { parts.cand.chunk(ci) };
     let scratch = &mut unsafe { parts.scratch.chunk(ci) }[0];
+    let kc = sh.cand_k;
+    // Forward interference bookkeeping: total-rx counts every candidate
+    // term in full; active-set terms then give back the orthogonal
+    // fraction (1 − orthogonality_loss) of their power.
+    let ortho_back = 1.0 - sh.cfg.orthogonality_loss;
 
     scratch.fwd_w.fill(0.0);
     scratch.rev_w.fill(0.0);
     for (lm, moved) in moved_m.iter_mut().enumerate() {
         let m = base + lm; // global mobile index (read-only tables)
         let row = lm * k;
-        // Advance every link's long-term state and refresh gains. The
-        // shadowing correlation depends only on the mobile's shared
-        // displacement, so it is computed once per mobile; the fast
-        // fading state is never read on this path (the burst layer
-        // integrates fading analytically via VTAOC), so it is not
-        // advanced — each fading RNG substream is independent, keeping
-        // all outputs bit-identical.
-        let shadow_rho = links[row].shadow_rho(*moved, sh.dt);
-        sh.layout.distances_into(sh.pos[m], &mut scratch.dist);
-        for cell in 0..k {
-            let link = &mut links[row + cell];
-            link.advance_long_term_with_rho(shadow_rho);
-            gains[row + cell] = link.long_term_gain(scratch.dist[cell]);
+        let cand_row = &mut cand[lm * kc..(lm + 1) * kc];
+
+        // Candidate cell list: refresh on the cadence (or on this
+        // mobile's first-ever step, flagged by the sentinel), otherwise
+        // just recompute distances to the standing candidates. Rows are
+        // stored ascending by cell id so the per-cell iteration order
+        // matches the unculled loop.
+        if sh.cand_identity {
+            if cand_row[0] == u32::MAX {
+                for (i, c) in cand_row.iter_mut().enumerate() {
+                    *c = i as u32;
+                }
+            }
+            // Identity list: the batched all-cells kernel produces exactly
+            // the values `distances_subset_into` would (pinned by test).
+            sh.layout.distances_into(sh.pos[m], &mut scratch.cand_dist);
+        } else if sh.refresh_all || cand_row[0] == u32::MAX {
+            sh.layout.distances_into(sh.pos[m], &mut scratch.dist);
+            for (c, (slot, &d)) in scratch.sel.iter_mut().zip(scratch.dist.iter()).enumerate() {
+                *slot = (d, c as u32);
+            }
+            // Total order — distances tie-break by cell id — so the
+            // selected top-K set is unique and sort-algorithm independent.
+            scratch
+                .sel
+                .sort_unstable_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+            for (slot, s) in cand_row.iter_mut().zip(scratch.sel.iter()) {
+                *slot = s.1;
+            }
+            cand_row.sort_unstable();
+            for (d, &c) in scratch.cand_dist.iter_mut().zip(cand_row.iter()) {
+                *d = scratch.dist[c as usize];
+            }
+        } else {
+            sh.layout
+                .distances_subset_into(sh.pos[m], cand_row, &mut scratch.cand_dist);
+        }
+
+        // Advance the candidate links' long-term state and refresh gains.
+        // The shadowing correlation depends only on the mobile's shared
+        // displacement, so it is computed once per mobile from the shared
+        // parameter template; fast fading is never read on this path (the
+        // burst layer integrates fading analytically via VTAOC), so the
+        // per-link rows carry only the 48-byte shadowing hot state. The
+        // dB → linear conversion runs as one batched 4-lane exp over the
+        // gathered excursions.
+        let shadow_rho = sh.shadow_tpl.rho(*moved, sh.dt);
+        let innov_scale = sh.shadow_tpl.innovation_scale(shadow_rho);
+        for (db, &c) in scratch.sh_db.iter_mut().zip(cand_row.iter()) {
+            let st = &mut shadow[row + c as usize];
+            st.step_with_rho(shadow_rho, innov_scale);
+            *db = st.value_db() * DB_TO_NAT;
+        }
+        simd::exp_into(&scratch.sh_db, &mut scratch.sh_lin);
+        for (i, &c) in cand_row.iter().enumerate() {
+            let g = sh.pathloss.gain(scratch.cand_dist[i]) * scratch.sh_lin[i];
+            scratch.cand_gain[i] = g;
+            gains[row + c as usize] = g;
         }
         *moved = 0.0;
 
-        // Pilot measurement against last frame's forward powers.
-        let mut total_rx = sh.mobile_noise_w;
-        for cell in 0..k {
-            total_rx += sh.fwd_prev_w[cell] * gains[row + cell];
-            scratch.pilot_rx[cell] = sh.cfg.pilot_power_w * gains[row + cell];
+        // Pilot measurement against last frame's forward powers: gather
+        // the candidate loads, one lane-folded dot for total-rx, then the
+        // pilot scale and Ec/Io ratio passes.
+        for (fw, &c) in scratch.cand_fwd.iter_mut().zip(cand_row.iter()) {
+            *fw = sh.fwd_prev_w[c as usize];
         }
-        measure_pilots_into(&scratch.pilot_rx, total_rx, &mut pilots[row..row + k]);
+        let total_rx = sh.mobile_noise_w + simd::dot(&scratch.cand_fwd, &scratch.cand_gain);
+        simd::scale_into(
+            &scratch.cand_gain,
+            sh.cfg.pilot_power_w,
+            &mut scratch.pilot_rx,
+        );
+        simd::ratio_into(&scratch.pilot_rx, total_rx, &mut scratch.ec_io);
+        pilots_from_ratios_into(cand_row, &scratch.ec_io, &mut pilots[row..row + kc]);
         active_set[lm].update_sorted(
-            &pilots[row..row + k],
+            &pilots[row..row + kc],
             sh.cfg.t_add,
             sh.cfg.t_drop,
             sh.cfg.active_set_max,
@@ -836,7 +1063,7 @@ unsafe fn step_chunk(sh: &StepShared<'_>, parts: &StepParts<'_>, ci: usize) {
         // application below and by the measurement report.
         let rs = lm * sh.red_stride;
         reduced_count[lm] = active_set[lm]
-            .reduced_into(&pilots[row..row + k], &mut reduced[rs..rs + sh.red_stride]);
+            .reduced_into(&pilots[row..row + kc], &mut reduced[rs..rs + sh.red_stride]);
 
         // Voice activity gating.
         fch_on[lm] = match sh.kind[m] {
@@ -846,15 +1073,15 @@ unsafe fn step_chunk(sh: &StepShared<'_>, parts: &StepParts<'_>, ci: usize) {
 
         // Forward FCH power control (ideal): interference at the mobile
         // counts other-cell power fully and own-active-set power through
-        // the orthogonality loss.
-        let mut interference = sh.mobile_noise_w;
-        for cell in 0..k {
-            let w = sh.fwd_prev_w[cell] * gains[row + cell];
-            if active_set[lm].contains(CellId(cell as u32)) {
-                interference += w * sh.cfg.orthogonality_loss;
-            } else {
-                interference += w;
-            }
+        // the orthogonality loss. Total-rx already folded every candidate
+        // term, so only the (few) active-set members are revisited. The
+        // update above drops any member absent from the candidate pilots
+        // (strength 0 < T_DROP), so members ⊆ candidates and their gains
+        // are fresh.
+        let mut interference = total_rx;
+        for &c in active_set[lm].members() {
+            let w = sh.fwd_prev_w[c.index()] * gains[row + c.index()];
+            interference -= w * ortho_back;
         }
         let members = active_set[lm].members();
         let nl = members.len();
@@ -941,8 +1168,11 @@ unsafe fn step_chunk(sh: &StepShared<'_>, parts: &StepParts<'_>, ci: usize) {
             }
         }
         let tx = tx.min(sh.cfg.mobile_max_power_w);
-        for cell in 0..k {
-            scratch.rev_w[cell] += tx * gains[row + cell];
+        // Reverse received power lands only at candidate cells — the same
+        // culling approximation as the forward sums (exact when the list
+        // is the identity).
+        for (&c, &g) in cand_row.iter().zip(scratch.cand_gain.iter()) {
+            scratch.rev_w[c as usize] += tx * g;
         }
     }
 }
@@ -1175,6 +1405,111 @@ mod tests {
                 assert_eq!(one.fch_quality(j), nt.fch_quality(j));
             }
         }
+    }
+
+    /// Builds a populated 7-cell network with the given candidate
+    /// configuration and steps it (grants in play from frame 5).
+    fn candidate_net(k: usize, refresh: usize, threads: usize, frames: usize) -> Network {
+        let cfg = CdmaConfig::default_system();
+        let mut net = Network::new(cfg, HexLayout::new(1, 1000.0), 311);
+        let mut rng = Xoshiro256pp::new(311 ^ 0xD00D);
+        populate_round_robin(&mut net, 300, 40, 3.0, &mut rng);
+        net.set_candidates(k, refresh);
+        net.set_frame_threads(threads);
+        for f in 0..frames {
+            if f == 5 {
+                net.set_grant(
+                    net.data_mobiles()[0],
+                    Some(SchGrant {
+                        m: 8,
+                        forward: true,
+                        gamma_s: 1.0,
+                    }),
+                );
+            }
+            net.step(0.02);
+        }
+        net
+    }
+
+    fn assert_nets_bit_identical(a: &Network, b: &Network, what: &str) {
+        assert_eq!(a.forward_load_w(), b.forward_load_w(), "{what}: P_k");
+        assert_eq!(a.reverse_load_w(), b.reverse_load_w(), "{what}: L_k");
+        for &j in &a.data_mobiles() {
+            assert_eq!(a.measurement(j), b.measurement(j), "{what}: mobile {j}");
+            assert_eq!(a.fch_quality(j), b.fch_quality(j), "{what}: mobile {j}");
+        }
+    }
+
+    #[test]
+    fn culled_top_k_equals_unculled_bit_for_bit() {
+        // The culled-equals-unculled property of docs/DETERMINISM.md:
+        // an explicit K = n_cells candidate list (7 cells here) must
+        // reproduce the default unculled network exactly, including
+        // across a refresh-cadence change (identity rows never change).
+        let unculled = candidate_net(0, 8, 1, 25);
+        let full_k = candidate_net(7, 8, 1, 25);
+        assert_nets_bit_identical(&unculled, &full_k, "K = n_cells vs unculled");
+        let odd_cadence = candidate_net(7, 3, 1, 25);
+        assert_nets_bit_identical(&unculled, &odd_cadence, "identity is cadence-free");
+    }
+
+    #[test]
+    fn culling_is_thread_count_invariant() {
+        // Culling composes with intra-frame parallelism: the candidate
+        // refresh and all lane-folded sums are chunk-local, so any thread
+        // count reproduces the single-thread run bit for bit.
+        let one = candidate_net(4, 8, 1, 25);
+        for threads in [2, 4, 5] {
+            let nt = candidate_net(4, 8, threads, 25);
+            assert_nets_bit_identical(&one, &nt, "culled, threads");
+        }
+    }
+
+    #[test]
+    fn culling_changes_results_but_stays_deterministic() {
+        let exact = candidate_net(0, 8, 1, 25);
+        let culled = candidate_net(4, 8, 1, 25);
+        assert_ne!(
+            exact.forward_load_w(),
+            culled.forward_load_w(),
+            "K = 4 of 7 is a real approximation, not a no-op"
+        );
+        // Same (K, cadence) ⇒ same bits.
+        let again = candidate_net(4, 8, 1, 25);
+        assert_nets_bit_identical(&culled, &again, "culled replay");
+        // Sanity: the approximation stays physical.
+        for (&e, &c) in exact.forward_load_w().iter().zip(culled.forward_load_w()) {
+            assert!(c > 0.0 && c.is_finite());
+            assert!((c - e).abs() / e < 0.5, "culled P_k within 50%: {c} vs {e}");
+        }
+    }
+
+    #[test]
+    fn active_set_members_are_candidates_under_culling() {
+        let net = candidate_net(4, 8, 1, 25);
+        // With K = 4 every active set must sit inside the mobile's
+        // 4-nearest-cells list; cheap proxy: every member has a fresh
+        // positive gain (non-candidates would be stale zeros only if the
+        // member leaked — the update drops them).
+        for j in 0..net.num_mobiles() {
+            for &c in net.active_set(j) {
+                assert!(net.gain(j, c) > 0.0, "mobile {j} member {c:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn candidate_accessors_resolve() {
+        let mut net = Network::new(CdmaConfig::default_system(), HexLayout::new(1, 1000.0), 1);
+        assert_eq!(net.candidate_k(), 7, "default: all cells");
+        net.set_candidates(4, 10);
+        assert_eq!(net.candidate_k(), 4);
+        assert_eq!(net.candidate_refresh(), 10);
+        net.set_candidates(99, 10);
+        assert_eq!(net.candidate_k(), 7, "clamped to n_cells");
+        net.set_candidates(0, 1);
+        assert_eq!(net.candidate_k(), 7, "0 = unculled");
     }
 
     #[test]

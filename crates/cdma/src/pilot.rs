@@ -62,10 +62,63 @@ pub fn measure_pilots_into(pilot_rx: &[f64], total_rx: f64, out: &mut [PilotStre
     });
 }
 
+/// Candidate-list variant of [`measure_pilots_into`]: builds strongest-
+/// first measurements from *precomputed* Ec/Io ratios of a candidate cell
+/// subset (`cells[i]` ↔ `ec_io[i]`, as produced by the 4-lane
+/// `wcdma_math::simd::ratio_into` pass over gathered candidate pilots).
+///
+/// Uses the exact comparator of [`measure_pilots_into`] (descending
+/// Ec/Io, ties by ascending cell id). When `cells` is the identity list
+/// `[0, n)` the input sequence matches what [`measure_pilots_into`] sees,
+/// so the sorted output is bit-identical — the property behind the
+/// culled-equals-unculled guarantee in `docs/DETERMINISM.md`.
+pub fn pilots_from_ratios_into(cells: &[u32], ec_io: &[f64], out: &mut [PilotStrength]) {
+    assert_eq!(cells.len(), ec_io.len(), "one ratio per candidate");
+    assert_eq!(out.len(), cells.len(), "one output slot per candidate");
+    for ((&c, &r), slot) in cells.iter().zip(ec_io.iter()).zip(out.iter_mut()) {
+        *slot = PilotStrength {
+            cell: CellId(c),
+            ec_io: r,
+        };
+    }
+    out.sort_unstable_by(|a, b| {
+        b.ec_io
+            .partial_cmp(&a.ec_io)
+            .expect("finite Ec/Io")
+            .then(a.cell.cmp(&b.cell))
+    });
+}
+
+/// Upper bound on the FCH active-set size: member storage is inline (no
+/// per-set heap block), so a network's `Vec<ActiveSet>` is one contiguous
+/// allocation the per-frame loop walks without pointer chasing. Real
+/// cdma2000/WCDMA systems cap the active set at 6; 8 leaves headroom.
+pub const MAX_ACTIVE_SET: usize = 8;
+
 /// FCH active set with add/drop hysteresis.
-#[derive(Debug, Clone, Default, PartialEq)]
+///
+/// Member storage is inline (`[CellId; MAX_ACTIVE_SET]` + length), sized
+/// by [`MAX_ACTIVE_SET`]; the update methods panic if asked for a larger
+/// `max_size`.
+#[derive(Debug, Clone)]
 pub struct ActiveSet {
-    members: Vec<CellId>,
+    members: [CellId; MAX_ACTIVE_SET],
+    len: u8,
+}
+
+impl Default for ActiveSet {
+    fn default() -> Self {
+        Self {
+            members: [CellId(0); MAX_ACTIVE_SET],
+            len: 0,
+        }
+    }
+}
+
+impl PartialEq for ActiveSet {
+    fn eq(&self, other: &Self) -> bool {
+        self.members() == other.members()
+    }
 }
 
 impl ActiveSet {
@@ -76,22 +129,29 @@ impl ActiveSet {
 
     /// Current members (unordered).
     pub fn members(&self) -> &[CellId] {
-        &self.members
+        &self.members[..self.len as usize]
     }
 
     /// Whether `cell` is in the set.
     pub fn contains(&self, cell: CellId) -> bool {
-        self.members.contains(&cell)
+        self.members().contains(&cell)
     }
 
     /// Number of members.
     pub fn len(&self) -> usize {
-        self.members.len()
+        self.len as usize
     }
 
     /// Whether the set is empty.
     pub fn is_empty(&self) -> bool {
-        self.members.is_empty()
+        self.len == 0
+    }
+
+    /// Appends a member (caller guarantees capacity and uniqueness).
+    #[inline]
+    fn push(&mut self, cell: CellId) {
+        self.members[self.len as usize] = cell;
+        self.len += 1;
     }
 
     /// Updates the set from fresh pilot measurements (strongest-first or
@@ -122,7 +182,7 @@ impl ActiveSet {
             pilots_desc.windows(2).all(|w| w[0].ec_io >= w[1].ec_io),
             "pilots must be sorted strongest-first"
         );
-        assert!(max_size >= 1);
+        assert!((1..=MAX_ACTIVE_SET).contains(&max_size));
         let strength = |c: CellId| {
             pilots_desc
                 .iter()
@@ -130,21 +190,29 @@ impl ActiveSet {
                 .map(|p| p.ec_io)
                 .unwrap_or(0.0)
         };
-        // Drop phase.
-        self.members.retain(|&c| strength(c) >= t_drop);
+        // Drop phase: compact the surviving members in place.
+        let mut kept = 0u8;
+        for i in 0..self.len as usize {
+            let c = self.members[i];
+            if strength(c) >= t_drop {
+                self.members[kept as usize] = c;
+                kept += 1;
+            }
+        }
+        self.len = kept;
         // Add phase: strongest first.
         for p in pilots_desc {
-            if self.members.len() >= max_size {
+            if self.len() >= max_size {
                 break;
             }
             if p.ec_io >= t_add && !self.contains(p.cell) {
-                self.members.push(p.cell);
+                self.push(p.cell);
             }
         }
         // Never empty: keep at least the best server.
-        if self.members.is_empty() {
+        if self.is_empty() {
             if let Some(best) = pilots_desc.first() {
-                self.members.push(best.cell);
+                self.push(best.cell);
             }
         }
     }
@@ -153,7 +221,7 @@ impl ActiveSet {
     /// strongest current pilots, strongest first.
     pub fn reduced(&self, pilots: &[PilotStrength], n: usize) -> Vec<CellId> {
         let mut scored: Vec<(CellId, f64)> = self
-            .members
+            .members()
             .iter()
             .map(|&c| {
                 let s = pilots
@@ -188,8 +256,8 @@ impl ActiveSet {
             }
         }
         // Members absent from the report carry strength 0 and sort last.
-        if n < out.len() && n < self.members.len() {
-            for &c in &self.members {
+        if n < out.len() && n < self.len() {
+            for &c in self.members() {
                 if n == out.len() {
                     break;
                 }
@@ -226,6 +294,28 @@ mod tests {
         assert_eq!(pilots[1].cell, CellId(2));
         assert_eq!(pilots[2].cell, CellId(0));
         assert!((pilots[0].ec_io - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ratio_variant_matches_measure_on_identity_list() {
+        let pilot_rx = [0.1, 0.5, 0.2, 0.5, 0.05];
+        let total = 10.0;
+        let mut want = vec![
+            PilotStrength {
+                cell: CellId(0),
+                ec_io: 0.0,
+            };
+            pilot_rx.len()
+        ];
+        measure_pilots_into(&pilot_rx, total, &mut want);
+        let cells: Vec<u32> = (0..pilot_rx.len() as u32).collect();
+        let ratios: Vec<f64> = pilot_rx.iter().map(|&p| p / total).collect();
+        let mut got = want.clone();
+        pilots_from_ratios_into(&cells, &ratios, &mut got);
+        assert_eq!(got, want, "identity candidate list must reproduce");
+        // Equal strengths (cells 1 and 3) break ties by ascending id.
+        assert_eq!(got[0].cell, CellId(1));
+        assert_eq!(got[1].cell, CellId(3));
     }
 
     #[test]

@@ -53,9 +53,12 @@ pub fn forward_fch_powers_into(
     assert!(target_ebi0 > 0.0 && proc_gain > 0.0 && interference_w > 0.0);
     assert_eq!(out.len(), leg_gains.len(), "one output slot per leg");
     let n = leg_gains.len() as f64;
+    // The per-leg power differs only by 1/g: hoist the common numerator
+    // out of the loop (canonical order v2 — one division per leg remains).
+    let num = target_ebi0 * interference_w / (n * proc_gain);
     for (&g, slot) in leg_gains.iter().zip(out.iter_mut()) {
         assert!(g > 0.0, "non-positive link gain");
-        *slot = target_ebi0 * interference_w / (n * g * proc_gain);
+        *slot = num / g;
     }
 }
 
@@ -68,10 +71,12 @@ pub fn forward_fch_ebi0(
 ) -> f64 {
     assert_eq!(leg_powers.len(), leg_gains.len());
     assert!(interference_w > 0.0);
+    // One division total (canonical order v2): θ/I is common to every leg.
+    let theta_over_i = proc_gain / interference_w;
     leg_powers
         .iter()
         .zip(leg_gains)
-        .map(|(&p, &g)| p * g * proc_gain / interference_w)
+        .map(|(&p, &g)| p * g * theta_over_i)
         .sum()
 }
 
@@ -113,6 +118,11 @@ pub struct InnerLoop {
     pub min_w: f64,
     /// Upper power clamp (W).
     pub max_w: f64,
+    /// Cached `10^{step_db/10}` — one full step as a linear factor, so the
+    /// per-frame update needs no log/exp round trip.
+    step_up_lin: f64,
+    /// Cached `10^{-step_db/10}`.
+    step_down_lin: f64,
 }
 
 impl InnerLoop {
@@ -123,15 +133,31 @@ impl InnerLoop {
             step_db,
             min_w,
             max_w,
+            step_up_lin: db_to_lin(step_db),
+            step_down_lin: db_to_lin(-step_db),
         }
     }
 
     /// One update: move `current_w` toward `ideal_w` by at most one step.
+    ///
+    /// Evaluated entirely in the linear domain (canonical order v2): the
+    /// dB distance to the ideal is compared against one full step via the
+    /// cached linear step factors — `|10·log10(ideal/current)| ≤ step_db`
+    /// exactly when `ideal` lies within `[current·10^{-s/10},
+    /// current·10^{s/10}]` — so an in-range ideal is returned exactly
+    /// instead of through a `log10`/`10^x` round trip.
     pub fn step(&self, current_w: f64, ideal_w: f64) -> f64 {
         assert!(current_w > 0.0 && ideal_w > 0.0);
-        let ratio_db = 10.0 * (ideal_w / current_w).log10();
-        let delta_db = ratio_db.clamp(-self.step_db, self.step_db);
-        (current_w * db_to_lin(delta_db)).clamp(self.min_w, self.max_w)
+        let up = current_w * self.step_up_lin;
+        let down = current_w * self.step_down_lin;
+        let next = if ideal_w > up {
+            up
+        } else if ideal_w < down {
+            down
+        } else {
+            ideal_w
+        };
+        next.clamp(self.min_w, self.max_w)
     }
 
     /// Runs `n` updates against a fixed target (for convergence tests).

@@ -26,7 +26,7 @@ pub use csi::CsiEstimator;
 pub use fading::{ArFading, FastFading, JakesFading};
 pub use nakagami::NakagamiFading;
 pub use pathloss::PathLoss;
-pub use shadowing::Shadowing;
+pub use shadowing::{ShadowState, Shadowing};
 
 use wcdma_math::rng::Xoshiro256pp;
 
@@ -58,7 +58,7 @@ impl ChannelLink {
         let rng = Xoshiro256pp::substream(seed, stream);
         Self {
             pathloss: PathLoss::urban_default(),
-            shadowing: Shadowing::urban_default(seed, stream ^ 0x5A5A),
+            shadowing: Shadowing::urban_default(seed, stream ^ shadowing::SHADOW_STREAM_XOR),
             fading: ArFading::new(rng, doppler_hz, sample_dt),
         }
     }
@@ -87,12 +87,12 @@ impl ChannelLink {
     /// Advances only the long-term (shadowing) component, with a
     /// precomputed correlation from [`ChannelLink::shadow_rho`].
     ///
-    /// The dynamic network consumes local-mean gains exclusively — fast
-    /// fading enters the burst-admission layer *analytically* through the
-    /// VTAOC throughput expectation — so the per-frame hot path skips the
-    /// fast-fading state advance entirely. Each fading process owns its own
-    /// RNG substream, so skipping it leaves every other stream, and hence
-    /// every network output, bit-identical.
+    /// Large-population consumers that need local-mean gains exclusively
+    /// (fast fading handled analytically) should prefer [`ShadowState`]
+    /// rows plus a shared [`PathLoss`]/[`Shadowing`] template over full
+    /// links — same bits, a third of the memory traffic. Each fading
+    /// process owns its own RNG substream, so skipping (or never
+    /// constructing) it leaves every other stream bit-identical.
     pub fn advance_long_term_with_rho(&mut self, shadow_rho: f64) {
         self.shadowing.step_with_rho(shadow_rho);
     }
@@ -105,6 +105,18 @@ impl ChannelLink {
     /// Long-term ("local mean") power gain: path loss × shadowing.
     pub fn long_term_gain(&self, d_m: f64) -> f64 {
         self.pathloss.gain(d_m) * self.shadowing.gain()
+    }
+
+    /// Current shadowing excursion in dB.
+    ///
+    /// Exposed for batched hot paths that gather the dB values of many
+    /// links and convert them to linear gains in one 4-lane
+    /// `wcdma_math::simd::exp_into` pass (`gain = exp(value_db ·
+    /// DB_TO_NAT)`) instead of calling the per-link libm-backed
+    /// [`ChannelLink::long_term_gain`]. (`Network::step` does this over
+    /// [`ShadowState`] rows.)
+    pub fn shadow_value_db(&self) -> f64 {
+        self.shadowing.value_db()
     }
 
     /// Instantaneous fast-fading power (unit mean).

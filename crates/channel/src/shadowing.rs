@@ -15,6 +15,12 @@
 use wcdma_math::dist::DB_TO_NAT;
 use wcdma_math::rng::Xoshiro256pp;
 
+/// Substream tweak a per-link shadowing process applies to its stream id
+/// (see `ChannelLink::with_defaults`) — exported so alternate storage
+/// (e.g. [`ShadowState`] rows in the network) derives the identical RNG
+/// substream and stays bit-compatible with the full link.
+pub const SHADOW_STREAM_XOR: u64 = 0x5A5A;
+
 /// Correlated log-normal shadowing process (dB-domain state).
 #[derive(Debug, Clone)]
 pub struct Shadowing {
@@ -77,9 +83,16 @@ impl Shadowing {
     /// links share the same displacement and correlation parameters.
     pub fn rho(&self, dist_m: f64, dt: f64) -> f64 {
         debug_assert!(dist_m >= 0.0 && dt >= 0.0);
-        let rho_space = (-dist_m / self.decorr_dist_m).exp();
-        let rho_time = (-dt / self.coherence_time_s).exp();
-        rho_space.min(rho_time)
+        // Both exponentials in one packed deterministic-exp call (canonical
+        // order v2): same bits on every platform, and cheaper than two libm
+        // `exp` calls in the per-mobile hot loop.
+        let e = wcdma_math::simd::exp4([
+            -dist_m / self.decorr_dist_m,
+            -dt / self.coherence_time_s,
+            0.0,
+            0.0,
+        ]);
+        e[0].min(e[1])
     }
 
     /// Advances the process with a precomputed correlation `rho` (see
@@ -95,7 +108,16 @@ impl Shadowing {
             self.spare_gauss = f64::NAN;
             b
         };
-        self.value_db = rho * self.value_db + (1.0 - rho * rho).sqrt() * self.sigma_db * innov;
+        self.value_db = rho * self.value_db + self.innovation_scale(rho) * innov;
+    }
+
+    /// Innovation scale `σ·sqrt(1−ρ²)` of the Gudmundson update — constant
+    /// across all links of a mobile for a given displacement, so batched
+    /// consumers hoist it out of per-link loops and hand it to
+    /// [`ShadowState::step_with_rho`].
+    #[inline]
+    pub fn innovation_scale(&self, rho: f64) -> f64 {
+        (1.0 - rho * rho).sqrt() * self.sigma_db
     }
 
     /// Current shadowing in dB.
@@ -116,6 +138,69 @@ impl Shadowing {
     /// Spatial decorrelation distance in metres.
     pub fn decorrelation_distance_m(&self) -> f64 {
         self.decorr_dist_m
+    }
+}
+
+/// The *hot* state of a shadowing process — value, spare Gaussian, RNG —
+/// with the (usually shared) parameters factored out.
+///
+/// `Shadowing` carries its three parameters (σ, decorrelation distance,
+/// coherence time) in every instance: 24 dead bytes per link when a
+/// network holds hundreds of thousands of links with identical urban
+/// parameters, all walked every frame. `ShadowState` is the 48-byte
+/// struct-of-arrays-friendly alternative: parameters live once (e.g. in a
+/// template `Shadowing` whose [`Shadowing::rho`] is hoisted per mobile)
+/// and `σ` is passed into [`ShadowState::step_with_rho`].
+///
+/// Built from the same RNG substream, `ShadowState` reproduces a
+/// `Shadowing` **bit for bit**: the stationary init draw and the update
+/// law are the identical operation sequence.
+#[derive(Debug, Clone)]
+pub struct ShadowState {
+    value_db: f64,
+    /// Cached second output of the polar Gaussian pair (NaN = empty).
+    spare_gauss: f64,
+    rng: Xoshiro256pp,
+}
+
+impl ShadowState {
+    /// Creates the state from the stationary distribution — the same
+    /// initial draw as [`Shadowing::new`] with the same `rng`.
+    pub fn stationary(sigma_db: f64, mut rng: Xoshiro256pp) -> Self {
+        let value_db = sigma_db * wcdma_math::dist::Normal::standard_sample(&mut rng);
+        Self {
+            value_db,
+            spare_gauss: f64::NAN,
+            rng,
+        }
+    }
+
+    /// Advances the process — the update law of
+    /// [`Shadowing::step_with_rho`] with the innovation scale
+    /// `σ·sqrt(1−ρ²)` precomputed by the caller (see
+    /// [`Shadowing::innovation_scale`]). All links of a mobile share ρ and
+    /// σ, so the square root is hoisted out of the per-link loop; the
+    /// remaining `ρ·value + scale·innov` is the identical operation
+    /// sequence, bit for bit.
+    #[inline]
+    pub fn step_with_rho(&mut self, rho: f64, innov_scale: f64) {
+        debug_assert!((0.0..=1.0).contains(&rho));
+        let innov = if self.spare_gauss.is_nan() {
+            let (a, b) = wcdma_math::dist::Normal::standard_pair(&mut self.rng);
+            self.spare_gauss = b;
+            a
+        } else {
+            let b = self.spare_gauss;
+            self.spare_gauss = f64::NAN;
+            b
+        };
+        self.value_db = rho * self.value_db + innov_scale * innov;
+    }
+
+    /// Current shadowing in dB.
+    #[inline]
+    pub fn value_db(&self) -> f64 {
+        self.value_db
     }
 }
 
@@ -187,6 +272,24 @@ mod tests {
         let g = sh.gain();
         let expect = 10f64.powf(sh.value_db() / 10.0);
         assert!((g - expect).abs() / expect < 1e-12);
+    }
+
+    #[test]
+    fn shadow_state_matches_full_process_bit_for_bit() {
+        // ShadowState with the same substream must reproduce Shadowing
+        // exactly — init draw, spare-Gaussian caching, and update law —
+        // including through a mix of rho values (odd/even draw parity).
+        let seed = 0xFEED;
+        let stream = 42 ^ SHADOW_STREAM_XOR;
+        let mut full = Shadowing::new(8.0, 20.0, 1.5, Xoshiro256pp::substream(seed, stream));
+        let mut hot = ShadowState::stationary(8.0, Xoshiro256pp::substream(seed, stream));
+        assert_eq!(full.value_db().to_bits(), hot.value_db().to_bits());
+        for i in 0..257 {
+            let rho = full.rho(0.1 * (i % 7) as f64, 0.02);
+            full.step_with_rho(rho);
+            hot.step_with_rho(rho, full.innovation_scale(rho));
+            assert_eq!(full.value_db().to_bits(), hot.value_db().to_bits());
+        }
     }
 
     #[test]

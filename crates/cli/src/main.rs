@@ -5,6 +5,7 @@
 //! wcdma campaign describe <name | --file spec.toml>
 //! wcdma campaign run [<name>] [--file spec.toml] [--quick] [--trace]
 //!                    [--sched-stats] [--shards N] [--frame-threads N]
+//!                    [--candidate-k N] [--candidate-refresh N]
 //!                    [--reps N] [--out DIR]
 //! wcdma policy list
 //! wcdma policy describe <name[:key=value,…]>
@@ -27,8 +28,8 @@ use std::process::ExitCode;
 
 use wcdma_sim::campaign::{
     builtin, builtin_names, campaign_csv, campaign_json, campaign_summary_json, campaign_trace_csv,
-    run_spec_threads, sched_stats_campaign, trace_campaign, CampaignResult, PolicyRegistry,
-    ScenarioSpec,
+    run_spec_threads_candidates, sched_stats_campaign, trace_campaign, CampaignResult,
+    PolicyRegistry, ScenarioSpec,
 };
 use wcdma_sim::stats::ReplicationStats;
 use wcdma_sim::table::ci;
@@ -43,6 +44,7 @@ usage: wcdma <campaign | policy> <subcommand> [options]
       Print a campaign spec and its expanded scenario matrix.
   campaign run [<name>] [--file spec.toml] [--quick] [--trace]
                [--sched-stats] [--shards N] [--frame-threads N]
+               [--candidate-k N] [--candidate-refresh N]
                [--reps N] [--out DIR]
       Run a campaign (default: paper-eval) and write CSV + JSON artefacts.
   policy list
@@ -65,6 +67,14 @@ options:
                 auto — cores left over by the shards; capped so shards ×
                 frame-threads never oversubscribes; results are
                 bit-identical for every value)
+  --candidate-k N
+                per-mobile candidate cell list size: every mobile only
+                evaluates its N nearest cells (0 = every cell, exact).
+                Unlike the thread knobs this changes results when it culls
+                cells — deterministically (see docs/DETERMINISM.md)
+  --candidate-refresh N
+                re-select candidate lists every N frames (default: 8;
+                needs --candidate-k)
   --reps N      override the spec's replication count
   --out DIR     artefact directory (default: campaign-out)";
 
@@ -86,6 +96,8 @@ struct RunArgs {
     sched_stats: bool,
     shards: usize,
     frame_threads: usize,
+    candidate_k: Option<usize>,
+    candidate_refresh: Option<usize>,
     reps: Option<usize>,
     out: PathBuf,
 }
@@ -160,6 +172,8 @@ fn parse_command(args: &[String]) -> Result<Command, String> {
                 sched_stats: false,
                 shards: 0,
                 frame_threads: 0,
+                candidate_k: None,
+                candidate_refresh: None,
                 reps: None,
                 out: PathBuf::from("campaign-out"),
             };
@@ -189,6 +203,24 @@ fn parse_command(args: &[String]) -> Result<Command, String> {
                             .parse::<usize>()
                             .map_err(|_| format!("bad --frame-threads value {v:?}"))?;
                     }
+                    "--candidate-k" => {
+                        let v = it.next().ok_or("--candidate-k needs a value")?;
+                        // 0 is the explicit spelling of "every cell" (exact).
+                        run.candidate_k = Some(
+                            v.parse::<usize>()
+                                .map_err(|_| format!("bad --candidate-k value {v:?}"))?,
+                        );
+                    }
+                    "--candidate-refresh" => {
+                        let v = it.next().ok_or("--candidate-refresh needs a value")?;
+                        let n = v
+                            .parse::<usize>()
+                            .map_err(|_| format!("bad --candidate-refresh value {v:?}"))?;
+                        if n == 0 {
+                            return Err("--candidate-refresh must be ≥ 1".into());
+                        }
+                        run.candidate_refresh = Some(n);
+                    }
                     "--reps" => {
                         let v = it.next().ok_or("--reps needs a value")?;
                         let n = v
@@ -207,6 +239,9 @@ fn parse_command(args: &[String]) -> Result<Command, String> {
                     // any flags.
                     name => set_target(&mut target, Target::Builtin(name.to_string()))?,
                 }
+            }
+            if run.candidate_refresh.is_some() && run.candidate_k.is_none() {
+                return Err("--candidate-refresh needs --candidate-k".into());
             }
             if let Some(t) = target {
                 run.target = t;
@@ -398,7 +433,15 @@ fn cmd_run(args: &RunArgs) -> Result<(), String> {
             args.shards.to_string()
         }
     );
-    let result = run_spec_threads(&spec, args.shards, args.frame_threads)?;
+    // --candidate-refresh without --candidate-k is rejected at parse time;
+    // k alone picks up the SimConfig baseline refresh cadence.
+    let candidates = args.candidate_k.map(|k| {
+        let refresh = args
+            .candidate_refresh
+            .unwrap_or(wcdma_sim::SimConfig::baseline().candidate_refresh);
+        (k, refresh)
+    });
+    let result = run_spec_threads_candidates(&spec, args.shards, args.frame_threads, candidates)?;
     println!("{}", summary_table(&result).render());
 
     std::fs::create_dir_all(&args.out)
@@ -552,10 +595,49 @@ mod tests {
                 sched_stats: false,
                 shards: 4,
                 frame_threads: 2,
+                candidate_k: None,
+                candidate_refresh: None,
                 reps: Some(5),
                 out: PathBuf::from("results"),
             })
         );
+    }
+
+    #[test]
+    fn candidate_flags_parse_and_reject_garbage() {
+        match parse(&["campaign", "run", "--candidate-k", "4"]).unwrap() {
+            Command::Run(args) => {
+                assert_eq!(args.candidate_k, Some(4));
+                assert_eq!(args.candidate_refresh, None, "refresh defaults downstream");
+            }
+            other => panic!("expected run, got {other:?}"),
+        }
+        // 0 is the explicit spelling of "every cell".
+        match parse(&["campaign", "run", "--candidate-k", "0"]).unwrap() {
+            Command::Run(args) => assert_eq!(args.candidate_k, Some(0)),
+            other => panic!("expected run, got {other:?}"),
+        }
+        match parse(&[
+            "campaign",
+            "run",
+            "--candidate-k",
+            "4",
+            "--candidate-refresh",
+            "10",
+        ])
+        .unwrap()
+        {
+            Command::Run(args) => {
+                assert_eq!(args.candidate_k, Some(4));
+                assert_eq!(args.candidate_refresh, Some(10));
+            }
+            other => panic!("expected run, got {other:?}"),
+        }
+        assert!(parse(&["campaign", "run", "--candidate-k"]).is_err());
+        assert!(parse(&["campaign", "run", "--candidate-k", "nearest"]).is_err());
+        assert!(parse(&["campaign", "run", "--candidate-refresh", "0"]).is_err());
+        // A refresh cadence without a list size has nothing to refresh.
+        assert!(parse(&["campaign", "run", "--candidate-refresh", "5"]).is_err());
     }
 
     #[test]
@@ -653,6 +735,8 @@ mod tests {
                 assert!(!args.quick);
                 assert_eq!(args.shards, 0);
                 assert_eq!(args.frame_threads, 0);
+                assert_eq!(args.candidate_k, None);
+                assert_eq!(args.candidate_refresh, None);
                 assert_eq!(args.out, PathBuf::from("campaign-out"));
             }
             other => panic!("expected run, got {other:?}"),

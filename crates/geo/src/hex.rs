@@ -165,6 +165,33 @@ impl HexLayout {
         }
     }
 
+    /// Wrap-around distances from `p` to a *subset* of cell sites
+    /// (`out.len() == cells.len()`, `cells[i]` indexes a site): the
+    /// kernel behind per-mobile candidate cell lists, where only the
+    /// top-K nearest cells need a fresh distance each frame.
+    ///
+    /// Per cell this is the exact arithmetic of [`HexLayout::distance`]
+    /// (minimum squared distance over all translations, one square root
+    /// at the end), so for any subset the values are bit-identical to the
+    /// corresponding entries of [`HexLayout::distances_into`] — the
+    /// property the culled-equals-unculled determinism test relies on.
+    pub fn distances_subset_into(&self, p: Point, cells: &[u32], out: &mut [f64]) {
+        assert_eq!(out.len(), cells.len(), "one slot per listed cell");
+        for (&c, slot) in cells.iter().zip(out.iter_mut()) {
+            let site = self.sites[c as usize];
+            let mut best = f64::INFINITY;
+            for t in &self.translations {
+                let dx = p.x + t.x - site.x;
+                let dy = p.y + t.y - site.y;
+                let d2 = dx * dx + dy * dy;
+                if d2 < best {
+                    best = d2;
+                }
+            }
+            *slot = best.sqrt();
+        }
+    }
+
     /// The cell whose site is nearest to `p` (wrap-around metric).
     pub fn nearest_cell(&self, p: Point) -> CellId {
         let mut best = (CellId(0), f64::INFINITY);
@@ -270,6 +297,31 @@ mod tests {
         assert_eq!(v.len(), 19);
         for w in v.windows(2) {
             assert!(w[0].1 <= w[1].1);
+        }
+    }
+
+    #[test]
+    fn subset_distances_match_full_kernel_bitwise() {
+        let l = HexLayout::nineteen_cell_default();
+        let mut rng = Xoshiro256pp::new(7);
+        let mut full = vec![0.0; l.num_cells()];
+        for _ in 0..50 {
+            let p = Point::new(rng.uniform(-4000.0, 4000.0), rng.uniform(-4000.0, 4000.0));
+            l.distances_into(p, &mut full);
+            // Identity subset.
+            let all: Vec<u32> = (0..l.num_cells() as u32).collect();
+            let mut sub = vec![0.0; all.len()];
+            l.distances_subset_into(p, &all, &mut sub);
+            for (a, b) in full.iter().zip(&sub) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+            // Sparse subset, arbitrary order.
+            let some = [17u32, 0, 9, 3];
+            let mut sparse = vec![0.0; some.len()];
+            l.distances_subset_into(p, &some, &mut sparse);
+            for (i, &c) in some.iter().enumerate() {
+                assert_eq!(sparse[i].to_bits(), full[c as usize].to_bits());
+            }
         }
     }
 

@@ -14,6 +14,10 @@
 //! * [`par`] — deterministic intra-frame parallelism: the persistent
 //!   [`FramePool`] chunk-worker pool and the disjoint-chunk slice windows
 //!   behind the bit-identical chunk-order fold.
+//! * [`simd`] — deterministic 4-lane hot-path kernels (dot / scale /
+//!   ratio / exp) with lane-order-fixed folds; SSE2 backend on x86_64,
+//!   portable backend elsewhere or under the `scalar-kernels` feature,
+//!   bit-identical either way.
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
@@ -23,6 +27,7 @@ pub mod db;
 pub mod dist;
 pub mod par;
 pub mod rng;
+pub mod simd;
 pub mod special;
 pub mod stats;
 
@@ -30,4 +35,5 @@ pub use complex::C64;
 pub use db::{db_to_lin, lin_to_db};
 pub use par::{FramePool, Partition, ScatterSlice};
 pub use rng::{mix_seed, SplitMix64, Xoshiro256pp};
+pub use simd::{F64x4, CANONICAL_ORDER_VERSION};
 pub use stats::Welford;

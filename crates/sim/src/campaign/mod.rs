@@ -31,8 +31,9 @@ pub mod spec;
 pub use builtin::{builtin, builtin_names};
 pub use emit::{campaign_csv, campaign_json, campaign_summary_json, campaign_trace_csv};
 pub use runner::{
-    arbitrate_frame_threads, run_campaign, run_campaign_threads, run_spec, run_spec_threads,
-    sched_stats_campaign, trace_campaign, CampaignResult, ScenarioResult,
+    arbitrate_frame_threads, run_campaign, run_campaign_threads, run_campaign_threads_candidates,
+    run_spec, run_spec_threads, run_spec_threads_candidates, sched_stats_campaign, trace_campaign,
+    CampaignResult, ScenarioResult,
 };
 pub use spec::{
     policy_by_name, policy_names, CsiQuality, Scenario, ScenarioSpec, SpeedClass, TrafficMix,

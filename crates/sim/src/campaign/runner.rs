@@ -92,6 +92,24 @@ pub fn run_campaign_threads(
     shards: usize,
     frame_threads: usize,
 ) -> CampaignResult {
+    run_campaign_threads_candidates(name, scenarios, n_reps, shards, frame_threads, None)
+}
+
+/// [`run_campaign_threads`] with a candidate-cell-list override: when
+/// `candidates` is `Some((k, refresh))`, every replication runs with
+/// `candidate_k = k` and `candidate_refresh = refresh` (see
+/// [`SimConfig::with_candidates`](crate::SimConfig::with_candidates)).
+/// Unlike the thread knobs this **changes results** when `k > 0` culls
+/// cells — deterministically, but it is a physics approximation, which is
+/// why it is an explicit opt-in and not arbitrated automatically.
+pub fn run_campaign_threads_candidates(
+    name: &str,
+    scenarios: Vec<Scenario>,
+    n_reps: usize,
+    shards: usize,
+    frame_threads: usize,
+    candidates: Option<(usize, usize)>,
+) -> CampaignResult {
     assert!(n_reps >= 1, "need at least one replication");
     assert!(!scenarios.is_empty(), "need at least one scenario");
     let n_jobs = scenarios.len() * n_reps;
@@ -125,6 +143,10 @@ pub fn run_campaign_threads(
                     let base = &scenarios[si].cfg;
                     let mut cfg = base.with_seed(wcdma_math::mix_seed(base.seed, 1 + rep as u64));
                     cfg.frame_threads = frame_threads;
+                    if let Some((k, refresh)) = candidates {
+                        cfg.candidate_k = k;
+                        cfg.candidate_refresh = refresh;
+                    }
                     let report = Simulation::new(cfg).run();
                     slots[job].set(report).expect("job claimed exactly once");
                 });
@@ -173,13 +195,36 @@ pub fn run_spec_threads(
     shards: usize,
     frame_threads: usize,
 ) -> Result<CampaignResult, String> {
+    run_spec_threads_candidates(spec, shards, frame_threads, None)
+}
+
+/// [`run_spec_threads`] with the candidate-cell-list override of
+/// [`run_campaign_threads_candidates`] — the CLI's
+/// `--candidate-k` / `--candidate-refresh` flags land here.
+pub fn run_spec_threads_candidates(
+    spec: &ScenarioSpec,
+    shards: usize,
+    frame_threads: usize,
+    candidates: Option<(usize, usize)>,
+) -> Result<CampaignResult, String> {
     let scenarios = spec.expand()?;
-    Ok(run_campaign_threads(
+    // Surface bad overrides (refresh = 0, k below the active-set size) as a
+    // normal error instead of a panic inside a worker thread.
+    if let Some((k, refresh)) = candidates {
+        for sc in &scenarios {
+            sc.cfg
+                .with_candidates(k, refresh)
+                .validate()
+                .map_err(|e| format!("scenario {:?}: {e}", sc.label))?;
+        }
+    }
+    Ok(run_campaign_threads_candidates(
         &spec.name,
         scenarios,
         spec.replications,
         shards,
         frame_threads,
+        candidates,
     ))
 }
 

@@ -124,6 +124,20 @@ pub struct SimConfig {
     /// bit-identical by construction; this knob exists so tests and the
     /// bench suite can prove it and measure the speedup.
     pub cold_sched: bool,
+    /// Candidate cells per mobile: each mobile only evaluates its
+    /// `candidate_k` nearest cells (wrap-around distance) in the frame
+    /// pipeline. `0` (the default) keeps every cell — bit-identical to the
+    /// pre-culling pipeline by construction. Small values cut the
+    /// `O(n_mobiles × n_cells)` frame cost at `rings ≥ 3`; the culling is
+    /// a deterministic physical approximation (see `docs/DETERMINISM.md`).
+    /// Must be 0 or ≥ `cdma.active_set_max` so soft hand-off still fills.
+    pub candidate_k: usize,
+    /// Candidate-list refresh cadence in frames (≥ 1). Part of the
+    /// deterministic contract: two runs with the same `(candidate_k,
+    /// candidate_refresh)` are bit-identical; changing the cadence changes
+    /// results like any other scenario parameter. Irrelevant while
+    /// `candidate_k == 0` (identity lists never change).
+    pub candidate_refresh: usize,
 }
 
 impl SimConfig {
@@ -153,6 +167,8 @@ impl SimConfig {
             csi_delay_frames: 0,
             frame_threads: 1,
             cold_sched: false,
+            candidate_k: 0,
+            candidate_refresh: 8,
         }
     }
 
@@ -211,6 +227,12 @@ impl SimConfig {
         }
         if !(self.hotspot_overload > 0.0 && self.hotspot_overload.is_finite()) {
             return Err("hotspot overload factor must be positive and finite".into());
+        }
+        if self.candidate_refresh == 0 {
+            return Err("candidate refresh cadence must be at least one frame".into());
+        }
+        if self.candidate_k != 0 && self.candidate_k < self.cdma.active_set_max {
+            return Err("candidate_k must be 0 (all cells) or >= active_set_max".into());
         }
         Ok(())
     }
@@ -277,6 +299,18 @@ impl SimConfig {
     pub fn with_cold_sched(&self, cold_sched: bool) -> Self {
         let mut c = self.clone();
         c.cold_sched = cold_sched;
+        c
+    }
+
+    /// Returns a copy with per-mobile candidate cell lists: `k` nearest
+    /// cells per mobile (`0` = all cells, exact), re-selected every
+    /// `refresh` frames. `k = 0` is bit-identical to the default; smaller
+    /// `k` trades distant-cell interference terms for frame throughput
+    /// deterministically (see `docs/DETERMINISM.md`).
+    pub fn with_candidates(&self, k: usize, refresh: usize) -> Self {
+        let mut c = self.clone();
+        c.candidate_k = k;
+        c.candidate_refresh = refresh;
         c
     }
 

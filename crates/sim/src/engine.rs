@@ -184,6 +184,8 @@ impl Simulation {
         // One persistent worker pool serves the whole frame (network,
         // mobility, and CSI loops); 1 thread degenerates to inline loops.
         net.set_frame_threads(cfg.frame_threads);
+        // Candidate cell lists: 0 = every cell (exact, the default).
+        net.set_candidates(cfg.candidate_k, cfg.candidate_refresh);
         let ideal_csi = cfg.csi_error_sigma_db == 0.0 && cfg.csi_delay_frames == 0;
         let csi_pipes = (0..total)
             .map(|j| {

@@ -130,8 +130,7 @@ fn vtaoc_throughput_consistent_with_network_quality() {
     // For a warmed network, every data user's δβ̄ must be finite,
     // non-negative, and bounded by 1/β_f.
     let net = warm_network(6, 4, 23);
-    let scheduler =
-        Scheduler::new(SchedulerConfig::default_config(), Policy::jaba_sd_default());
+    let scheduler = Scheduler::new(SchedulerConfig::default_config(), Policy::jaba_sd_default());
     for &j in &net.data_mobiles() {
         let meas = net.measurement_view(j);
         for dir in [LinkDir::Forward, LinkDir::Reverse] {
