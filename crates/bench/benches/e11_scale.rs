@@ -320,10 +320,17 @@ fn write_json_snapshot(
     let (enum_fps, registry_fps) = dispatch;
     // `cores` lets downstream trend tooling discard thread-sweep rows
     // measured on a single-core container, where every threads > 1 cell is
-    // an overhead floor rather than a scaling measurement.
+    // an overhead floor rather than a scaling measurement; the explicit
+    // note spares human readers the same inference.
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let note = if cores == 1 {
+        "\n  \"note\": \"single-core container: thread_sweep rows measure overhead floor, \
+         not scaling\","
+    } else {
+        ""
+    };
     let json = format!(
-        "{{\n  \"bench\": \"e11_scale\",\n  \"quick\": {quick},\n  \"cores\": {cores},\n  \"canonical_order_version\": {},\n  \"rows\": [\n{}\n  ],\n  \"scale_rows\": [\n{}\n  ],\n  \"thread_sweep\": [\n{}\n  ],\n  \"sched_sweep\": [\n{}\n  ],\n  \"dispatch\": {{\"enum_shim_fps\": {enum_fps:.1}, \"registry_boxed_fps\": {registry_fps:.1}, \"ratio\": {:.4}}}\n}}\n",
+        "{{\n  \"bench\": \"e11_scale\",\n  \"quick\": {quick},\n  \"cores\": {cores},{note}\n  \"canonical_order_version\": {},\n  \"rows\": [\n{}\n  ],\n  \"scale_rows\": [\n{}\n  ],\n  \"thread_sweep\": [\n{}\n  ],\n  \"sched_sweep\": [\n{}\n  ],\n  \"dispatch\": {{\"enum_shim_fps\": {enum_fps:.1}, \"registry_boxed_fps\": {registry_fps:.1}, \"ratio\": {:.4}}}\n}}\n",
         wcdma_math::CANONICAL_ORDER_VERSION,
         entries.join(",\n"),
         scale_entries.join(",\n"),

@@ -7,6 +7,9 @@
 //!                    [--sched-stats] [--shards N] [--frame-threads N]
 //!                    [--candidate-k N] [--candidate-refresh N]
 //!                    [--reps N] [--out DIR]
+//!                    [--out-dir DIR] [--grid-slice I/N] [--max-cells N]
+//! wcdma campaign status <dir>
+//! wcdma campaign merge <dir>... [--out DIR]
 //! wcdma policy list
 //! wcdma policy describe <name[:key=value,…]>
 //! ```
@@ -15,10 +18,15 @@
 //! campaign runner, prints the per-scenario summary table, and writes three
 //! artefacts into `--out` (default `campaign-out/`): `<name>.csv`,
 //! `<name>.json`, and the `BENCH_campaign.json` trend summary (plus
-//! `<name>-trace.csv` with `--trace`). The `policy` subcommands resolve
-//! through the open admission-policy registry, so a policy registered in
-//! `wcdma-admission` is immediately visible here and usable in any
-//! campaign's policy axis.
+//! `<name>-trace.csv` with `--trace`). With `--out-dir` the run becomes a
+//! durable *service* run rooted at a checkpoint directory: completed cells
+//! are journaled as they finish, artefact rows stream out as scenarios
+//! complete, a killed run resumes where it left off with byte-identical
+//! output, and `--grid-slice i/n` partitions the grid across processes
+//! (fold the slices back together with `campaign merge`). The `policy`
+//! subcommands resolve through the open admission-policy registry, so a
+//! policy registered in `wcdma-admission` is immediately visible here and
+//! usable in any campaign's policy axis.
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
@@ -27,9 +35,10 @@ use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 use wcdma_sim::campaign::{
-    builtin, builtin_names, campaign_csv, campaign_json, campaign_summary_json, campaign_trace_csv,
-    run_spec_threads_candidates, sched_stats_campaign, trace_campaign, CampaignResult,
-    PolicyRegistry, ScenarioSpec,
+    builtin, builtin_names, campaign_csv, campaign_json, campaign_status, campaign_summary_json,
+    campaign_trace_csv, merge_dirs, run_spec_service, run_spec_threads_candidates,
+    sched_stats_campaign, trace_campaign, CampaignResult, PolicyRegistry, ScenarioSpec,
+    ServiceConfig,
 };
 use wcdma_sim::stats::ReplicationStats;
 use wcdma_sim::table::ci;
@@ -46,7 +55,17 @@ usage: wcdma <campaign | policy> <subcommand> [options]
                [--sched-stats] [--shards N] [--frame-threads N]
                [--candidate-k N] [--candidate-refresh N]
                [--reps N] [--out DIR]
+               [--out-dir DIR] [--grid-slice I/N] [--max-cells N]
       Run a campaign (default: paper-eval) and write CSV + JSON artefacts.
+      With --out-dir, run as a durable service: journal cells into a
+      checkpoint directory, stream artefact rows as scenarios complete,
+      and resume (skipping finished cells, byte-identical output) if
+      re-run after a kill.
+  campaign status <dir>
+      Show per-scenario progress of the checkpoint directory <dir>.
+  campaign merge <dir>... [--out DIR]
+      Fold the complete slice checkpoints <dir>... into final artefacts,
+      byte-identical to a single-process run.
   policy list
       Show every admission policy in the registry.
   policy describe <name[:key=value,...]>
@@ -76,7 +95,16 @@ options:
                 re-select candidate lists every N frames (default: 8;
                 needs --candidate-k)
   --reps N      override the spec's replication count
-  --out DIR     artefact directory (default: campaign-out)";
+  --out DIR     artefact directory (default: campaign-out)
+  --out-dir DIR checkpoint directory for a durable service run; created on
+                first use, resumed on re-run (the spec, --quick, and the
+                candidate flags must match the checkpoint)
+  --grid-slice I/N
+                run only slice I of N (cells dealt round-robin); each slice
+                journals into its own --out-dir and emits no artefacts —
+                fold them with `campaign merge` (needs --out-dir)
+  --max-cells N stop gracefully after journaling N new cells — a
+                deterministic simulated kill for tests (needs --out-dir)";
 
 /// Where a campaign spec comes from.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -100,6 +128,12 @@ struct RunArgs {
     candidate_refresh: Option<usize>,
     reps: Option<usize>,
     out: PathBuf,
+    /// Checkpoint directory — switches the run into service mode.
+    out_dir: Option<PathBuf>,
+    /// `(index, count)` grid slice; `(1, 1)` runs the whole grid.
+    slice: (usize, usize),
+    /// Graceful stop after N new cells (service mode only).
+    max_cells: Option<usize>,
 }
 
 /// A fully parsed command line.
@@ -108,6 +142,8 @@ enum Command {
     List,
     Describe(Target),
     Run(RunArgs),
+    Status(PathBuf),
+    Merge { dirs: Vec<PathBuf>, out: PathBuf },
     PolicyList,
     PolicyDescribe(String),
 }
@@ -176,6 +212,9 @@ fn parse_command(args: &[String]) -> Result<Command, String> {
                 candidate_refresh: None,
                 reps: None,
                 out: PathBuf::from("campaign-out"),
+                out_dir: None,
+                slice: (1, 1),
+                max_cells: None,
             };
             let mut it = rest.into_iter();
             while let Some(tok) = it.next() {
@@ -234,6 +273,21 @@ fn parse_command(args: &[String]) -> Result<Command, String> {
                     "--out" => {
                         run.out = PathBuf::from(it.next().ok_or("--out needs a value")?);
                     }
+                    "--out-dir" => {
+                        run.out_dir =
+                            Some(PathBuf::from(it.next().ok_or("--out-dir needs a value")?));
+                    }
+                    "--grid-slice" => {
+                        let v = it.next().ok_or("--grid-slice needs a value like 2/3")?;
+                        run.slice = parse_slice(v)?;
+                    }
+                    "--max-cells" => {
+                        let v = it.next().ok_or("--max-cells needs a value")?;
+                        run.max_cells = Some(
+                            v.parse::<usize>()
+                                .map_err(|_| format!("bad --max-cells value {v:?}"))?,
+                        );
+                    }
                     flag if flag.starts_with("--") => return Err(format!("unknown flag {flag:?}")),
                     // Positional campaign name, accepted before or after
                     // any flags.
@@ -243,13 +297,74 @@ fn parse_command(args: &[String]) -> Result<Command, String> {
             if run.candidate_refresh.is_some() && run.candidate_k.is_none() {
                 return Err("--candidate-refresh needs --candidate-k".into());
             }
+            if run.out_dir.is_none() {
+                if run.slice != (1, 1) {
+                    return Err("--grid-slice needs --out-dir (slices journal into it)".into());
+                }
+                if run.max_cells.is_some() {
+                    return Err("--max-cells needs --out-dir (there is nothing to resume \
+                                from otherwise)"
+                        .into());
+                }
+            }
+            if run.slice.1 > 1 && (run.trace || run.sched_stats) {
+                return Err(
+                    "--trace/--sched-stats run whole-campaign instrumentation and cannot \
+                     combine with --grid-slice"
+                        .into(),
+                );
+            }
             if let Some(t) = target {
                 run.target = t;
             }
             Ok(Command::Run(run))
         }
+        "status" => match rest.as_slice() {
+            [dir] if !dir.starts_with("--") => Ok(Command::Status(PathBuf::from(dir))),
+            [] => Err("status needs a checkpoint directory".into()),
+            _ => Err(format!(
+                "give exactly one checkpoint directory: {}",
+                rest.join(" ")
+            )),
+        },
+        "merge" => {
+            let mut dirs = Vec::new();
+            let mut out = PathBuf::from("campaign-out");
+            let mut it = rest.into_iter();
+            while let Some(tok) = it.next() {
+                match tok {
+                    "--out" => out = PathBuf::from(it.next().ok_or("--out needs a value")?),
+                    flag if flag.starts_with("--") => return Err(format!("unknown flag {flag:?}")),
+                    dir => dirs.push(PathBuf::from(dir)),
+                }
+            }
+            if dirs.is_empty() {
+                return Err("merge needs at least one checkpoint directory".into());
+            }
+            Ok(Command::Merge { dirs, out })
+        }
         other => Err(format!("unknown campaign subcommand {other:?}")),
     }
+}
+
+/// Parses `--grid-slice I/N` (1-based, `I ≤ N`).
+fn parse_slice(v: &str) -> Result<(usize, usize), String> {
+    let (i, n) = v
+        .split_once('/')
+        .ok_or_else(|| format!("bad --grid-slice value {v:?} (expected I/N, e.g. 2/3)"))?;
+    let parse = |s: &str| {
+        s.parse::<usize>()
+            .ok()
+            .filter(|&x| x >= 1)
+            .ok_or_else(|| format!("bad --grid-slice value {v:?} (expected I/N, e.g. 2/3)"))
+    };
+    let (i, n) = (parse(i)?, parse(n)?);
+    if i > n {
+        return Err(format!(
+            "bad --grid-slice value {v:?}: index {i} exceeds count {n}"
+        ));
+    }
+    Ok((i, n))
 }
 
 /// Records the campaign target, rejecting a second name or `--file`.
@@ -441,6 +556,9 @@ fn cmd_run(args: &RunArgs) -> Result<(), String> {
             .unwrap_or(wcdma_sim::SimConfig::baseline().candidate_refresh);
         (k, refresh)
     });
+    if let Some(dir) = &args.out_dir {
+        return cmd_run_service(args, &spec, dir, candidates);
+    }
     let result = run_spec_threads_candidates(&spec, args.shards, args.frame_threads, candidates)?;
     println!("{}", summary_table(&result).render());
 
@@ -480,6 +598,69 @@ fn cmd_run(args: &RunArgs) -> Result<(), String> {
     if args.sched_stats {
         println!("collecting scheduling statistics (first replication of every scenario)…");
         let stats = sched_stats_campaign(&spec)?;
+        println!("{}", sched_stats_table(&stats).render());
+    }
+    Ok(())
+}
+
+/// Service-mode `campaign run`: checkpointed, resumable, sliceable.
+fn cmd_run_service(
+    args: &RunArgs,
+    spec: &ScenarioSpec,
+    dir: &Path,
+    candidates: Option<(usize, usize)>,
+) -> Result<(), String> {
+    let cfg = ServiceConfig {
+        shards: args.shards,
+        frame_threads: args.frame_threads,
+        candidates,
+        slice_index: args.slice.0,
+        slice_count: args.slice.1,
+        max_cells: args.max_cells,
+    };
+    let outcome = run_spec_service(spec, dir, &cfg)?;
+    println!(
+        "slice {}/{}: {} cells run, {} skipped (journal: {})",
+        cfg.slice_index,
+        cfg.slice_count,
+        outcome.newly_run,
+        outcome.skipped,
+        dir.join("journal.log").display()
+    );
+    if !outcome.finished {
+        println!(
+            "stopped with {} of {} cells journaled — re-run the same command to resume",
+            outcome.newly_run + outcome.skipped,
+            outcome.slice_jobs
+        );
+        return Ok(());
+    }
+    if outcome.artefacts.is_empty() {
+        println!(
+            "slice complete — fold all {} slices with: wcdma campaign merge <dir>...",
+            cfg.slice_count
+        );
+        return Ok(());
+    }
+    let paths: Vec<String> = outcome
+        .artefacts
+        .iter()
+        .map(|p| p.display().to_string())
+        .collect();
+    println!("wrote {}", paths.join(", "));
+    if args.trace {
+        println!("tracing policy decisions (first replication of every scenario)…");
+        let traces = trace_campaign(spec)?;
+        let trace = write_artefact(
+            dir,
+            &format!("{}-trace.csv", spec.name),
+            &campaign_trace_csv(&traces),
+        )?;
+        println!("wrote {}", trace.display());
+    }
+    if args.sched_stats {
+        println!("collecting scheduling statistics (first replication of every scenario)…");
+        let stats = sched_stats_campaign(spec)?;
         println!("{}", sched_stats_table(&stats).render());
     }
     Ok(())
@@ -525,6 +706,20 @@ fn run(args: &[String]) -> Result<(), String> {
         }
         Command::Describe(target) => cmd_describe(&target),
         Command::Run(run_args) => cmd_run(&run_args),
+        Command::Status(dir) => {
+            print!("{}", campaign_status(&dir)?);
+            Ok(())
+        }
+        Command::Merge { dirs, out } => {
+            let artefacts = merge_dirs(&dirs, &out)?;
+            let paths: Vec<String> = artefacts.iter().map(|p| p.display().to_string()).collect();
+            println!(
+                "merged {} checkpoint(s): wrote {}",
+                dirs.len(),
+                paths.join(", ")
+            );
+            Ok(())
+        }
         Command::PolicyList => {
             cmd_policy_list();
             Ok(())
@@ -599,8 +794,89 @@ mod tests {
                 candidate_refresh: None,
                 reps: Some(5),
                 out: PathBuf::from("results"),
+                out_dir: None,
+                slice: (1, 1),
+                max_cells: None,
             })
         );
+    }
+
+    #[test]
+    fn parses_service_mode_flags() {
+        match parse(&[
+            "campaign",
+            "run",
+            "--quick",
+            "--out-dir",
+            "run-ckpt",
+            "--grid-slice",
+            "2/3",
+            "--max-cells",
+            "7",
+        ])
+        .unwrap()
+        {
+            Command::Run(args) => {
+                assert_eq!(args.out_dir, Some(PathBuf::from("run-ckpt")));
+                assert_eq!(args.slice, (2, 3));
+                assert_eq!(args.max_cells, Some(7));
+            }
+            other => panic!("expected run, got {other:?}"),
+        }
+        // Slice and max-cells only make sense against a checkpoint.
+        let err = parse(&["campaign", "run", "--grid-slice", "1/3"]).expect_err("no out-dir");
+        assert!(err.contains("--out-dir"), "{err}");
+        let err = parse(&["campaign", "run", "--max-cells", "4"]).expect_err("no out-dir");
+        assert!(err.contains("--out-dir"), "{err}");
+        // Whole-campaign instrumentation cannot run on a slice.
+        for flag in ["--trace", "--sched-stats"] {
+            let err = parse(&[
+                "campaign",
+                "run",
+                flag,
+                "--out-dir",
+                "d",
+                "--grid-slice",
+                "1/2",
+            ])
+            .expect_err("instrumented slice");
+            assert!(err.contains("--grid-slice"), "{err}");
+        }
+        // Malformed slice specs.
+        for bad in ["3", "0/3", "2/0", "4/3", "a/b", "1/2/3"] {
+            assert!(
+                parse(&["campaign", "run", "--out-dir", "d", "--grid-slice", bad]).is_err(),
+                "slice {bad:?} must be rejected"
+            );
+        }
+        assert!(parse(&["campaign", "run", "--out-dir"]).is_err());
+        assert!(parse(&["campaign", "run", "--out-dir", "d", "--max-cells", "x"]).is_err());
+    }
+
+    #[test]
+    fn parses_status_and_merge() {
+        assert_eq!(
+            parse(&["campaign", "status", "run-ckpt"]),
+            Ok(Command::Status(PathBuf::from("run-ckpt")))
+        );
+        assert!(parse(&["campaign", "status"]).is_err());
+        assert!(parse(&["campaign", "status", "a", "b"]).is_err());
+        assert_eq!(
+            parse(&["campaign", "merge", "s1-ckpt", "s2-ckpt", "--out", "merged"]),
+            Ok(Command::Merge {
+                dirs: vec![PathBuf::from("s1-ckpt"), PathBuf::from("s2-ckpt")],
+                out: PathBuf::from("merged"),
+            })
+        );
+        match parse(&["campaign", "merge", "one-ckpt"]).unwrap() {
+            Command::Merge { dirs, out } => {
+                assert_eq!(dirs.len(), 1);
+                assert_eq!(out, PathBuf::from("campaign-out"));
+            }
+            other => panic!("expected merge, got {other:?}"),
+        }
+        assert!(parse(&["campaign", "merge"]).is_err());
+        assert!(parse(&["campaign", "merge", "--badflag", "d"]).is_err());
     }
 
     #[test]

@@ -31,49 +31,64 @@ fn metric_columns() -> [(&'static str, MetricAccessor); 7] {
     ]
 }
 
+/// Axis key order for a campaign's CSV columns, taken from its first
+/// scenario (every scenario in an expanded grid shares the axis set).
+pub fn axis_keys(scenarios: &[ScenarioResult]) -> Vec<String> {
+    scenarios
+        .first()
+        .map(|s| s.scenario.axes.iter().map(|(k, _)| k.clone()).collect())
+        .unwrap_or_default()
+}
+
+/// The campaign CSV header line (newline-terminated). Streaming and
+/// batch emission both start from this exact line.
+pub fn campaign_csv_header(axis_keys: &[String]) -> String {
+    let mut header: Vec<String> = vec!["scenario".into()];
+    header.extend(axis_keys.iter().cloned());
+    header.push("replications".into());
+    for (name, _) in metric_columns() {
+        header.push(name.to_string());
+        header.push(format!("{name}_ci95"));
+    }
+    crate::table::csv_line(&header)
+}
+
+/// One scenario's CSV row (newline-terminated): axis columns, then
+/// `mean`/`ci95` pairs for every metric.
+pub fn campaign_csv_row(sr: &ScenarioResult, axis_keys: &[String]) -> String {
+    let mut row: Vec<String> = vec![sr.scenario.label.clone()];
+    for key in axis_keys {
+        let v = sr
+            .scenario
+            .axes
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.clone())
+            .unwrap_or_default();
+        row.push(v);
+    }
+    row.push(sr.stats.n().to_string());
+    for (_, get) in metric_columns() {
+        let ci = ReplicationStats::ci(get(&sr.stats));
+        row.push(format!("{}", ci.mean));
+        row.push(if ci.half_width.is_finite() {
+            format!("{}", ci.half_width)
+        } else {
+            String::new()
+        });
+    }
+    crate::table::csv_line(&row)
+}
+
 /// Renders one row per scenario as CSV: axis columns, then
 /// `mean`/`ci95` pairs for every metric.
 pub fn campaign_csv(result: &CampaignResult) -> String {
-    let axis_keys: Vec<&str> = result
-        .scenarios
-        .first()
-        .map(|s| s.scenario.axes.iter().map(|(k, _)| k.as_str()).collect())
-        .unwrap_or_default();
-    let mut header: Vec<&str> = vec!["scenario"];
-    header.extend(axis_keys.iter().copied());
-    header.push("replications");
-    let metric_headers: Vec<String> = metric_columns()
-        .iter()
-        .flat_map(|(name, _)| [name.to_string(), format!("{name}_ci95")])
-        .collect();
-    header.extend(metric_headers.iter().map(|s| s.as_str()));
-
-    let mut t = Table::new(&header);
+    let keys = axis_keys(&result.scenarios);
+    let mut out = campaign_csv_header(&keys);
     for sr in &result.scenarios {
-        let mut row: Vec<String> = vec![sr.scenario.label.clone()];
-        for key in &axis_keys {
-            let v = sr
-                .scenario
-                .axes
-                .iter()
-                .find(|(k, _)| k == key)
-                .map(|(_, v)| v.clone())
-                .unwrap_or_default();
-            row.push(v);
-        }
-        row.push(sr.stats.n().to_string());
-        for (_, get) in metric_columns() {
-            let ci = ReplicationStats::ci(get(&sr.stats));
-            row.push(format!("{}", ci.mean));
-            row.push(if ci.half_width.is_finite() {
-                format!("{}", ci.half_width)
-            } else {
-                String::new()
-            });
-        }
-        t.row(&row);
+        out.push_str(&campaign_csv_row(sr, &keys));
     }
-    t.to_csv()
+    out
 }
 
 /// JSON string escaping (control characters, quotes, backslashes).
@@ -116,54 +131,77 @@ fn scenario_axes_json(sr: &ScenarioResult) -> String {
     format!("{{{}}}", pairs.join(", "))
 }
 
+/// Opening fragment of the campaign JSON document, up to and including
+/// the `scenarios` array bracket. Streaming emission writes this first,
+/// then [`campaign_json_scenario`] fragments joined by
+/// [`JSON_SCENARIO_SEP`], then [`CAMPAIGN_JSON_CLOSE`].
+pub fn campaign_json_open(name: &str, replications: usize, n_scenarios: usize) -> String {
+    format!(
+        "{{\n  \"campaign\": {},\n  \"replications\": {replications},\n  \"n_scenarios\": {n_scenarios},\n  \"scenarios\": [\n",
+        jstr(name)
+    )
+}
+
+/// Separator between scenario fragments in the JSON documents.
+pub const JSON_SCENARIO_SEP: &str = ",\n";
+
+/// Closing fragment of the campaign JSON document.
+pub const CAMPAIGN_JSON_CLOSE: &str = "\n  ]\n}\n";
+
+/// One scenario's JSON object fragment (no separators): axes, per-metric
+/// mean/CI, and the headline per-replication series.
+pub fn campaign_json_scenario(sr: &ScenarioResult) -> String {
+    let metrics: Vec<String> = metric_columns()
+        .iter()
+        .map(|(name, get)| {
+            let ci = ReplicationStats::ci(get(&sr.stats));
+            format!(
+                "{}: {{\"mean\": {}, \"ci95\": {}, \"n\": {}}}",
+                jstr(name),
+                jnum(ci.mean),
+                jnum(ci.half_width),
+                ci.n
+            )
+        })
+        .collect();
+    let reps: Vec<String> = sr
+        .reports
+        .iter()
+        .map(|r| {
+            format!(
+                "{{\"mean_delay_s\": {}, \"per_cell_throughput_kbps\": {}, \"bursts_completed\": {}}}",
+                jnum(r.mean_delay_s),
+                jnum(r.per_cell_throughput_kbps),
+                r.bursts_completed
+            )
+        })
+        .collect();
+    // The seed is a full-range u64; emit it as a string so
+    // double-based JSON consumers (JS, jq) cannot round it to a
+    // different — unreproducible — value.
+    format!(
+        "    {{\n      \"label\": {},\n      \"axes\": {},\n      \"seed\": \"{}\",\n      \"metrics\": {{{}}},\n      \"replications\": [{}]\n    }}",
+        jstr(&sr.scenario.label),
+        scenario_axes_json(sr),
+        sr.scenario.cfg.seed,
+        metrics.join(", "),
+        reps.join(", ")
+    )
+}
+
 /// Full machine-readable campaign result: per-scenario axes, per-metric
 /// mean/CI, and the headline per-replication series.
 pub fn campaign_json(result: &CampaignResult) -> String {
-    let mut scenarios = Vec::with_capacity(result.scenarios.len());
-    for sr in &result.scenarios {
-        let metrics: Vec<String> = metric_columns()
-            .iter()
-            .map(|(name, get)| {
-                let ci = ReplicationStats::ci(get(&sr.stats));
-                format!(
-                    "{}: {{\"mean\": {}, \"ci95\": {}, \"n\": {}}}",
-                    jstr(name),
-                    jnum(ci.mean),
-                    jnum(ci.half_width),
-                    ci.n
-                )
-            })
-            .collect();
-        let reps: Vec<String> = sr
-            .reports
-            .iter()
-            .map(|r| {
-                format!(
-                    "{{\"mean_delay_s\": {}, \"per_cell_throughput_kbps\": {}, \"bursts_completed\": {}}}",
-                    jnum(r.mean_delay_s),
-                    jnum(r.per_cell_throughput_kbps),
-                    r.bursts_completed
-                )
-            })
-            .collect();
-        // The seed is a full-range u64; emit it as a string so
-        // double-based JSON consumers (JS, jq) cannot round it to a
-        // different — unreproducible — value.
-        scenarios.push(format!(
-            "    {{\n      \"label\": {},\n      \"axes\": {},\n      \"seed\": \"{}\",\n      \"metrics\": {{{}}},\n      \"replications\": [{}]\n    }}",
-            jstr(&sr.scenario.label),
-            scenario_axes_json(sr),
-            sr.scenario.cfg.seed,
-            metrics.join(", "),
-            reps.join(", ")
-        ));
-    }
+    let scenarios: Vec<String> = result
+        .scenarios
+        .iter()
+        .map(campaign_json_scenario)
+        .collect();
     format!(
-        "{{\n  \"campaign\": {},\n  \"replications\": {},\n  \"n_scenarios\": {},\n  \"scenarios\": [\n{}\n  ]\n}}\n",
-        jstr(&result.name),
-        result.replications,
-        result.scenarios.len(),
-        scenarios.join(",\n")
+        "{}{}{}",
+        campaign_json_open(&result.name, result.replications, result.scenarios.len()),
+        scenarios.join(JSON_SCENARIO_SEP),
+        CAMPAIGN_JSON_CLOSE
     )
 }
 
@@ -218,31 +256,41 @@ pub fn campaign_trace_csv(traces: &[(String, Vec<DecisionRecord>)]) -> String {
     t.to_csv()
 }
 
+/// Opening fragment of the `BENCH_campaign.json` summary document.
+pub fn campaign_summary_open(name: &str, n_scenarios: usize, replications: usize) -> String {
+    format!(
+        "{{\n  \"bench\": \"campaign\",\n  \"name\": {},\n  \"n_scenarios\": {n_scenarios},\n  \"replications\": {replications},\n  \"scenarios\": [\n",
+        jstr(name)
+    )
+}
+
+/// One scenario's flat summary object (no separators).
+pub fn campaign_summary_scenario(sr: &ScenarioResult) -> String {
+    let s = &sr.stats;
+    format!(
+        "    {{\"label\": {}, \"mean_delay_s\": {}, \"p95_delay_s\": {}, \"per_cell_throughput_kbps\": {}, \"mean_grant_m\": {}, \"denial_rate\": {}}}",
+        jstr(&sr.scenario.label),
+        jnum(s.mean_delay_s.mean()),
+        jnum(s.p95_delay_s.mean()),
+        jnum(s.per_cell_throughput_kbps.mean()),
+        jnum(s.mean_grant_m.mean()),
+        jnum(s.denial_rate.mean())
+    )
+}
+
 /// Compact `BENCH_campaign.json`-style summary: one flat object per
 /// scenario with the headline means, for CI trend tracking.
 pub fn campaign_summary_json(result: &CampaignResult) -> String {
     let rows: Vec<String> = result
         .scenarios
         .iter()
-        .map(|sr| {
-            let s = &sr.stats;
-            format!(
-                "    {{\"label\": {}, \"mean_delay_s\": {}, \"p95_delay_s\": {}, \"per_cell_throughput_kbps\": {}, \"mean_grant_m\": {}, \"denial_rate\": {}}}",
-                jstr(&sr.scenario.label),
-                jnum(s.mean_delay_s.mean()),
-                jnum(s.p95_delay_s.mean()),
-                jnum(s.per_cell_throughput_kbps.mean()),
-                jnum(s.mean_grant_m.mean()),
-                jnum(s.denial_rate.mean())
-            )
-        })
+        .map(campaign_summary_scenario)
         .collect();
     format!(
-        "{{\n  \"bench\": \"campaign\",\n  \"name\": {},\n  \"n_scenarios\": {},\n  \"replications\": {},\n  \"scenarios\": [\n{}\n  ]\n}}\n",
-        jstr(&result.name),
-        result.scenarios.len(),
-        result.replications,
-        rows.join(",\n")
+        "{}{}{}",
+        campaign_summary_open(&result.name, result.scenarios.len(), result.replications),
+        rows.join(JSON_SCENARIO_SEP),
+        CAMPAIGN_JSON_CLOSE
     )
 }
 
@@ -304,6 +352,34 @@ mod tests {
         let seed = result.scenarios[0].scenario.cfg.seed;
         assert!(campaign_json(&result).contains(&format!("\"seed\": \"{seed}\"")));
         assert!(campaign_summary_json(&result).contains("\"bench\": \"campaign\""));
+    }
+
+    #[test]
+    fn streamed_pieces_match_batch_emitters_byte_for_byte() {
+        // The checkpoint service composes artefacts from these pieces one
+        // scenario at a time; they must reproduce the batch emitters
+        // exactly or resume could never be byte-identical.
+        let result = tiny_result();
+        let keys = axis_keys(&result.scenarios);
+        let mut csv = campaign_csv_header(&keys);
+        let mut json =
+            campaign_json_open(&result.name, result.replications, result.scenarios.len());
+        let mut summary =
+            campaign_summary_open(&result.name, result.scenarios.len(), result.replications);
+        for (i, sr) in result.scenarios.iter().enumerate() {
+            if i > 0 {
+                json.push_str(JSON_SCENARIO_SEP);
+                summary.push_str(JSON_SCENARIO_SEP);
+            }
+            csv.push_str(&campaign_csv_row(sr, &keys));
+            json.push_str(&campaign_json_scenario(sr));
+            summary.push_str(&campaign_summary_scenario(sr));
+        }
+        json.push_str(CAMPAIGN_JSON_CLOSE);
+        summary.push_str(CAMPAIGN_JSON_CLOSE);
+        assert_eq!(csv, campaign_csv(&result));
+        assert_eq!(json, campaign_json(&result));
+        assert_eq!(summary, campaign_summary_json(&result));
     }
 
     #[test]

@@ -1,0 +1,685 @@
+//! The on-disk campaign checkpoint format: manifest + append-only journal.
+//!
+//! A checkpoint directory makes a campaign durable: a killed run restarts
+//! from it and skips finished cells, and a sliced campaign leaves one
+//! directory per slice for [`super::merge`] to fold. The format is
+//! deliberately plain text so `status`/`merge`/debugging never need the
+//! binary that wrote it:
+//!
+//! * `manifest.toml` — identity and shape, written **atomically**
+//!   (tmp + rename) exactly once when the directory is created:
+//!   [`CHECKPOINT_FORMAT_VERSION`], the campaign name, the spec
+//!   fingerprint ([`super::spec::ScenarioSpec::fingerprint`]), the canonical-order
+//!   version of the binary that started the run, the grid shape
+//!   (scenarios × replications), the grid slice (`index`/`count`), and any
+//!   candidate-cell override (it changes results, so it is part of the
+//!   checkpoint identity, unlike the pure throughput knobs).
+//! * `spec.toml` — the expanded-from spec, verbatim, so `status` can label
+//!   scenarios and `merge` can re-expand the grid without guessing.
+//! * `journal.log` — one `cell` line per completed replication, appended
+//!   and flushed as each finishes, each line ending in an FNV-1a checksum
+//!   of its body. `fold` lines snapshot the cross-replication fold state
+//!   ([`wcdma_math::Welford::to_raw_parts`]) when an artefact row streams
+//!   out, so a resume can *prove* its refold is bit-identical.
+//!
+//! A SIGKILL can tear the final journal line mid-write; readers therefore
+//! tolerate exactly one undecodable **trailing** line (reported, not
+//! fatal). Corruption anywhere else is a hard error naming the file and
+//! line — an append-only writer cannot produce it, so something else
+//! damaged the checkpoint and silently dropping cells would be worse.
+
+use std::fmt::Write as _;
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Write as _};
+use std::path::{Path, PathBuf};
+
+use crate::stats::SimReport;
+
+/// Version of the checkpoint directory layout and line formats. Bump on
+/// any incompatible change; readers refuse newer (and older) versions with
+/// a clear error instead of guessing.
+pub const CHECKPOINT_FORMAT_VERSION: u32 = 1;
+
+/// File names inside a checkpoint directory.
+pub const MANIFEST_FILE: &str = "manifest.toml";
+/// See [`MANIFEST_FILE`].
+pub const SPEC_FILE: &str = "spec.toml";
+/// See [`MANIFEST_FILE`].
+pub const JOURNAL_FILE: &str = "journal.log";
+
+/// 64-bit FNV-1a over a byte string: the checkpoint format's checksum and
+/// fingerprint hash. Stable, dependency-free, and fast enough for journal
+/// lines; this is corruption *detection*, not cryptography.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The checkpoint identity record at `manifest.toml`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Manifest {
+    /// Checkpoint layout version ([`CHECKPOINT_FORMAT_VERSION`]).
+    pub format: u32,
+    /// Campaign name (the artefact file stem).
+    pub name: String,
+    /// [`super::spec::ScenarioSpec::fingerprint`] of the spec that created
+    /// the run.
+    pub fingerprint: u64,
+    /// `wcdma_math::CANONICAL_ORDER_VERSION` of the creating binary.
+    pub canonical_order_version: u32,
+    /// Scenario count of the expanded grid.
+    pub n_scenarios: usize,
+    /// Replications per scenario.
+    pub replications: usize,
+    /// 1-based slice index (1 for an unsliced run).
+    pub slice_index: usize,
+    /// Total slice count (1 for an unsliced run).
+    pub slice_count: usize,
+    /// Candidate-cell override `(k, refresh)` — part of the identity
+    /// because it changes results; `None` when the spec runs exact.
+    pub candidates: Option<(usize, usize)>,
+}
+
+impl Manifest {
+    /// Total cells in the full grid.
+    pub fn n_jobs(&self) -> usize {
+        self.n_scenarios * self.replications
+    }
+
+    /// Whether global job index `job` belongs to this manifest's slice.
+    /// Jobs are dealt round-robin so a slow scenario's replications spread
+    /// across slices instead of stranding one process.
+    pub fn owns_job(&self, job: usize) -> bool {
+        job % self.slice_count == self.slice_index - 1
+    }
+
+    /// The job indices this slice owns, in canonical (ascending) order.
+    pub fn slice_jobs(&self) -> Vec<usize> {
+        (0..self.n_jobs()).filter(|&j| self.owns_job(j)).collect()
+    }
+
+    /// Renders the manifest in the key/value form [`parse`](Self::parse)
+    /// accepts.
+    pub fn to_toml(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, "format = {}", self.format);
+        let _ = writeln!(s, "name = \"{}\"", self.name);
+        let _ = writeln!(s, "fingerprint = \"{:016x}\"", self.fingerprint);
+        let _ = writeln!(
+            s,
+            "canonical_order_version = {}",
+            self.canonical_order_version
+        );
+        let _ = writeln!(s, "n_scenarios = {}", self.n_scenarios);
+        let _ = writeln!(s, "replications = {}", self.replications);
+        let _ = writeln!(s, "slice_index = {}", self.slice_index);
+        let _ = writeln!(s, "slice_count = {}", self.slice_count);
+        if let Some((k, refresh)) = self.candidates {
+            let _ = writeln!(s, "candidate_k = {k}");
+            let _ = writeln!(s, "candidate_refresh = {refresh}");
+        }
+        s
+    }
+
+    /// Parses a manifest, rejecting unknown keys, bad values, missing
+    /// fields, and unsupported format versions. `path` is used only to
+    /// name the file in errors.
+    pub fn parse(text: &str, path: &Path) -> Result<Self, String> {
+        let at = |msg: String| format!("{}: {msg}", path.display());
+        let mut format = None;
+        let mut name = None;
+        let mut fingerprint = None;
+        let mut canonical = None;
+        let mut n_scenarios = None;
+        let mut replications = None;
+        let mut slice_index = None;
+        let mut slice_count = None;
+        let mut candidate_k = None;
+        let mut candidate_refresh = None;
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let (key, value) = line
+                .split_once('=')
+                .ok_or_else(|| at(format!("line {}: expected `key = value`", lineno + 1)))?;
+            let (key, value) = (key.trim(), value.trim());
+            let uint = |what: &str| {
+                value
+                    .parse::<u64>()
+                    .map_err(|_| at(format!("line {}: bad {what} {value:?}", lineno + 1)))
+            };
+            match key {
+                "format" => format = Some(uint("format version")? as u32),
+                "name" => {
+                    name = Some(
+                        value
+                            .strip_prefix('"')
+                            .and_then(|v| v.strip_suffix('"'))
+                            .ok_or_else(|| at(format!("line {}: name must be quoted", lineno + 1)))?
+                            .to_string(),
+                    )
+                }
+                "fingerprint" => {
+                    let hex = value
+                        .strip_prefix('"')
+                        .and_then(|v| v.strip_suffix('"'))
+                        .ok_or_else(|| {
+                            at(format!("line {}: fingerprint must be quoted", lineno + 1))
+                        })?;
+                    fingerprint = Some(u64::from_str_radix(hex, 16).map_err(|_| {
+                        at(format!("line {}: bad fingerprint {hex:?}", lineno + 1))
+                    })?);
+                }
+                "canonical_order_version" => canonical = Some(uint("version")? as u32),
+                "n_scenarios" => n_scenarios = Some(uint("scenario count")? as usize),
+                "replications" => replications = Some(uint("replication count")? as usize),
+                "slice_index" => slice_index = Some(uint("slice index")? as usize),
+                "slice_count" => slice_count = Some(uint("slice count")? as usize),
+                "candidate_k" => candidate_k = Some(uint("candidate k")? as usize),
+                "candidate_refresh" => candidate_refresh = Some(uint("refresh cadence")? as usize),
+                other => return Err(at(format!("line {}: unknown key {other:?}", lineno + 1))),
+            }
+        }
+        let need = |what: &str| at(format!("missing {what}"));
+        let format = format.ok_or_else(|| need("format"))?;
+        if format != CHECKPOINT_FORMAT_VERSION {
+            return Err(at(format!(
+                "unsupported checkpoint format version {format} (this binary reads version \
+                 {CHECKPOINT_FORMAT_VERSION})"
+            )));
+        }
+        let candidates = match (candidate_k, candidate_refresh) {
+            (Some(k), Some(r)) => Some((k, r)),
+            (None, None) => None,
+            _ => {
+                return Err(at(
+                    "candidate_k and candidate_refresh must appear together".into()
+                ))
+            }
+        };
+        let m = Manifest {
+            format,
+            name: name.ok_or_else(|| need("name"))?,
+            fingerprint: fingerprint.ok_or_else(|| need("fingerprint"))?,
+            canonical_order_version: canonical.ok_or_else(|| need("canonical_order_version"))?,
+            n_scenarios: n_scenarios.ok_or_else(|| need("n_scenarios"))?,
+            replications: replications.ok_or_else(|| need("replications"))?,
+            slice_index: slice_index.ok_or_else(|| need("slice_index"))?,
+            slice_count: slice_count.ok_or_else(|| need("slice_count"))?,
+            candidates,
+        };
+        if m.n_scenarios == 0 || m.replications == 0 {
+            return Err(at("grid shape must be non-empty".into()));
+        }
+        if m.slice_count == 0 || m.slice_index == 0 || m.slice_index > m.slice_count {
+            return Err(at(format!(
+                "bad grid slice {}/{} (need 1 ≤ index ≤ count)",
+                m.slice_index, m.slice_count
+            )));
+        }
+        Ok(m)
+    }
+
+    /// Loads and parses `<dir>/manifest.toml`. A missing file yields the
+    /// canonical "no checkpoint here" error.
+    pub fn load(dir: &Path) -> Result<Self, String> {
+        let path = dir.join(MANIFEST_FILE);
+        let text = std::fs::read_to_string(&path).map_err(|e| {
+            format!(
+                "no campaign checkpoint at {}: cannot read {}: {e}",
+                dir.display(),
+                path.display()
+            )
+        })?;
+        Self::parse(&text, &path)
+    }
+
+    /// Writes the manifest atomically (tmp + rename): a kill between the
+    /// two steps leaves either no manifest or a complete one, never a
+    /// torn one.
+    pub fn store(&self, dir: &Path) -> Result<(), String> {
+        write_atomic(&dir.join(MANIFEST_FILE), &self.to_toml())
+    }
+}
+
+/// Writes `contents` to `path` atomically via a `.tmp` sibling + rename.
+pub fn write_atomic(path: &Path, contents: &str) -> Result<(), String> {
+    let tmp = path.with_extension("tmp");
+    std::fs::write(&tmp, contents).map_err(|e| format!("cannot write {}: {e}", tmp.display()))?;
+    std::fs::rename(&tmp, path)
+        .map_err(|e| format!("cannot rename {} to {}: {e}", tmp.display(), path.display()))
+}
+
+/// One decoded journal line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JournalEntry {
+    /// A completed replication: global job index + its report.
+    Cell {
+        /// Global job index (`scenario * replications + rep`).
+        job: usize,
+        /// The replication's full report, bit-exact.
+        report: SimReport,
+    },
+    /// A cross-replication fold snapshot taken when scenario `scenario`'s
+    /// artefact row streamed out: the raw state of every
+    /// [`crate::stats::ReplicationStats`] accumulator, in declaration
+    /// order, 5 words each ([`wcdma_math::Welford::to_raw_parts`]).
+    Fold {
+        /// Scenario index the fold covers.
+        scenario: usize,
+        /// `10 × 5` raw accumulator words.
+        state: Vec<u64>,
+    },
+}
+
+/// Everything read back from a journal file.
+#[derive(Debug, Default)]
+pub struct JournalContents {
+    /// Decoded entries, in file (= completion) order.
+    pub entries: Vec<JournalEntry>,
+    /// Set when the final line was torn (undecodable) and dropped — the
+    /// expected aftermath of a SIGKILL mid-append.
+    pub torn_tail: bool,
+}
+
+/// Appends one body line plus its checksum suffix. The body must not
+/// contain `|`.
+fn journal_line(body: &str) -> String {
+    format!("{body}|{:016x}\n", fnv1a64(body.as_bytes()))
+}
+
+/// Decodes one journal line (checksum check + entry parse).
+fn decode_line(line: &str) -> Result<JournalEntry, String> {
+    let (body, sum) = line
+        .rsplit_once('|')
+        .ok_or("missing checksum separator '|'")?;
+    let expect = u64::from_str_radix(sum, 16).map_err(|_| format!("bad checksum {sum:?}"))?;
+    let got = fnv1a64(body.as_bytes());
+    if got != expect {
+        return Err(format!(
+            "checksum mismatch (line says {expect:016x}, content hashes to {got:016x})"
+        ));
+    }
+    let (kind, rest) = body.split_once(' ').ok_or("missing entry kind")?;
+    match kind {
+        "cell" => {
+            let (job, record) = rest.split_once(' ').ok_or("cell line missing report")?;
+            let job = job
+                .parse::<usize>()
+                .map_err(|_| format!("bad job index {job:?}"))?;
+            let report = SimReport::decode_record(record)?;
+            Ok(JournalEntry::Cell { job, report })
+        }
+        "fold" => {
+            let mut toks = rest.split_ascii_whitespace();
+            let scenario = toks
+                .next()
+                .ok_or("fold line missing scenario index")?
+                .parse::<usize>()
+                .map_err(|_| "bad fold scenario index".to_string())?;
+            let state = toks
+                .map(|t| u64::from_str_radix(t, 16).map_err(|_| format!("bad fold word {t:?}")))
+                .collect::<Result<Vec<u64>, String>>()?;
+            if state.len() != 50 {
+                return Err(format!(
+                    "fold line has {} state words, expected 50",
+                    state.len()
+                ));
+            }
+            Ok(JournalEntry::Fold { scenario, state })
+        }
+        other => Err(format!("unknown entry kind {other:?}")),
+    }
+}
+
+/// Reads `<dir>/journal.log`. A missing file is an empty journal (the run
+/// was killed before the first completion). Exactly one undecodable
+/// *trailing* line is tolerated as a torn write; anything undecodable
+/// earlier is a hard error naming the file and line number.
+pub fn read_journal(dir: &Path) -> Result<JournalContents, String> {
+    let path = dir.join(JOURNAL_FILE);
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(JournalContents::default()),
+        Err(e) => return Err(format!("cannot read {}: {e}", path.display())),
+    };
+    let lines: Vec<&str> = text.split('\n').collect();
+    // A healthy journal ends in '\n', so the final split piece is empty; a
+    // torn tail leaves a non-empty final piece with no terminator.
+    let mut contents = JournalContents::default();
+    let n = lines.len();
+    for (i, line) in lines.iter().enumerate() {
+        if line.is_empty() {
+            if i + 1 != n {
+                return Err(format!(
+                    "corrupt journal line {} in {}: empty line",
+                    i + 1,
+                    path.display()
+                ));
+            }
+            continue;
+        }
+        match decode_line(line) {
+            Ok(entry) => {
+                // A decodable line that never got its newline is still a
+                // complete record; accept it.
+                contents.entries.push(entry);
+            }
+            Err(reason) => {
+                if i + 1 == n || (i + 2 == n && lines[n - 1].is_empty() && i + 1 == n - 1) {
+                    // Torn tail: drop the final (possibly unterminated)
+                    // line and let the resume re-run that cell.
+                    if i + 1 == n {
+                        contents.torn_tail = true;
+                        continue;
+                    }
+                }
+                return Err(format!(
+                    "corrupt journal line {} in {}: {reason}",
+                    i + 1,
+                    path.display()
+                ));
+            }
+        }
+    }
+    Ok(contents)
+}
+
+/// Append-only journal writer: opens (creating) `<dir>/journal.log` and
+/// flushes after every entry so a kill loses at most the line being
+/// written.
+#[derive(Debug)]
+pub struct JournalWriter {
+    file: BufWriter<File>,
+    path: PathBuf,
+}
+
+impl JournalWriter {
+    /// Opens the journal for appending.
+    pub fn open(dir: &Path) -> Result<Self, String> {
+        let path = dir.join(JOURNAL_FILE);
+        let file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .map_err(|e| format!("cannot open {}: {e}", path.display()))?;
+        Ok(Self {
+            file: BufWriter::new(file),
+            path,
+        })
+    }
+
+    fn append(&mut self, body: &str) -> Result<(), String> {
+        self.file
+            .write_all(journal_line(body).as_bytes())
+            .and_then(|()| self.file.flush())
+            .map_err(|e| format!("cannot append to {}: {e}", self.path.display()))
+    }
+
+    /// Journals one completed replication.
+    pub fn append_cell(&mut self, job: usize, report: &SimReport) -> Result<(), String> {
+        self.append(&format!("cell {job} {}", report.encode_record()))
+    }
+
+    /// Journals a fold snapshot for a completed scenario.
+    pub fn append_fold(&mut self, scenario: usize, state: &[u64]) -> Result<(), String> {
+        let words: Vec<String> = state.iter().map(|w| format!("{w:016x}")).collect();
+        self.append(&format!("fold {scenario} {}", words.join(" ")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::SimStats;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("wcdma-journal-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn sample_report(seed: f64) -> SimReport {
+        let mut s = SimStats::new();
+        s.burst_delay.push(seed);
+        s.burst_delay_p95.push(seed);
+        s.bits_delivered = seed * 1e6;
+        s.window_s = 4.0;
+        s.bursts_completed = 2;
+        s.report(3, 7)
+    }
+
+    fn manifest() -> Manifest {
+        Manifest {
+            format: CHECKPOINT_FORMAT_VERSION,
+            name: "paper-eval".into(),
+            fingerprint: 0xDEAD_BEEF_0123_4567,
+            canonical_order_version: wcdma_math::CANONICAL_ORDER_VERSION,
+            n_scenarios: 12,
+            replications: 2,
+            slice_index: 2,
+            slice_count: 3,
+            candidates: Some((3, 8)),
+        }
+    }
+
+    #[test]
+    fn manifest_round_trips() {
+        let m = manifest();
+        let parsed = Manifest::parse(&m.to_toml(), Path::new("m.toml")).expect("round-trip");
+        assert_eq!(parsed, m);
+        let mut exact = m.clone();
+        exact.candidates = None;
+        let parsed = Manifest::parse(&exact.to_toml(), Path::new("m.toml")).unwrap();
+        assert_eq!(parsed, exact);
+    }
+
+    #[test]
+    fn manifest_store_load_and_missing_dir_error() {
+        let dir = tmpdir("manifest");
+        let m = manifest();
+        m.store(&dir).expect("atomic store");
+        assert_eq!(Manifest::load(&dir).expect("load"), m);
+        // No stray tmp file left behind.
+        assert!(!dir.join("manifest.tmp").exists());
+        let missing = dir.join("no-such-subdir");
+        let err = Manifest::load(&missing).expect_err("missing dir");
+        assert!(err.contains("no campaign checkpoint"), "{err}");
+        assert!(
+            err.contains(MANIFEST_FILE),
+            "error must name the file: {err}"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn manifest_rejects_bad_input() {
+        let reject = |text: &str, needle: &str| {
+            let err = Manifest::parse(text, Path::new("m.toml")).expect_err(text);
+            assert!(
+                err.contains(needle),
+                "{text:?} → {err:?} (wanted {needle:?})"
+            );
+            assert!(err.contains("m.toml"), "error must name the file: {err}");
+        };
+        reject("", "missing format");
+        reject("format = 99\n", "unsupported checkpoint format");
+        reject(
+            &manifest()
+                .to_toml()
+                .replace("name = \"paper-eval\"", "name = raw"),
+            "quoted",
+        );
+        reject(
+            &format!("{}bogus = 1\n", manifest().to_toml()),
+            "unknown key",
+        );
+        reject(
+            &manifest()
+                .to_toml()
+                .replace("slice_index = 2", "slice_index = 9"),
+            "bad grid slice",
+        );
+        reject(
+            &manifest().to_toml().replace("candidate_refresh = 8\n", ""),
+            "together",
+        );
+        reject(
+            &manifest()
+                .to_toml()
+                .replace("n_scenarios = 12", "n_scenarios = 0"),
+            "non-empty",
+        );
+    }
+
+    #[test]
+    fn slice_jobs_partition_the_grid() {
+        let m = manifest();
+        let all: Vec<usize> = (1..=3)
+            .flat_map(|i| {
+                Manifest {
+                    slice_index: i,
+                    ..m.clone()
+                }
+                .slice_jobs()
+            })
+            .collect();
+        let mut sorted = all.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..24).collect::<Vec<_>>(), "slices tile the grid");
+        assert!(m.slice_jobs().iter().all(|&j| m.owns_job(j)));
+    }
+
+    #[test]
+    fn journal_round_trips_cells_and_folds() {
+        let dir = tmpdir("roundtrip");
+        let (r0, r1) = (sample_report(0.25), sample_report(1.75));
+        {
+            let mut w = JournalWriter::open(&dir).unwrap();
+            w.append_cell(4, &r0).unwrap();
+            w.append_cell(17, &r1).unwrap();
+            w.append_fold(2, &[7u64; 50]).unwrap();
+        }
+        // Re-open appends rather than truncating.
+        {
+            let mut w = JournalWriter::open(&dir).unwrap();
+            w.append_cell(5, &r0).unwrap();
+        }
+        let contents = read_journal(&dir).expect("clean journal");
+        assert!(!contents.torn_tail);
+        assert_eq!(contents.entries.len(), 4);
+        assert_eq!(
+            contents.entries[0],
+            JournalEntry::Cell {
+                job: 4,
+                report: r0.clone()
+            }
+        );
+        assert_eq!(
+            contents.entries[1],
+            JournalEntry::Cell {
+                job: 17,
+                report: r1
+            }
+        );
+        assert_eq!(
+            contents.entries[2],
+            JournalEntry::Fold {
+                scenario: 2,
+                state: vec![7u64; 50]
+            }
+        );
+        assert_eq!(
+            contents.entries[3],
+            JournalEntry::Cell { job: 5, report: r0 }
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_journal_is_empty() {
+        let dir = tmpdir("empty");
+        let contents = read_journal(&dir).expect("no journal yet");
+        assert!(contents.entries.is_empty() && !contents.torn_tail);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_dropped_but_interior_corruption_is_fatal() {
+        let dir = tmpdir("torn");
+        let r = sample_report(0.5);
+        {
+            let mut w = JournalWriter::open(&dir).unwrap();
+            w.append_cell(0, &r).unwrap();
+            w.append_cell(1, &r).unwrap();
+        }
+        let path = dir.join(JOURNAL_FILE);
+        let text = std::fs::read_to_string(&path).unwrap();
+
+        // Simulated SIGKILL mid-append: cut the final line in half.
+        let cut = text.len() - 20;
+        std::fs::write(&path, &text[..cut]).unwrap();
+        let contents = read_journal(&dir).expect("torn tail tolerated");
+        assert!(contents.torn_tail);
+        assert_eq!(contents.entries.len(), 1, "only the intact line survives");
+
+        // Interior corruption (first line damaged) is a named hard error.
+        let corrupt = format!(
+            "cell 0 zzz|0000000000000000\n{}",
+            text.lines().nth(1).unwrap()
+        );
+        std::fs::write(&path, format!("{corrupt}\n")).unwrap();
+        let err = read_journal(&dir).expect_err("interior corruption");
+        assert!(err.contains("corrupt journal line 1"), "{err}");
+        assert!(
+            err.contains(JOURNAL_FILE),
+            "error must name the file: {err}"
+        );
+
+        // Checksum flip anywhere but the tail is also fatal.
+        let mut lines: Vec<String> = text.lines().map(|l| l.to_string()).collect();
+        lines[0] = lines[0].replace('0', "1");
+        std::fs::write(&path, format!("{}\n{}\n", lines[0], lines[1])).unwrap();
+        let err = read_journal(&dir).expect_err("bad checksum");
+        assert!(err.contains("line 1"), "{err}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn unterminated_but_complete_tail_line_is_accepted() {
+        // flush() wrote the whole line but the '\n'-less case can appear if
+        // the kill lands between write and the implicit newline ordering;
+        // a decodable record is a complete record either way.
+        let dir = tmpdir("noterm");
+        let r = sample_report(2.5);
+        {
+            let mut w = JournalWriter::open(&dir).unwrap();
+            w.append_cell(3, &r).unwrap();
+        }
+        let path = dir.join(JOURNAL_FILE);
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, text.trim_end_matches('\n')).unwrap();
+        let contents = read_journal(&dir).expect("complete unterminated line");
+        assert!(!contents.torn_tail);
+        assert_eq!(
+            contents.entries,
+            vec![JournalEntry::Cell { job: 3, report: r }]
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn fnv_is_stable() {
+        // Pinned so journals written by older builds keep verifying.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"wcdma"), fnv1a64(b"wcdma"));
+        assert_ne!(fnv1a64(b"wcdma"), fnv1a64(b"wcdmb"));
+    }
+}

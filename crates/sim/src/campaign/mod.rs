@@ -22,19 +22,31 @@
 //! * [`mod@builtin`] — the named campaigns shipped with the repo (the
 //!   paper evaluation matrix, the ported load/speed/policy sweeps, hotspot
 //!   stress).
+//! * [`service`], [`journal`], [`merge`] — the durability layer: a
+//!   versioned on-disk checkpoint (manifest + append-only completion
+//!   journal) that makes runs resumable after a kill with **byte-identical**
+//!   artefacts, streams artefact rows as scenarios complete, partitions the
+//!   grid across processes (`--grid-slice i/n`), and folds slice
+//!   checkpoints back into the canonical single-process output.
 
 pub mod builtin;
 pub mod emit;
+pub mod journal;
+pub mod merge;
 pub mod runner;
+pub mod service;
 pub mod spec;
 
 pub use builtin::{builtin, builtin_names};
 pub use emit::{campaign_csv, campaign_json, campaign_summary_json, campaign_trace_csv};
+pub use journal::{Manifest, CHECKPOINT_FORMAT_VERSION};
+pub use merge::merge_dirs;
 pub use runner::{
     arbitrate_frame_threads, run_campaign, run_campaign_threads, run_campaign_threads_candidates,
-    run_spec, run_spec_threads, run_spec_threads_candidates, sched_stats_campaign, trace_campaign,
-    CampaignResult, ScenarioResult,
+    run_grid_jobs, run_spec, run_spec_threads, run_spec_threads_candidates, sched_stats_campaign,
+    trace_campaign, CampaignResult, ScenarioResult,
 };
+pub use service::{run_spec_service, status as campaign_status, ServiceConfig, ServiceOutcome};
 pub use spec::{
     policy_by_name, policy_names, CsiQuality, Scenario, ScenarioSpec, SpeedClass, TrafficMix,
 };

@@ -10,7 +10,7 @@
 //! [`ReplicationStats`], so the campaign result is bit-identical for every
 //! shard count.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::OnceLock;
 
 use wcdma_admission::SchedStats;
@@ -63,6 +63,75 @@ pub fn arbitrate_frame_threads(requested: usize, shards: usize) -> usize {
     }
 }
 
+/// Runs an arbitrary subset of the (scenario × replication) job grid.
+/// `jobs` holds global job indices (`scenario * n_reps + replication`);
+/// `shards` workers (`0` ⇒ one per core) steal them off a shared cursor
+/// and invoke `on_complete(job, &report)` from the worker thread as each
+/// cell finishes — completion order is nondeterministic, so the callback
+/// must key everything on the job index.
+///
+/// Every cell is bit-identical to the same cell of a full
+/// [`run_campaign_threads_candidates`] run: a replication's seed depends
+/// only on its grid coordinates, so *which* subset runs (and on how many
+/// workers) cannot change any cell. This is what makes checkpoint resume
+/// and multi-process grid slicing byte-exact.
+///
+/// Setting `stop` makes every worker exit before claiming another job;
+/// cells already in flight still complete and are reported. The
+/// checkpoint service uses it to honour `--max-cells` (a deterministic
+/// simulated kill) without tearing a cell in half.
+#[allow(clippy::too_many_arguments)]
+pub fn run_grid_jobs(
+    scenarios: &[Scenario],
+    n_reps: usize,
+    jobs: &[usize],
+    shards: usize,
+    frame_threads: usize,
+    candidates: Option<(usize, usize)>,
+    stop: &AtomicBool,
+    on_complete: &(dyn Fn(usize, &SimReport) + Sync),
+) {
+    if jobs.is_empty() {
+        return;
+    }
+    let workers = if shards == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+    } else {
+        shards
+    }
+    .min(jobs.len())
+    .max(1);
+    let frame_threads = arbitrate_frame_threads(frame_threads, workers);
+    let cursor = AtomicUsize::new(0);
+    let cursor = &cursor;
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(move || loop {
+                if stop.load(Ordering::Relaxed) {
+                    break;
+                }
+                let next = cursor.fetch_add(1, Ordering::Relaxed);
+                if next >= jobs.len() {
+                    break;
+                }
+                let job = jobs[next];
+                let (si, rep) = (job / n_reps, job % n_reps);
+                let base = &scenarios[si].cfg;
+                let mut cfg = base.with_seed(wcdma_math::mix_seed(base.seed, 1 + rep as u64));
+                cfg.frame_threads = frame_threads;
+                if let Some((k, refresh)) = candidates {
+                    cfg.candidate_k = k;
+                    cfg.candidate_refresh = refresh;
+                }
+                let report = Simulation::new(cfg).run();
+                on_complete(job, &report);
+            });
+        }
+    });
+}
+
 /// Runs every scenario `n_reps` times across `shards` worker threads
 /// (`shards == 0` ⇒ one per available core). Work-stealing over the job
 /// grid; deterministic per-replication seed substreams; the result is
@@ -113,46 +182,25 @@ pub fn run_campaign_threads_candidates(
     assert!(n_reps >= 1, "need at least one replication");
     assert!(!scenarios.is_empty(), "need at least one scenario");
     let n_jobs = scenarios.len() * n_reps;
-    let workers = if shards == 0 {
-        std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(4)
-    } else {
-        shards
-    }
-    .min(n_jobs)
-    .max(1);
-    let frame_threads = arbitrate_frame_threads(frame_threads, workers);
+    let jobs: Vec<usize> = (0..n_jobs).collect();
 
     // Each job slot is written exactly once by whichever shard claims it.
     let mut slots: Vec<OnceLock<SimReport>> = Vec::new();
     slots.resize_with(n_jobs, OnceLock::new);
-    let cursor = AtomicUsize::new(0);
-    {
-        let slots = &slots;
-        let cursor = &cursor;
-        let scenarios = &scenarios;
-        std::thread::scope(|s| {
-            for _ in 0..workers {
-                s.spawn(move || loop {
-                    let job = cursor.fetch_add(1, Ordering::Relaxed);
-                    if job >= n_jobs {
-                        break;
-                    }
-                    let (si, rep) = (job / n_reps, job % n_reps);
-                    let base = &scenarios[si].cfg;
-                    let mut cfg = base.with_seed(wcdma_math::mix_seed(base.seed, 1 + rep as u64));
-                    cfg.frame_threads = frame_threads;
-                    if let Some((k, refresh)) = candidates {
-                        cfg.candidate_k = k;
-                        cfg.candidate_refresh = refresh;
-                    }
-                    let report = Simulation::new(cfg).run();
-                    slots[job].set(report).expect("job claimed exactly once");
-                });
-            }
-        });
-    }
+    run_grid_jobs(
+        &scenarios,
+        n_reps,
+        &jobs,
+        shards,
+        frame_threads,
+        candidates,
+        &AtomicBool::new(false),
+        &|job, report| {
+            slots[job]
+                .set(report.clone())
+                .expect("job claimed exactly once");
+        },
+    );
 
     // Deterministic fold: scenario-major, replication order.
     let mut results = Vec::with_capacity(scenarios.len());
@@ -381,6 +429,49 @@ mod tests {
         // Saturated shards leave one frame thread per shard.
         assert_eq!(arbitrate_frame_threads(0, cores), 1);
         assert_eq!(arbitrate_frame_threads(8, 2 * cores), 1);
+    }
+
+    #[test]
+    fn grid_job_subsets_reproduce_full_run_cells() {
+        // Resume/slicing correctness in miniature: any subset of the grid,
+        // on any worker count, reproduces the full run's cells bit-exactly.
+        let scenarios = tiny_scenarios();
+        let full = run_campaign("tiny", scenarios.clone(), 2, 1);
+        let got = std::sync::Mutex::new(Vec::new());
+        run_grid_jobs(
+            &scenarios,
+            2,
+            &[3, 0, 2],
+            2,
+            1,
+            None,
+            &AtomicBool::new(false),
+            &|job, report| got.lock().unwrap().push((job, report.clone())),
+        );
+        let mut got = got.into_inner().unwrap();
+        got.sort_by_key(|(job, _)| *job);
+        assert_eq!(
+            got.iter().map(|(j, _)| *j).collect::<Vec<_>>(),
+            vec![0, 2, 3]
+        );
+        for (job, report) in &got {
+            assert_eq!(
+                report,
+                &full.scenarios[job / 2].reports[job % 2],
+                "job {job} must match the full run bit-for-bit"
+            );
+        }
+    }
+
+    #[test]
+    fn grid_stop_flag_prevents_new_claims() {
+        let scenarios = tiny_scenarios();
+        let stop = AtomicBool::new(true);
+        let ran = AtomicUsize::new(0);
+        run_grid_jobs(&scenarios, 2, &[0, 1, 2, 3], 2, 1, None, &stop, &|_, _| {
+            ran.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(ran.load(Ordering::Relaxed), 0, "pre-set stop runs nothing");
     }
 
     #[test]

@@ -1,0 +1,666 @@
+//! The campaign service: durable, resumable, partitionable campaign runs.
+//!
+//! [`run_spec_service`] is [`super::runner::run_spec_threads_candidates`]
+//! wrapped in a checkpoint directory (see [`super::journal`] for the
+//! on-disk format): every completed replication is journaled as it
+//! finishes, so a killed run restarts and skips finished cells, and
+//! artefact rows stream out as scenarios complete instead of buffering to
+//! the end. Three properties make the resumed output **byte-identical**
+//! to an uninterrupted run:
+//!
+//! 1. a replication's seed depends only on its grid coordinates, so
+//!    re-running the missing cells reproduces them bit-exactly
+//!    ([`super::runner::run_grid_jobs`]);
+//! 2. the cross-replication fold happens in canonical replication order
+//!    regardless of completion order, and journaled reports round-trip
+//!    bit-exactly ([`crate::stats::SimReport::encode_record`]);
+//! 3. the streamed artefacts are composed from the same pieces as the
+//!    batch emitters ([`super::emit`]), and on every start the partials
+//!    are rebuilt from the journal alone — a kill mid-append to an
+//!    artefact cannot leave any trace.
+//!
+//! `slice_count > 1` partitions the job grid round-robin across
+//! independent processes: each slice journals its own cells and emits no
+//! artefacts; [`super::merge`] folds the slice directories into artefacts
+//! byte-identical to a single-process run.
+
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+use crate::stats::{ReplicationStats, SimReport};
+use crate::table::Table;
+
+use super::emit;
+use super::journal::{
+    read_journal, write_atomic, JournalEntry, JournalWriter, Manifest, CHECKPOINT_FORMAT_VERSION,
+    JOURNAL_FILE, MANIFEST_FILE, SPEC_FILE,
+};
+use super::runner::{run_grid_jobs, ScenarioResult};
+use super::spec::ScenarioSpec;
+
+/// Environment variable: milliseconds to sleep after journaling each
+/// cell. Zero-cost when unset; CI's kill-and-resume leg sets it so a
+/// `--quick` campaign is guaranteed to still be mid-grid when the SIGKILL
+/// lands.
+pub const PACE_ENV: &str = "WCDMA_SERVICE_PACE_MS";
+
+/// Knobs for a service-mode campaign run. The thread knobs
+/// (`shards`/`frame_threads`) never affect results; `candidates` does,
+/// which is why it is part of the checkpoint identity.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Worker threads over the job grid (`0` ⇒ one per core).
+    pub shards: usize,
+    /// Intra-frame threads per replication (`0` ⇒ auto-arbitrated).
+    pub frame_threads: usize,
+    /// Candidate-cell-list override `(k, refresh)`; changes results.
+    pub candidates: Option<(usize, usize)>,
+    /// 1-based slice index (`1` for an unsliced run).
+    pub slice_index: usize,
+    /// Total slice count (`1` for an unsliced run).
+    pub slice_count: usize,
+    /// Stop (gracefully) after journaling this many new cells — a
+    /// deterministic simulated kill for tests; `None` runs to the end.
+    pub max_cells: Option<usize>,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        Self {
+            shards: 0,
+            frame_threads: 1,
+            candidates: None,
+            slice_index: 1,
+            slice_count: 1,
+            max_cells: None,
+        }
+    }
+}
+
+/// What a service run did.
+#[derive(Debug, Clone)]
+pub struct ServiceOutcome {
+    /// Whether every cell this slice owns is now journaled (and, for an
+    /// unsliced run, the final artefacts written).
+    pub finished: bool,
+    /// Cells simulated and journaled by *this* invocation.
+    pub newly_run: usize,
+    /// Cells skipped because the journal already had them.
+    pub skipped: usize,
+    /// Total cells this slice owns.
+    pub slice_jobs: usize,
+    /// Final artefact paths (empty for sliced or stopped-early runs).
+    pub artefacts: Vec<PathBuf>,
+}
+
+/// Flattened raw state of every cross-replication accumulator — the
+/// payload of a journal `fold` tripwire line.
+fn fold_raw(stats: &ReplicationStats) -> Vec<u64> {
+    stats
+        .welfords()
+        .iter()
+        .flat_map(|w| w.to_raw_parts())
+        .collect()
+}
+
+/// Checks a loaded manifest against the one this invocation would
+/// create, with one specific error per way they can disagree.
+fn check_compat(found: &Manifest, want: &Manifest, dir: &Path) -> Result<(), String> {
+    let path = dir.join(MANIFEST_FILE);
+    if found.fingerprint != want.fingerprint {
+        return Err(format!(
+            "spec fingerprint mismatch in {}: the checkpoint was created from spec {:016x} but \
+             the current spec hashes to {:016x}; resume requires the exact spec (including \
+             --quick) that created the checkpoint",
+            path.display(),
+            found.fingerprint,
+            want.fingerprint
+        ));
+    }
+    if found.canonical_order_version != want.canonical_order_version {
+        return Err(format!(
+            "canonical-order version mismatch in {}: the checkpoint was written by a v{} build \
+             but this binary folds v{}; finish the run with the build that created it (see \
+             docs/CHECKPOINT_FORMAT.md)",
+            path.display(),
+            found.canonical_order_version,
+            want.canonical_order_version
+        ));
+    }
+    if found.name != want.name {
+        return Err(format!(
+            "campaign name mismatch in {}: checkpoint is {:?}, current spec is {:?}",
+            path.display(),
+            found.name,
+            want.name
+        ));
+    }
+    if (found.n_scenarios, found.replications) != (want.n_scenarios, want.replications) {
+        return Err(format!(
+            "grid shape mismatch in {}: checkpoint is {}×{}, current spec expands to {}×{}",
+            path.display(),
+            found.n_scenarios,
+            found.replications,
+            want.n_scenarios,
+            want.replications
+        ));
+    }
+    if (found.slice_index, found.slice_count) != (want.slice_index, want.slice_count) {
+        return Err(format!(
+            "grid slice mismatch in {}: checkpoint is slice {}/{} but this run requested {}/{}",
+            path.display(),
+            found.slice_index,
+            found.slice_count,
+            want.slice_index,
+            want.slice_count
+        ));
+    }
+    if found.candidates != want.candidates {
+        return Err(format!(
+            "candidate-list mismatch in {}: checkpoint has {:?}, this run requested {:?} — the \
+             override changes results, so it is part of the checkpoint identity",
+            path.display(),
+            found.candidates,
+            want.candidates
+        ));
+    }
+    Ok(())
+}
+
+/// In-memory streamed artefact state for an unsliced run: the exact
+/// bytes written so far, plus the emit frontier (scenarios whose rows
+/// have streamed out, always a prefix of canonical order).
+struct Artefacts {
+    csv: String,
+    json: String,
+    summary: String,
+    frontier: usize,
+}
+
+/// Runs (or resumes) `spec` as a durable campaign rooted at `dir`.
+/// Creates the checkpoint on first use, validates it on resume, journals
+/// every completed cell, streams artefact rows as scenarios complete
+/// (unsliced runs only), and finalizes atomically when the slice's last
+/// cell lands.
+pub fn run_spec_service(
+    spec: &ScenarioSpec,
+    dir: &Path,
+    cfg: &ServiceConfig,
+) -> Result<ServiceOutcome, String> {
+    if cfg.slice_count == 0 || cfg.slice_index == 0 || cfg.slice_index > cfg.slice_count {
+        return Err(format!(
+            "bad grid slice {}/{} (need 1 ≤ index ≤ count)",
+            cfg.slice_index, cfg.slice_count
+        ));
+    }
+    let scenarios = spec.expand()?;
+    if let Some((k, refresh)) = cfg.candidates {
+        for sc in &scenarios {
+            sc.cfg
+                .with_candidates(k, refresh)
+                .validate()
+                .map_err(|e| format!("scenario {:?}: {e}", sc.label))?;
+        }
+    }
+    let n_reps = spec.replications;
+    let want = Manifest {
+        format: CHECKPOINT_FORMAT_VERSION,
+        name: spec.name.clone(),
+        fingerprint: spec.fingerprint(),
+        canonical_order_version: wcdma_math::CANONICAL_ORDER_VERSION,
+        n_scenarios: scenarios.len(),
+        replications: n_reps,
+        slice_index: cfg.slice_index,
+        slice_count: cfg.slice_count,
+        candidates: cfg.candidates,
+    };
+    if dir.join(MANIFEST_FILE).exists() {
+        check_compat(&Manifest::load(dir)?, &want, dir)?;
+    } else {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+        // Spec first, manifest last: a manifest's presence implies a
+        // complete checkpoint directory.
+        write_atomic(&dir.join(SPEC_FILE), &spec.to_toml())?;
+        want.store(dir)?;
+    }
+
+    // Replay the journal: every already-finished cell, plus the fold
+    // tripwires to verify below.
+    let journal = read_journal(dir)?;
+    let jpath = dir.join(JOURNAL_FILE);
+    let mut completed: HashMap<usize, SimReport> = HashMap::new();
+    let mut folds: Vec<(usize, Vec<u64>)> = Vec::new();
+    for entry in journal.entries {
+        match entry {
+            JournalEntry::Cell { job, report } => {
+                if job >= want.n_jobs() || !want.owns_job(job) {
+                    return Err(format!(
+                        "{}: cell with job index {job} does not belong to slice {}/{} of a \
+                         {}×{} grid — journal and manifest disagree",
+                        jpath.display(),
+                        want.slice_index,
+                        want.slice_count,
+                        want.n_scenarios,
+                        want.replications
+                    ));
+                }
+                completed.insert(job, report);
+            }
+            JournalEntry::Fold { scenario, state } => folds.push((scenario, state)),
+        }
+    }
+
+    let axis_keys: Vec<String> = scenarios
+        .first()
+        .map(|s| s.axes.iter().map(|(k, _)| k.clone()).collect())
+        .unwrap_or_default();
+    // Refolds one fully-journaled scenario, in canonical replication
+    // order — identical to what the batch runner folds.
+    let scenario_result = |si: usize, completed: &HashMap<usize, SimReport>| -> ScenarioResult {
+        let mut stats = ReplicationStats::new();
+        let mut reports = Vec::with_capacity(n_reps);
+        for rep in 0..n_reps {
+            let r = completed[&(si * n_reps + rep)].clone();
+            stats.push(&r);
+            reports.push(r);
+        }
+        ScenarioResult {
+            scenario: scenarios[si].clone(),
+            stats,
+            reports,
+        }
+    };
+    let scenario_complete = |si: usize, completed: &HashMap<usize, SimReport>| {
+        (0..n_reps).all(|rep| completed.contains_key(&(si * n_reps + rep)))
+    };
+    let write_partials = |a: &Artefacts| -> Result<(), String> {
+        let w = |suffix: &str, text: &str| {
+            let path = dir.join(format!("{}{suffix}", want.name));
+            std::fs::write(&path, text).map_err(|e| format!("cannot write {}: {e}", path.display()))
+        };
+        w(".csv.partial", &a.csv)?;
+        w(".json.partial", &a.json)?;
+        let bench = dir.join("BENCH_campaign.json.partial");
+        std::fs::write(&bench, &a.summary)
+            .map_err(|e| format!("cannot write {}: {e}", bench.display()))
+    };
+
+    // Rebuild the streamed artefacts from the journal alone (unsliced
+    // runs): partial files on disk may be torn by a kill mid-append, so
+    // they are never read — artefact state is a pure function of journal
+    // state.
+    let mut art = (cfg.slice_count == 1).then(|| Artefacts {
+        csv: emit::campaign_csv_header(&axis_keys),
+        json: emit::campaign_json_open(&spec.name, n_reps, scenarios.len()),
+        summary: emit::campaign_summary_open(&spec.name, scenarios.len(), n_reps),
+        frontier: 0,
+    });
+    if let Some(a) = &mut art {
+        while a.frontier < scenarios.len() && scenario_complete(a.frontier, &completed) {
+            let sr = scenario_result(a.frontier, &completed);
+            if a.frontier > 0 {
+                a.json.push_str(emit::JSON_SCENARIO_SEP);
+                a.summary.push_str(emit::JSON_SCENARIO_SEP);
+            }
+            a.csv.push_str(&emit::campaign_csv_row(&sr, &axis_keys));
+            a.json.push_str(&emit::campaign_json_scenario(&sr));
+            a.summary.push_str(&emit::campaign_summary_scenario(&sr));
+            a.frontier += 1;
+        }
+        // Fold tripwires: the journaled cross-replication fold must match
+        // this binary's refold of the same cells bit-for-bit.
+        for (si, state) in &folds {
+            if *si >= a.frontier {
+                return Err(format!(
+                    "{}: fold snapshot for scenario {si} but that scenario's cells are \
+                     incomplete — the journal is corrupt",
+                    jpath.display()
+                ));
+            }
+            if fold_raw(&scenario_result(*si, &completed).stats) != *state {
+                return Err(format!(
+                    "{}: fold snapshot mismatch for scenario {si}: the journaled fold differs \
+                     from this binary's refold of the same cells — the journal is corrupt or \
+                     was written by an incompatible build",
+                    jpath.display()
+                ));
+            }
+        }
+        write_partials(a)?;
+    } else if !folds.is_empty() {
+        return Err(format!(
+            "{}: fold snapshot in a sliced journal (slice {}/{}) — slices never write folds, \
+             so the journal is corrupt",
+            jpath.display(),
+            want.slice_index,
+            want.slice_count
+        ));
+    }
+
+    let slice_jobs = want.slice_jobs();
+    let todo: Vec<usize> = slice_jobs
+        .iter()
+        .copied()
+        .filter(|j| !completed.contains_key(j))
+        .collect();
+    let skipped = slice_jobs.len() - todo.len();
+    let pace_ms: u64 = std::env::var(PACE_ENV)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0);
+
+    struct Shared {
+        completed: HashMap<usize, SimReport>,
+        writer: JournalWriter,
+        art: Option<Artefacts>,
+        newly: usize,
+        error: Option<String>,
+    }
+    let stop = AtomicBool::new(cfg.max_cells == Some(0));
+    let shared = Mutex::new(Shared {
+        completed,
+        writer: JournalWriter::open(dir)?,
+        art,
+        newly: 0,
+        error: None,
+    });
+    run_grid_jobs(
+        &scenarios,
+        n_reps,
+        &todo,
+        cfg.shards,
+        cfg.frame_threads,
+        cfg.candidates,
+        &stop,
+        &|job, report| {
+            let mut s = shared.lock().unwrap();
+            if s.error.is_some() {
+                return;
+            }
+            let step = (|s: &mut Shared| -> Result<(), String> {
+                s.writer.append_cell(job, report)?;
+                s.completed.insert(job, report.clone());
+                if let Some(a) = s.art.as_mut() {
+                    let before = a.frontier;
+                    while a.frontier < scenarios.len()
+                        && scenario_complete(a.frontier, &s.completed)
+                    {
+                        let sr = scenario_result(a.frontier, &s.completed);
+                        s.writer.append_fold(a.frontier, &fold_raw(&sr.stats))?;
+                        if a.frontier > 0 {
+                            a.json.push_str(emit::JSON_SCENARIO_SEP);
+                            a.summary.push_str(emit::JSON_SCENARIO_SEP);
+                        }
+                        a.csv.push_str(&emit::campaign_csv_row(&sr, &axis_keys));
+                        a.json.push_str(&emit::campaign_json_scenario(&sr));
+                        a.summary.push_str(&emit::campaign_summary_scenario(&sr));
+                        a.frontier += 1;
+                    }
+                    if a.frontier != before {
+                        write_partials(a)?;
+                    }
+                }
+                Ok(())
+            })(&mut s);
+            match step {
+                Err(e) => {
+                    s.error = Some(e);
+                    stop.store(true, Ordering::Relaxed);
+                }
+                Ok(()) => {
+                    s.newly += 1;
+                    if pace_ms > 0 {
+                        std::thread::sleep(Duration::from_millis(pace_ms));
+                    }
+                    if cfg.max_cells.is_some_and(|max| s.newly >= max) {
+                        stop.store(true, Ordering::Relaxed);
+                    }
+                }
+            }
+        },
+    );
+
+    let mut s = shared.into_inner().unwrap();
+    if let Some(e) = s.error {
+        return Err(e);
+    }
+    let finished = slice_jobs.iter().all(|j| s.completed.contains_key(j));
+    let mut artefacts = Vec::new();
+    if finished {
+        if let Some(a) = &mut s.art {
+            // Atomic finalize: the closed documents land under their
+            // final names via tmp + rename, then the partials go away.
+            a.json.push_str(emit::CAMPAIGN_JSON_CLOSE);
+            a.summary.push_str(emit::CAMPAIGN_JSON_CLOSE);
+            let csv = dir.join(format!("{}.csv", want.name));
+            let json = dir.join(format!("{}.json", want.name));
+            let bench = dir.join("BENCH_campaign.json");
+            write_atomic(&csv, &a.csv)?;
+            write_atomic(&json, &a.json)?;
+            write_atomic(&bench, &a.summary)?;
+            for partial in [
+                format!("{}.csv.partial", want.name),
+                format!("{}.json.partial", want.name),
+                "BENCH_campaign.json.partial".to_string(),
+            ] {
+                let _ = std::fs::remove_file(dir.join(partial));
+            }
+            artefacts = vec![csv, json, bench];
+        }
+    }
+    Ok(ServiceOutcome {
+        finished,
+        newly_run: s.newly,
+        skipped,
+        slice_jobs: slice_jobs.len(),
+        artefacts,
+    })
+}
+
+/// Renders a progress report for the checkpoint at `dir`: one row per
+/// scenario plus a headline, without running anything.
+pub fn status(dir: &Path) -> Result<String, String> {
+    let manifest = Manifest::load(dir)?;
+    let spec_path = dir.join(SPEC_FILE);
+    let text = std::fs::read_to_string(&spec_path)
+        .map_err(|e| format!("cannot read {}: {e}", spec_path.display()))?;
+    let spec = ScenarioSpec::parse(&text).map_err(|e| format!("{}: {e}", spec_path.display()))?;
+    if spec.fingerprint() != manifest.fingerprint {
+        return Err(format!(
+            "spec fingerprint mismatch in {}: the manifest expects {:016x} but {} hashes to \
+             {:016x} — the checkpoint directory has been tampered with",
+            dir.join(MANIFEST_FILE).display(),
+            manifest.fingerprint,
+            spec_path.display(),
+            spec.fingerprint()
+        ));
+    }
+    let scenarios = spec.expand()?;
+    if scenarios.len() != manifest.n_scenarios || spec.replications != manifest.replications {
+        return Err(format!(
+            "grid shape mismatch in {}: manifest says {}×{} but {} expands to {}×{}",
+            dir.join(MANIFEST_FILE).display(),
+            manifest.n_scenarios,
+            manifest.replications,
+            spec_path.display(),
+            scenarios.len(),
+            spec.replications
+        ));
+    }
+    let journal = read_journal(dir)?;
+    let jpath = dir.join(JOURNAL_FILE);
+    let mut done: Vec<std::collections::HashSet<usize>> =
+        vec![std::collections::HashSet::new(); scenarios.len()];
+    for entry in &journal.entries {
+        if let JournalEntry::Cell { job, .. } = entry {
+            if *job >= manifest.n_jobs() || !manifest.owns_job(*job) {
+                return Err(format!(
+                    "{}: cell with job index {job} does not belong to slice {}/{} of a {}×{} \
+                     grid — journal and manifest disagree",
+                    jpath.display(),
+                    manifest.slice_index,
+                    manifest.slice_count,
+                    manifest.n_scenarios,
+                    manifest.replications
+                ));
+            }
+            done[job / manifest.replications].insert(job % manifest.replications);
+        }
+    }
+    let mut t = Table::new(&["scenario", "done", "of", "state"]);
+    let mut total_done = 0;
+    for (si, sc) in scenarios.iter().enumerate() {
+        let owned = (0..manifest.replications)
+            .filter(|rep| manifest.owns_job(si * manifest.replications + rep))
+            .count();
+        let d = done[si].len();
+        total_done += d;
+        let state = if owned == 0 {
+            "not in slice"
+        } else if d == owned {
+            "complete"
+        } else if d > 0 {
+            "running"
+        } else {
+            "pending"
+        };
+        t.row(&[
+            sc.label.clone(),
+            d.to_string(),
+            owned.to_string(),
+            state.into(),
+        ]);
+    }
+    let slice_total = manifest.slice_jobs().len();
+    Ok(format!(
+        "campaign {:?} · slice {}/{} · {total_done}/{slice_total} cells journaled{}\n\n{}",
+        manifest.name,
+        manifest.slice_index,
+        manifest.slice_count,
+        if journal.torn_tail {
+            " · torn tail dropped (killed mid-append)"
+        } else {
+            ""
+        },
+        t.render()
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("wcdma-service-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn tiny_spec() -> ScenarioSpec {
+        // 1 scenario × 2 replications, 3 data users, 6 simulated seconds —
+        // small enough that every unit test here runs real cells.
+        let mut spec = ScenarioSpec {
+            name: "tiny".into(),
+            replications: 2,
+            duration_s: 6.0,
+            warmup_s: 1.0,
+            ..ScenarioSpec::default()
+        };
+        spec.mixes = vec![crate::campaign::spec::TrafficMix::DataOnly];
+        spec.loads = vec![3];
+        spec
+    }
+
+    #[test]
+    fn missing_dir_errors_name_the_directory() {
+        let dir = tmpdir("missing").join("nope");
+        let err = status(&dir).expect_err("no checkpoint");
+        assert!(err.contains("no campaign checkpoint"), "{err}");
+        assert!(err.contains("nope"), "{err}");
+    }
+
+    #[test]
+    fn resume_with_edited_spec_names_both_fingerprints() {
+        let dir = tmpdir("fpr");
+        let spec = tiny_spec();
+        let cfg = ServiceConfig {
+            shards: 1,
+            max_cells: Some(1),
+            ..ServiceConfig::default()
+        };
+        run_spec_service(&spec, &dir, &cfg).expect("first leg");
+        let mut edited = spec.clone();
+        edited.seed ^= 1;
+        let err = run_spec_service(&edited, &dir, &cfg).expect_err("edited spec");
+        assert!(err.contains("spec fingerprint mismatch"), "{err}");
+        assert!(
+            err.contains(MANIFEST_FILE),
+            "error must name the file: {err}"
+        );
+        assert!(
+            err.contains(&format!("{:016x}", spec.fingerprint())),
+            "error must name the expected fingerprint: {err}"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn slice_mismatch_and_candidate_mismatch_are_rejected() {
+        let dir = tmpdir("mismatch");
+        let spec = tiny_spec();
+        let cfg = ServiceConfig {
+            shards: 1,
+            max_cells: Some(0),
+            ..ServiceConfig::default()
+        };
+        run_spec_service(&spec, &dir, &cfg).expect("create checkpoint");
+        let err = run_spec_service(
+            &spec,
+            &dir,
+            &ServiceConfig {
+                slice_index: 1,
+                slice_count: 2,
+                ..cfg.clone()
+            },
+        )
+        .expect_err("slice mismatch");
+        assert!(err.contains("grid slice mismatch"), "{err}");
+        let err = run_spec_service(
+            &spec,
+            &dir,
+            &ServiceConfig {
+                candidates: Some((3, 8)),
+                ..cfg.clone()
+            },
+        )
+        .expect_err("candidate mismatch");
+        assert!(err.contains("candidate-list mismatch"), "{err}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn status_reports_progress_per_scenario() {
+        let dir = tmpdir("status");
+        let spec = tiny_spec();
+        let cfg = ServiceConfig {
+            shards: 1,
+            max_cells: Some(1),
+            ..ServiceConfig::default()
+        };
+        let out = run_spec_service(&spec, &dir, &cfg).expect("partial run");
+        assert!(!out.finished);
+        assert_eq!(out.newly_run, 1);
+        let report = status(&dir).expect("status");
+        assert!(report.contains("campaign \"tiny\""), "{report}");
+        assert!(report.contains("1/2 cells journaled"), "{report}");
+        assert!(
+            report.contains("running") || report.contains("pending"),
+            "{report}"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -403,6 +403,14 @@ impl ScenarioSpec {
         q
     }
 
+    /// Stable 64-bit identity of the spec: FNV-1a over the canonical
+    /// [`to_toml`](Self::to_toml) rendering. The checkpoint manifest
+    /// records this so a resume or merge against a *different* spec fails
+    /// loudly instead of silently mixing grids.
+    pub fn fingerprint(&self) -> u64 {
+        super::journal::fnv1a64(self.to_toml().as_bytes())
+    }
+
     /// Renders the spec in the TOML subset [`parse`](Self::parse) accepts.
     pub fn to_toml(&self) -> String {
         use std::fmt::Write as _;
@@ -933,6 +941,23 @@ policy = [\"fcfs\"]
         assert!(q.duration_s < spec.duration_s);
         assert!(q.replications <= 2);
         q.validate().expect("quickened spec stays valid");
+    }
+
+    #[test]
+    fn fingerprint_tracks_spec_identity() {
+        let spec = paper_matrix();
+        // Stable across renders and round-trips (the checkpoint manifest
+        // stores it and the resume re-derives it from spec.toml)...
+        assert_eq!(spec.fingerprint(), spec.fingerprint());
+        let round = ScenarioSpec::parse(&spec.to_toml()).expect("round-trip");
+        assert_eq!(round.fingerprint(), spec.fingerprint());
+        // ...but any result-affecting edit changes it.
+        let mut edited = spec.clone();
+        edited.seed ^= 1;
+        assert_ne!(edited.fingerprint(), spec.fingerprint());
+        let mut edited = spec.clone();
+        edited.replications += 1;
+        assert_ne!(edited.fingerprint(), spec.fingerprint());
     }
 
     #[test]

@@ -31,7 +31,10 @@ pub mod table;
 pub mod trace;
 pub mod traffic;
 
-pub use campaign::{run_campaign, run_spec, CampaignResult, Scenario, ScenarioSpec};
+pub use campaign::{
+    campaign_status, merge_dirs, run_campaign, run_spec, run_spec_service, CampaignResult,
+    Scenario, ScenarioSpec, ServiceConfig, ServiceOutcome,
+};
 pub use config::{PhyKind, SimConfig, TrafficConfig};
 pub use engine::Simulation;
 pub use runner::{run_replications, Aggregate};

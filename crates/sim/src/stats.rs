@@ -127,6 +127,103 @@ pub struct SimReport {
     pub grant_hist: Vec<u64>,
 }
 
+impl SimReport {
+    /// Serializes the report as one whitespace-separated record with every
+    /// float as its raw IEEE-754 bit pattern (hex) and the grant histogram
+    /// comma-joined. The campaign checkpoint journal persists completed
+    /// replications through this; decimal formatting would round and break
+    /// the byte-identical-resume contract.
+    pub fn encode_record(&self) -> String {
+        let hist: Vec<String> = self.grant_hist.iter().map(|b| b.to_string()).collect();
+        let hist = if hist.is_empty() {
+            "-".to_string()
+        } else {
+            hist.join(",")
+        };
+        format!(
+            "{:016x} {:016x} {:016x} {:016x} {:016x} {} {:016x} {:016x} {:016x} {:016x} {:016x} {:016x} {} {}",
+            self.mean_delay_s.to_bits(),
+            self.p95_delay_s.to_bits(),
+            self.max_delay_s.to_bits(),
+            self.mean_queue_delay_s.to_bits(),
+            self.mean_setup_delay_s.to_bits(),
+            self.bursts_completed,
+            self.throughput_kbps.to_bits(),
+            self.per_cell_throughput_kbps.to_bits(),
+            self.per_user_throughput_kbps.to_bits(),
+            self.mean_grant_m.to_bits(),
+            self.mean_delta_beta.to_bits(),
+            self.denial_rate.to_bits(),
+            self.overload_events,
+            hist
+        )
+    }
+
+    /// Parses an [`encode_record`](Self::encode_record) string back into a
+    /// report. The round-trip is bit-exact. Errors describe the first bad
+    /// field; they never panic, so a corrupted journal surfaces as a clear
+    /// message naming the offending token.
+    pub fn decode_record(record: &str) -> Result<SimReport, String> {
+        let toks: Vec<&str> = record.split_ascii_whitespace().collect();
+        if toks.len() != 14 {
+            return Err(format!(
+                "truncated report record: expected 14 fields, found {}",
+                toks.len()
+            ));
+        }
+        let f = |i: usize, what: &str| -> Result<f64, String> {
+            let bits = u64::from_str_radix(toks[i], 16)
+                .map_err(|_| format!("bad {what} bits {:?} in report record", toks[i]))?;
+            Ok(f64::from_bits(bits))
+        };
+        let u = |i: usize, what: &str| -> Result<u64, String> {
+            toks[i]
+                .parse::<u64>()
+                .map_err(|_| format!("bad {what} count {:?} in report record", toks[i]))
+        };
+        let grant_hist = if toks[13] == "-" {
+            Vec::new()
+        } else {
+            toks[13]
+                .split(',')
+                .map(|b| {
+                    b.parse::<u64>()
+                        .map_err(|_| format!("bad grant_hist bin {b:?} in report record"))
+                })
+                .collect::<Result<Vec<u64>, String>>()?
+        };
+        let mean_delay_s = f(0, "mean_delay_s")?;
+        let p95_delay_s = f(1, "p95_delay_s")?;
+        let max_delay_s = f(2, "max_delay_s")?;
+        let mean_queue_delay_s = f(3, "mean_queue_delay_s")?;
+        let mean_setup_delay_s = f(4, "mean_setup_delay_s")?;
+        let bursts_completed = u(5, "bursts_completed")?;
+        let throughput_kbps = f(6, "throughput_kbps")?;
+        let per_cell_throughput_kbps = f(7, "per_cell_throughput_kbps")?;
+        let per_user_throughput_kbps = f(8, "per_user_throughput_kbps")?;
+        let mean_grant_m = f(9, "mean_grant_m")?;
+        let mean_delta_beta = f(10, "mean_delta_beta")?;
+        let denial_rate = f(11, "denial_rate")?;
+        let overload_events = u(12, "overload_events")?;
+        Ok(SimReport {
+            mean_delay_s,
+            p95_delay_s,
+            max_delay_s,
+            mean_queue_delay_s,
+            mean_setup_delay_s,
+            bursts_completed,
+            throughput_kbps,
+            per_cell_throughput_kbps,
+            per_user_throughput_kbps,
+            mean_grant_m,
+            mean_delta_beta,
+            denial_rate,
+            overload_events,
+            grant_hist,
+        })
+    }
+}
+
 /// Streaming per-metric statistics over independent replications.
 ///
 /// This is the single home of the cross-replication mean/CI math: the
@@ -190,6 +287,25 @@ impl ReplicationStats {
     pub fn ci(w: &Welford) -> MeanCi {
         MeanCi::from_welford(w)
     }
+
+    /// Every metric accumulator, in declaration order. The campaign
+    /// checkpoint journal snapshots the full fold state through this (via
+    /// [`Welford::to_raw_parts`]) so a resumed or merged fold can be
+    /// verified bit-identical to the fold that streamed the artefact row.
+    pub fn welfords(&self) -> [&Welford; 10] {
+        [
+            &self.mean_delay_s,
+            &self.p95_delay_s,
+            &self.mean_queue_delay_s,
+            &self.mean_setup_delay_s,
+            &self.throughput_kbps,
+            &self.per_cell_throughput_kbps,
+            &self.per_user_throughput_kbps,
+            &self.mean_grant_m,
+            &self.denial_rate,
+            &self.bursts_completed,
+        ]
+    }
 }
 
 #[cfg(test)]
@@ -244,6 +360,71 @@ mod tests {
             ReplicationStats::ci(&rs.per_cell_throughput_kbps),
             MeanCi::from_samples(&ts)
         );
+    }
+
+    #[test]
+    fn report_record_round_trips_bit_exactly() {
+        let mut s = SimStats::new();
+        for d in [0.017, 0.23, 1.9] {
+            s.burst_delay.push(d);
+            s.burst_delay_p95.push(d);
+            s.queue_delay.push(d / 3.0);
+            s.grant_m.push(4.0);
+            s.grant_hist.push(4.0);
+        }
+        s.bits_delivered = 123_456.0;
+        s.bursts_completed = 3;
+        s.denial_rounds = 1;
+        s.request_rounds = 7;
+        s.window_s = 5.0;
+        let report = s.report(4, 7);
+        let record = report.encode_record();
+        let back = SimReport::decode_record(&record).expect("round-trip decode");
+        assert_eq!(back, report, "decode must be bit-exact");
+        // Non-finite values survive too (hex bit patterns, not decimal).
+        let mut odd = report.clone();
+        odd.p95_delay_s = f64::NAN;
+        odd.mean_delta_beta = f64::NEG_INFINITY;
+        let back = SimReport::decode_record(&odd.encode_record()).unwrap();
+        assert!(back.p95_delay_s.is_nan());
+        assert_eq!(back.mean_delta_beta, f64::NEG_INFINITY);
+        assert_eq!(back.grant_hist, odd.grant_hist);
+    }
+
+    #[test]
+    fn report_record_rejects_corruption_with_clear_errors() {
+        let report = SimStats::new().report(1, 1);
+        let record = report.encode_record();
+        // Truncation (torn write mid-line).
+        let torn = &record[..record.len() / 2];
+        let err = SimReport::decode_record(torn).expect_err("torn record");
+        assert!(err.contains("truncated") || err.contains("bad"), "{err}");
+        // Field garbage.
+        let err = SimReport::decode_record(&record.replace(' ', "  q ")).expect_err("garbage");
+        assert!(err.contains("report record"), "{err}");
+        // Trailing garbage.
+        let err = SimReport::decode_record(&format!("{record} extra")).expect_err("trailing");
+        assert!(err.contains("14 fields"), "{err}");
+        // Empty histogram encodes as `-` and decodes back to empty.
+        let mut empty = report.clone();
+        empty.grant_hist = Vec::new();
+        let back = SimReport::decode_record(&empty.encode_record()).unwrap();
+        assert!(back.grant_hist.is_empty());
+    }
+
+    #[test]
+    fn welford_accessors_cover_every_metric() {
+        let mut rs = ReplicationStats::new();
+        let mut s = SimStats::new();
+        s.burst_delay.push(0.5);
+        s.burst_delay_p95.push(0.5);
+        s.bits_delivered = 1000.0;
+        s.window_s = 1.0;
+        s.bursts_completed = 1;
+        rs.push(&s.report(2, 7));
+        for w in rs.welfords() {
+            assert_eq!(w.count(), 1, "every accumulator sees every push");
+        }
     }
 
     #[test]

@@ -71,29 +71,29 @@ impl Table {
 
     /// Renders as CSV (RFC-4180-ish; quotes cells containing commas).
     pub fn to_csv(&self) -> String {
-        let mut out = String::new();
-        let esc = |s: &str| {
-            if s.contains(',') || s.contains('"') {
-                format!("\"{}\"", s.replace('"', "\"\""))
-            } else {
-                s.to_string()
-            }
-        };
-        out.push_str(
-            &self
-                .header
-                .iter()
-                .map(|h| esc(h))
-                .collect::<Vec<_>>()
-                .join(","),
-        );
-        out.push('\n');
+        let mut out = csv_line(&self.header);
         for row in &self.rows {
-            out.push_str(&row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
-            out.push('\n');
+            out.push_str(&csv_line(row));
         }
         out
     }
+}
+
+/// Escapes and joins one CSV record (newline-terminated), quoting cells
+/// containing commas or quotes. [`Table::to_csv`] and the streaming
+/// campaign emitters share this so a row streamed cell-by-cell is
+/// byte-identical to the same row rendered in batch.
+pub fn csv_line(cells: &[String]) -> String {
+    let esc = |s: &str| {
+        if s.contains(',') || s.contains('"') {
+            format!("\"{}\"", s.replace('"', "\"\""))
+        } else {
+            s.to_string()
+        }
+    };
+    let mut out = cells.iter().map(|c| esc(c)).collect::<Vec<_>>().join(",");
+    out.push('\n');
+    out
 }
 
 /// Formats a float with 3 significant decimals.
@@ -134,6 +134,14 @@ mod tests {
         let csv = t.to_csv();
         assert!(csv.contains("\"x,y\""));
         assert!(csv.contains("\"quote\"\"inner\""));
+        // Streamed rows must match the batch rendering byte-for-byte.
+        let streamed: String = [
+            csv_line(&["a".into(), "b".into()]),
+            csv_line(&["x,y".into(), "plain".into()]),
+            csv_line(&["quote\"inner".into(), "z".into()]),
+        ]
+        .concat();
+        assert_eq!(streamed, csv);
     }
 
     #[test]

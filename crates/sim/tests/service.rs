@@ -1,0 +1,239 @@
+//! End-to-end tests of the campaign service layer: kill-and-resume and
+//! multi-process grid slicing must both produce artefacts byte-identical
+//! to an uninterrupted single-process run. These are the in-process
+//! versions of the CI legs that SIGKILL the real binary — `max_cells`
+//! stands in for the kill so the cut point is deterministic.
+
+use std::path::{Path, PathBuf};
+
+use wcdma_sim::campaign::journal::{JOURNAL_FILE, MANIFEST_FILE};
+use wcdma_sim::campaign::spec::TrafficMix;
+use wcdma_sim::{campaign_status, merge_dirs, run_spec_service, ScenarioSpec, ServiceConfig};
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("wcdma-svc-it-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// 2 scenarios × 3 replications of a 3-user data-only cell: big enough to
+/// have interior cut points and a multi-row artefact, small enough for CI.
+fn small_spec() -> ScenarioSpec {
+    let mut spec = ScenarioSpec {
+        name: "svc-it".into(),
+        replications: 3,
+        duration_s: 6.0,
+        warmup_s: 1.0,
+        ..ScenarioSpec::default()
+    };
+    spec.mixes = vec![TrafficMix::DataOnly];
+    spec.loads = vec![3];
+    spec.policies = vec!["jaba-sd-j2".into(), "fcfs".into()];
+    spec
+}
+
+fn svc(overrides: impl FnOnce(&mut ServiceConfig)) -> ServiceConfig {
+    let mut cfg = ServiceConfig {
+        shards: 1,
+        ..ServiceConfig::default()
+    };
+    overrides(&mut cfg);
+    cfg
+}
+
+/// Reads the three final artefacts of a finished unsliced run.
+fn artefacts(dir: &Path) -> (String, String, String) {
+    let read = |file: String| std::fs::read_to_string(dir.join(file)).expect("final artefact");
+    (
+        read("svc-it.csv".into()),
+        read("svc-it.json".into()),
+        read("BENCH_campaign.json".into()),
+    )
+}
+
+#[test]
+fn kill_and_resume_is_byte_identical() {
+    let spec = small_spec();
+
+    // Reference: one uninterrupted run.
+    let ref_dir = tmpdir("ref");
+    let out = run_spec_service(&spec, &ref_dir, &svc(|_| {})).expect("uninterrupted run");
+    assert!(out.finished);
+    assert_eq!(out.newly_run, 6);
+    let (ref_csv, ref_json, ref_bench) = artefacts(&ref_dir);
+
+    // Killed after 2 of 6 cells, resumed, finished.
+    let dir = tmpdir("resume");
+    let out = run_spec_service(&spec, &dir, &svc(|c| c.max_cells = Some(2))).expect("first leg");
+    assert!(!out.finished);
+    assert_eq!(out.newly_run, 2);
+    // Artefacts are still streaming: a partial exists, the final doesn't.
+    assert!(dir.join("svc-it.csv.partial").exists(), "streaming partial");
+    assert!(!dir.join("svc-it.csv").exists(), "no final artefact yet");
+    let out = run_spec_service(&spec, &dir, &svc(|_| {})).expect("resume");
+    assert!(out.finished);
+    assert_eq!(out.newly_run, 4, "resume skips the journaled cells");
+    assert_eq!(out.skipped, 2);
+    assert_eq!(
+        artefacts(&dir),
+        (ref_csv.clone(), ref_json.clone(), ref_bench.clone())
+    );
+    assert!(
+        !dir.join("svc-it.csv.partial").exists(),
+        "finalize removes partials"
+    );
+
+    // A second resume of a finished run is an idempotent no-op.
+    let out = run_spec_service(&spec, &dir, &svc(|_| {})).expect("re-resume");
+    assert!(out.finished);
+    assert_eq!(out.newly_run, 0);
+    assert_eq!(out.skipped, 6);
+    assert_eq!(
+        artefacts(&dir),
+        (ref_csv.clone(), ref_json.clone(), ref_bench.clone())
+    );
+
+    // Torn tail: chop the last journal line mid-record, as a SIGKILL
+    // would, and resume — the dropped cell is re-run bit-identically.
+    // (After 2 cells the journal is exactly two `cell` lines, so the chop
+    // tears the second cell.)
+    let torn_dir = tmpdir("torn");
+    run_spec_service(&spec, &torn_dir, &svc(|c| c.max_cells = Some(2))).expect("first leg");
+    let jpath = torn_dir.join(JOURNAL_FILE);
+    let text = std::fs::read_to_string(&jpath).unwrap();
+    std::fs::write(&jpath, &text[..text.len() - 25]).unwrap();
+    let out = run_spec_service(&spec, &torn_dir, &svc(|_| {})).expect("resume over torn tail");
+    assert!(out.finished);
+    assert_eq!(out.newly_run, 5, "the torn cell is re-run");
+    assert_eq!(artefacts(&torn_dir), (ref_csv, ref_json, ref_bench));
+
+    for d in [ref_dir, dir, torn_dir] {
+        std::fs::remove_dir_all(&d).unwrap();
+    }
+}
+
+#[test]
+fn three_slices_merge_byte_identical_to_single_process() {
+    let spec = small_spec();
+
+    // Single-process reference (also exercises merge over 1/1).
+    let ref_dir = tmpdir("m-ref");
+    run_spec_service(&spec, &ref_dir, &svc(|_| {})).expect("single-process run");
+    let (ref_csv, ref_json, ref_bench) = artefacts(&ref_dir);
+    let remerged = tmpdir("m-re");
+    merge_dirs(std::slice::from_ref(&ref_dir), &remerged).expect("merge of one full checkpoint");
+    let (csv, json, bench) = (
+        std::fs::read_to_string(remerged.join("svc-it.csv")).unwrap(),
+        std::fs::read_to_string(remerged.join("svc-it.json")).unwrap(),
+        std::fs::read_to_string(remerged.join("BENCH_campaign.json")).unwrap(),
+    );
+    assert_eq!(
+        (csv, json, bench),
+        (ref_csv.clone(), ref_json.clone(), ref_bench.clone())
+    );
+
+    // Three independent slices, merged.
+    let slices: Vec<PathBuf> = (1..=3).map(|i| tmpdir(&format!("m-s{i}"))).collect();
+    for (i, dir) in slices.iter().enumerate() {
+        let out = run_spec_service(
+            &spec,
+            dir,
+            &svc(|c| {
+                c.slice_index = i + 1;
+                c.slice_count = 3;
+            }),
+        )
+        .expect("slice run");
+        assert!(out.finished);
+        assert!(out.artefacts.is_empty(), "slices emit no artefacts");
+        // Status understands slice checkpoints.
+        let report = campaign_status(dir).expect("slice status");
+        assert!(report.contains(&format!("slice {}/3", i + 1)), "{report}");
+    }
+    let merged = tmpdir("m-out");
+    // Order must not matter.
+    let shuffled = vec![slices[2].clone(), slices[0].clone(), slices[1].clone()];
+    merge_dirs(&shuffled, &merged).expect("merge of three slices");
+    let (csv, json, bench) = (
+        std::fs::read_to_string(merged.join("svc-it.csv")).unwrap(),
+        std::fs::read_to_string(merged.join("svc-it.json")).unwrap(),
+        std::fs::read_to_string(merged.join("BENCH_campaign.json")).unwrap(),
+    );
+    assert_eq!((csv, json, bench), (ref_csv, ref_json, ref_bench));
+
+    // Error paths: an incomplete slice set, and an incomplete slice.
+    let err = merge_dirs(&slices[..2], &merged).expect_err("missing slice");
+    assert!(err.contains("sliced 3 ways"), "{err}");
+    let partial = tmpdir("m-partial");
+    run_spec_service(
+        &spec,
+        &partial,
+        &svc(|c| {
+            c.slice_index = 1;
+            c.slice_count = 3;
+            c.max_cells = Some(1);
+        }),
+    )
+    .expect("partial slice");
+    let err = merge_dirs(
+        &[partial.clone(), slices[1].clone(), slices[2].clone()],
+        &merged,
+    )
+    .expect_err("incomplete slice");
+    assert!(err.contains("incomplete"), "{err}");
+    assert!(err.contains(JOURNAL_FILE), "error names the journal: {err}");
+
+    for d in slices
+        .into_iter()
+        .chain([ref_dir, remerged, merged, partial])
+    {
+        std::fs::remove_dir_all(&d).unwrap();
+    }
+}
+
+#[test]
+fn corruption_and_mismatch_errors_name_files_and_fingerprints() {
+    let spec = small_spec();
+    let dir = tmpdir("err");
+    run_spec_service(&spec, &dir, &svc(|c| c.max_cells = Some(2))).expect("partial run");
+
+    // Interior journal corruption is fatal and names file + line.
+    let jpath = dir.join(JOURNAL_FILE);
+    let text = std::fs::read_to_string(&jpath).unwrap();
+    let mut lines: Vec<&str> = text.lines().collect();
+    let corrupted = lines[0].replace(|c: char| c.is_ascii_hexdigit(), "z");
+    lines[0] = &corrupted;
+    std::fs::write(&jpath, format!("{}\n", lines.join("\n"))).unwrap();
+    let err = run_spec_service(&spec, &dir, &svc(|_| {})).expect_err("corrupt journal");
+    assert!(err.contains("corrupt journal line 1"), "{err}");
+    assert!(err.contains(JOURNAL_FILE), "{err}");
+    std::fs::write(&jpath, text).unwrap();
+
+    // Fingerprint mismatch on resume names the manifest and both hashes.
+    let mut edited = spec.clone();
+    edited.description = "edited".into();
+    let err = run_spec_service(&edited, &dir, &svc(|_| {})).expect_err("edited spec");
+    assert!(err.contains("spec fingerprint mismatch"), "{err}");
+    assert!(err.contains(MANIFEST_FILE), "{err}");
+    assert!(
+        err.contains(&format!("{:016x}", spec.fingerprint())),
+        "{err}"
+    );
+
+    // Status on a missing directory is a clear error, not a panic.
+    let missing = dir.join("no-such-dir");
+    let err = campaign_status(&missing).expect_err("missing dir");
+    assert!(err.contains("no campaign checkpoint"), "{err}");
+    // Merge against a tampered spec file reports the fingerprint pair.
+    let spec_path = dir.join("spec.toml");
+    let spec_text = std::fs::read_to_string(&spec_path).unwrap();
+    std::fs::write(&spec_path, spec_text.replace("svc-it", "svc-xx")).unwrap();
+    let err = campaign_status(&dir).expect_err("tampered spec");
+    assert!(err.contains("fingerprint mismatch"), "{err}");
+    assert!(
+        err.contains(&format!("{:016x}", spec.fingerprint())),
+        "{err}"
+    );
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
