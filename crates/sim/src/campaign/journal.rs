@@ -23,10 +23,14 @@
 //!   out, so a resume can *prove* its refold is bit-identical.
 //!
 //! A SIGKILL can tear the final journal line mid-write; readers therefore
-//! tolerate exactly one undecodable **trailing** line (reported, not
-//! fatal). Corruption anywhere else is a hard error naming the file and
-//! line — an append-only writer cannot produce it, so something else
-//! damaged the checkpoint and silently dropping cells would be worse.
+//! tolerate exactly one undecodable **unterminated trailing** line
+//! (reported, not fatal), and a resume truncates it via [`repair_tail`]
+//! before appending so the fragment never glues onto the next line.
+//! Corruption anywhere else — including an undecodable line that still
+//! has its `'\n'`, which a single sequential write cannot strand — is a
+//! hard error naming the file and line: an append-only writer cannot
+//! produce it, so something else damaged the checkpoint and silently
+//! dropping cells would be worse.
 
 use std::fmt::Write as _;
 use std::fs::{File, OpenOptions};
@@ -57,6 +61,26 @@ pub fn fnv1a64(bytes: &[u8]) -> u64 {
         h = h.wrapping_mul(0x0000_0100_0000_01b3);
     }
     h
+}
+
+/// Checks that a campaign name can round-trip through the manifest's
+/// quoted-string rendering and serve as an artefact file stem: no `'"'`
+/// (the manifest parser only strips the outer quotes), no path
+/// separators, no control characters.
+pub fn validate_name(name: &str) -> Result<(), String> {
+    if name.is_empty() {
+        return Err("campaign name is empty".to_string());
+    }
+    if let Some(c) = name
+        .chars()
+        .find(|&c| c == '"' || c == '/' || c == '\\' || c.is_control())
+    {
+        return Err(format!(
+            "campaign name {name:?} contains {c:?}, which cannot appear in a manifest string or \
+             an artefact file name"
+        ));
+    }
+    Ok(())
 }
 
 /// The checkpoint identity record at `manifest.toml`.
@@ -157,13 +181,12 @@ impl Manifest {
             match key {
                 "format" => format = Some(uint("format version")? as u32),
                 "name" => {
-                    name = Some(
-                        value
-                            .strip_prefix('"')
-                            .and_then(|v| v.strip_suffix('"'))
-                            .ok_or_else(|| at(format!("line {}: name must be quoted", lineno + 1)))?
-                            .to_string(),
-                    )
+                    let n = value
+                        .strip_prefix('"')
+                        .and_then(|v| v.strip_suffix('"'))
+                        .ok_or_else(|| at(format!("line {}: name must be quoted", lineno + 1)))?;
+                    validate_name(n).map_err(|e| at(format!("line {}: {e}", lineno + 1)))?;
+                    name = Some(n.to_string());
                 }
                 "fingerprint" => {
                     let hex = value
@@ -242,8 +265,9 @@ impl Manifest {
 
     /// Writes the manifest atomically (tmp + rename): a kill between the
     /// two steps leaves either no manifest or a complete one, never a
-    /// torn one.
+    /// torn one. Rejects names [`validate_name`] cannot round-trip.
     pub fn store(&self, dir: &Path) -> Result<(), String> {
+        validate_name(&self.name)?;
         write_atomic(&dir.join(MANIFEST_FILE), &self.to_toml())
     }
 }
@@ -340,8 +364,11 @@ fn decode_line(line: &str) -> Result<JournalEntry, String> {
 
 /// Reads `<dir>/journal.log`. A missing file is an empty journal (the run
 /// was killed before the first completion). Exactly one undecodable
-/// *trailing* line is tolerated as a torn write; anything undecodable
-/// earlier is a hard error naming the file and line number.
+/// *unterminated trailing* line is tolerated as a torn write — the writer
+/// emits a line's body and its `'\n'` in one sequential write, so a tear
+/// can only strand an unterminated tail. Anything else undecodable,
+/// including a newline-terminated final line, is a hard error naming the
+/// file and line number.
 pub fn read_journal(dir: &Path) -> Result<JournalContents, String> {
     let path = dir.join(JOURNAL_FILE);
     let text = match std::fs::read_to_string(&path) {
@@ -372,23 +399,60 @@ pub fn read_journal(dir: &Path) -> Result<JournalContents, String> {
                 contents.entries.push(entry);
             }
             Err(reason) => {
-                if i + 1 == n || (i + 2 == n && lines[n - 1].is_empty() && i + 1 == n - 1) {
-                    // Torn tail: drop the final (possibly unterminated)
-                    // line and let the resume re-run that cell.
-                    if i + 1 == n {
-                        contents.torn_tail = true;
-                        continue;
-                    }
+                // Only the final, unterminated split piece can be a torn
+                // append; drop it and let the resume re-run that cell.
+                if i + 1 == n {
+                    contents.torn_tail = true;
+                } else {
+                    return Err(format!(
+                        "corrupt journal line {} in {}: {reason}",
+                        i + 1,
+                        path.display()
+                    ));
                 }
-                return Err(format!(
-                    "corrupt journal line {} in {}: {reason}",
-                    i + 1,
-                    path.display()
-                ));
             }
         }
     }
     Ok(contents)
+}
+
+/// Repairs the tail of `<dir>/journal.log` so the next append starts a
+/// fresh line. A kill can leave the file without a final `'\n'` in two
+/// ways, and an append-mode reopen would glue its first line onto either
+/// — producing a line that fails its checksum on every later read. Pass
+/// [`read_journal`]'s verdict: when `torn_tail`, the unterminated tail is
+/// an undecodable fragment and is truncated at the last `'\n'`; otherwise
+/// an unterminated tail decoded cleanly, so it is a complete record and
+/// only gets the `'\n'` the kill swallowed. A missing, empty, or
+/// `'\n'`-terminated file is left untouched. Call only after
+/// [`read_journal`] accepted the file.
+pub fn repair_tail(dir: &Path, torn_tail: bool) -> Result<(), String> {
+    let path = dir.join(JOURNAL_FILE);
+    let bytes = match std::fs::read(&path) {
+        Ok(b) => b,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(()),
+        Err(e) => return Err(format!("cannot read {}: {e}", path.display())),
+    };
+    if bytes.is_empty() || bytes.ends_with(b"\n") {
+        return Ok(());
+    }
+    if torn_tail {
+        let keep = bytes.iter().rposition(|&b| b == b'\n').map_or(0, |i| i + 1);
+        let file = OpenOptions::new()
+            .write(true)
+            .open(&path)
+            .map_err(|e| format!("cannot open {}: {e}", path.display()))?;
+        file.set_len(keep as u64)
+            .map_err(|e| format!("cannot truncate {}: {e}", path.display()))?;
+    } else {
+        let mut file = OpenOptions::new()
+            .append(true)
+            .open(&path)
+            .map_err(|e| format!("cannot open {}: {e}", path.display()))?;
+        file.write_all(b"\n")
+            .map_err(|e| format!("cannot terminate the tail of {}: {e}", path.display()))?;
+    }
+    Ok(())
 }
 
 /// Append-only journal writer: opens (creating) `<dir>/journal.log` and
@@ -649,6 +713,89 @@ mod tests {
         std::fs::write(&path, format!("{}\n{}\n", lines[0], lines[1])).unwrap();
         let err = read_journal(&dir).expect_err("bad checksum");
         assert!(err.contains("line 1"), "{err}");
+
+        // An undecodable final line that kept its '\n' is damage, not a
+        // torn append — the writer emits body + '\n' in one write.
+        std::fs::write(
+            &path,
+            format!(
+                "{}\ncell 1 zzz|0000000000000000\n",
+                text.lines().next().unwrap()
+            ),
+        )
+        .unwrap();
+        let err = read_journal(&dir).expect_err("terminated corruption");
+        assert!(err.contains("corrupt journal line 2"), "{err}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn repair_tail_lets_reopened_writers_append_cleanly() {
+        let dir = tmpdir("repair");
+        let r = sample_report(1.5);
+        {
+            let mut w = JournalWriter::open(&dir).unwrap();
+            w.append_cell(0, &r).unwrap();
+            w.append_cell(1, &r).unwrap();
+        }
+        let path = dir.join(JOURNAL_FILE);
+        let text = std::fs::read_to_string(&path).unwrap();
+
+        // Torn fragment: repair truncates it so the reopened writer's
+        // first line does not glue onto it.
+        std::fs::write(&path, &text[..text.len() - 20]).unwrap();
+        let contents = read_journal(&dir).unwrap();
+        assert!(contents.torn_tail);
+        repair_tail(&dir, contents.torn_tail).unwrap();
+        {
+            let mut w = JournalWriter::open(&dir).unwrap();
+            w.append_cell(1, &r).unwrap();
+        }
+        let contents = read_journal(&dir).expect("clean after repair + append");
+        assert!(!contents.torn_tail);
+        assert_eq!(contents.entries.len(), 2);
+
+        // Complete-but-unterminated record: repair terminates it instead
+        // of truncating, so the record survives and the next append is
+        // still on a fresh line.
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, text.trim_end_matches('\n')).unwrap();
+        let contents = read_journal(&dir).unwrap();
+        assert!(!contents.torn_tail);
+        repair_tail(&dir, contents.torn_tail).unwrap();
+        {
+            let mut w = JournalWriter::open(&dir).unwrap();
+            w.append_cell(2, &r).unwrap();
+        }
+        assert_eq!(read_journal(&dir).unwrap().entries.len(), 3);
+
+        // Missing and empty journals are no-ops.
+        std::fs::remove_file(&path).unwrap();
+        repair_tail(&dir, true).unwrap();
+        assert!(!path.exists());
+        std::fs::write(&path, "").unwrap();
+        repair_tail(&dir, true).unwrap();
+        assert!(read_journal(&dir).unwrap().entries.is_empty());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn unroundtrippable_names_are_rejected() {
+        let dir = tmpdir("badname");
+        for bad in ["", "quo\"te", "pa/th", "back\\slash", "new\nline"] {
+            let mut m = manifest();
+            m.name = bad.into();
+            let err = m.store(&dir).expect_err(bad);
+            assert!(err.contains("campaign name"), "{bad:?} → {err}");
+        }
+        assert!(!dir.join(MANIFEST_FILE).exists(), "nothing was written");
+        // A hand-edited manifest smuggling a quote past the outer-quote
+        // stripping is rejected on parse, not silently misparsed.
+        let smuggled = manifest()
+            .to_toml()
+            .replace("name = \"paper-eval\"", "name = \"pap\"er\"");
+        let err = Manifest::parse(&smuggled, Path::new("m.toml")).expect_err("inner quote");
+        assert!(err.contains("campaign name"), "{err}");
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -35,8 +35,8 @@ use crate::table::Table;
 
 use super::emit;
 use super::journal::{
-    read_journal, write_atomic, JournalEntry, JournalWriter, Manifest, CHECKPOINT_FORMAT_VERSION,
-    JOURNAL_FILE, MANIFEST_FILE, SPEC_FILE,
+    read_journal, repair_tail, validate_name, write_atomic, JournalEntry, JournalWriter, Manifest,
+    CHECKPOINT_FORMAT_VERSION, JOURNAL_FILE, MANIFEST_FILE, SPEC_FILE,
 };
 use super::runner::{run_grid_jobs, ScenarioResult};
 use super::spec::ScenarioSpec;
@@ -62,8 +62,10 @@ pub struct ServiceConfig {
     pub slice_index: usize,
     /// Total slice count (`1` for an unsliced run).
     pub slice_count: usize,
-    /// Stop (gracefully) after journaling this many new cells — a
-    /// deterministic simulated kill for tests; `None` runs to the end.
+    /// Stop after journaling this many new cells — a deterministic
+    /// simulated kill for tests; `None` runs to the end. A hard limit
+    /// even with `shards > 1`: completions in flight when it lands are
+    /// dropped (as a real kill would drop them) and re-run on resume.
     pub max_cells: Option<usize>,
 }
 
@@ -196,6 +198,9 @@ pub fn run_spec_service(
             cfg.slice_index, cfg.slice_count
         ));
     }
+    // Checked before any file is created so a bad name cannot leave a
+    // half-built checkpoint directory behind.
+    validate_name(&spec.name)?;
     let scenarios = spec.expand()?;
     if let Some((k, refresh)) = cfg.candidates {
         for sc in &scenarios {
@@ -231,6 +236,12 @@ pub fn run_spec_service(
     // Replay the journal: every already-finished cell, plus the fold
     // tripwires to verify below.
     let journal = read_journal(dir)?;
+    // A kill can leave the journal tail unterminated (a torn fragment, or
+    // a complete record missing its '\n'); repair it before the
+    // append-mode reopen below so the first resumed line is not glued
+    // onto the old tail — a glued line fails its checksum on every later
+    // read, bricking status/merge/second resumes.
+    repair_tail(dir, journal.torn_tail)?;
     let jpath = dir.join(JOURNAL_FILE);
     let mut completed: HashMap<usize, SimReport> = HashMap::new();
     let mut folds: Vec<(usize, Vec<u64>)> = Vec::new();
@@ -379,6 +390,13 @@ pub fn run_spec_service(
         &|job, report| {
             let mut s = shared.lock().unwrap();
             if s.error.is_some() {
+                return;
+            }
+            // The simulated kill already landed: drop in-flight
+            // completions instead of journaling past the limit (a real
+            // SIGKILL drops them too); a resume re-runs them
+            // bit-identically.
+            if cfg.max_cells.is_some_and(|max| s.newly >= max) {
                 return;
             }
             let step = (|s: &mut Shared| -> Result<(), String> {
@@ -639,6 +657,41 @@ mod tests {
         )
         .expect_err("candidate mismatch");
         assert!(err.contains("candidate-list mismatch"), "{err}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn max_cells_is_a_hard_limit_even_with_many_shards() {
+        let dir = tmpdir("maxcells");
+        let mut spec = tiny_spec();
+        spec.replications = 4;
+        let out = run_spec_service(
+            &spec,
+            &dir,
+            &ServiceConfig {
+                shards: 4,
+                max_cells: Some(2),
+                ..ServiceConfig::default()
+            },
+        )
+        .expect("limited run");
+        assert!(!out.finished);
+        assert_eq!(
+            out.newly_run, 2,
+            "completions in flight when the limit lands are dropped, not journaled"
+        );
+        let out = run_spec_service(
+            &spec,
+            &dir,
+            &ServiceConfig {
+                shards: 2,
+                ..ServiceConfig::default()
+            },
+        )
+        .expect("resume");
+        assert!(out.finished);
+        assert_eq!(out.skipped, 2);
+        assert_eq!(out.newly_run, 2);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -102,12 +102,32 @@ fn kill_and_resume_is_byte_identical() {
     let jpath = torn_dir.join(JOURNAL_FILE);
     let text = std::fs::read_to_string(&jpath).unwrap();
     std::fs::write(&jpath, &text[..text.len() - 25]).unwrap();
-    let out = run_spec_service(&spec, &torn_dir, &svc(|_| {})).expect("resume over torn tail");
+    // Resume a single cell first: its journal line must start fresh, not
+    // glue onto the torn fragment, or every later read of the journal
+    // fails its checksum.
+    let out =
+        run_spec_service(&spec, &torn_dir, &svc(|c| c.max_cells = Some(1))).expect("torn resume");
+    assert!(!out.finished);
+    assert_eq!(out.newly_run, 1, "the torn cell is re-run");
+    let report = campaign_status(&torn_dir).expect("status re-reads the repaired journal");
+    assert!(report.contains("2/6 cells journaled"), "{report}");
+    let out = run_spec_service(&spec, &torn_dir, &svc(|_| {})).expect("second resume");
     assert!(out.finished);
-    assert_eq!(out.newly_run, 5, "the torn cell is re-run");
-    assert_eq!(artefacts(&torn_dir), (ref_csv, ref_json, ref_bench));
+    assert_eq!(out.newly_run, 4);
+    assert_eq!(
+        artefacts(&torn_dir),
+        (ref_csv.clone(), ref_json.clone(), ref_bench.clone())
+    );
+    // Merge (of the trivial 1/1 slice set) also re-reads the journal.
+    let torn_merged = tmpdir("torn-merge");
+    merge_dirs(std::slice::from_ref(&torn_dir), &torn_merged)
+        .expect("merge re-reads the repaired journal");
+    assert_eq!(
+        std::fs::read_to_string(torn_merged.join("svc-it.csv")).unwrap(),
+        ref_csv
+    );
 
-    for d in [ref_dir, dir, torn_dir] {
+    for d in [ref_dir, dir, torn_dir, torn_merged] {
         std::fs::remove_dir_all(&d).unwrap();
     }
 }
