@@ -9,8 +9,12 @@
 //!   (eq. 19–23).
 //! * [`policy`] — the open admission-policy API: the [`AdmissionPolicy`]
 //!   trait, the built-in policies (JABA-SD, the FCFS / equal-share
-//!   baselines, weighted fair share, threshold reservation), and the
-//!   "writing your own policy" guide.
+//!   baselines, weighted fair share, threshold reservation, and the
+//!   measurement-based `measured-region` / `graceful-degradation`
+//!   family), and the "writing your own policy" guide.
+//! * [`feedback`] — the in-loop QoS feedback signal ([`QosFeedback`],
+//!   [`QosMonitor`]) that measurement-based policies consume instead of
+//!   trusting the eq.-24 region.
 //! * [`registry`] — the [`PolicyRegistry`]: name → constructor with typed
 //!   parameters, the resolution path for campaign specs and the CLI.
 //! * [`scheduler`] — the per-frame burst scheduler: builds the policy
@@ -21,6 +25,7 @@
 #![warn(clippy::all)]
 
 pub mod csi;
+pub mod feedback;
 pub mod measurement;
 pub mod objective;
 pub mod policy;
@@ -29,14 +34,15 @@ pub mod scheduler;
 pub mod temporal;
 
 pub use csi::{delta_beta, sch_mean_csi, PhyModel};
+pub use feedback::{DirQos, QosFeedback, QosMonitor, DEFAULT_QOS_WINDOW_FRAMES};
 pub use measurement::{
     copy_region_into, forward_region, forward_region_into, region_problem, reverse_region,
     reverse_region_into, Region,
 };
 pub use objective::{delay_penalty, Objective};
 pub use policy::{
-    AdmissionPolicy, BoxedPolicy, EqualShare, Fcfs, JabaSd, PolicyContext, PolicyDecision,
-    PolicyScratch, ThresholdReservation, WeightedFairShare,
+    AdmissionPolicy, BoxedPolicy, EqualShare, Fcfs, GracefulDegradation, JabaSd, MeasuredRegion,
+    PolicyContext, PolicyDecision, PolicyScratch, ThresholdReservation, WeightedFairShare,
 };
 pub use registry::{PolicyEntry, PolicyParamSpec, PolicyRegistry, ResolvedParams};
 pub use scheduler::{

@@ -36,7 +36,7 @@
 //!         "one-each"
 //!     }
 //!
-//!     fn decide(&self, ctx: &PolicyContext<'_>) -> PolicyDecision {
+//!     fn decide(&mut self, ctx: &PolicyContext<'_>) -> PolicyDecision {
 //!         let mut m = vec![0u32; ctx.requests.len()];
 //!         for j in 0..m.len() {
 //!             let (lo, hi) = ctx.bounds[j];
@@ -73,6 +73,7 @@
 use wcdma_ilp::{branch_and_bound, greedy, BbWorkspace, Problem};
 use wcdma_mac::LinkDir;
 
+use crate::feedback::QosFeedback;
 use crate::measurement::{region_problem, Region};
 use crate::objective::Objective;
 use crate::scheduler::{Policy, RequestState, SchedulerConfig};
@@ -102,6 +103,14 @@ pub struct PolicyContext<'a> {
     /// The static scheduler configuration (spreading parameters, MAC
     /// timers, budgets) for policies that need it.
     pub cfg: &'a SchedulerConfig,
+    /// Windowed in-loop QoS feedback (observed outage / SIR-violation
+    /// rates). Piecewise constant between window boundaries; `seq == 0`
+    /// until the first window closes. Model-trusting policies ignore it;
+    /// measurement-based policies (see [`MeasuredRegion`],
+    /// [`GracefulDegradation`]) must also return `true` from
+    /// [`AdmissionPolicy::uses_feedback`] so the scheduler's
+    /// identical-round cache stays sound.
+    pub feedback: &'a QosFeedback,
 }
 
 /// What a policy decided for one scheduling round.
@@ -149,11 +158,18 @@ impl PolicyScratch {
 /// A burst admission policy: turns one round's [`PolicyContext`] into a
 /// grant vector.
 ///
-/// Implementations must be deterministic functions of the context (the
-/// simulation relies on bit-reproducible replications) and must return one
-/// grant per request, inside the region and the bounds — the scheduler
-/// checks both and panics on a violating policy, since an inadmissible
-/// grant vector would silently overload cells mid-simulation.
+/// Implementations must be deterministic functions of the context and
+/// their own state (the simulation relies on bit-reproducible
+/// replications) and must return one grant per request, inside the region
+/// and the bounds — the scheduler checks both and panics on a violating
+/// policy, since an inadmissible grant vector would silently overload
+/// cells mid-simulation.
+///
+/// `decide` takes `&mut self` so adaptive policies (e.g. the AIMD
+/// [`MeasuredRegion`]) can carry state across rounds; stateful policies
+/// must evolve that state only on [`QosFeedback::seq`] steps (not per
+/// call) so cached-round replay and [`crate::SolveMode::Cold`] stay
+/// bit-identical to the warm path.
 pub trait AdmissionPolicy: std::fmt::Debug + Send + Sync {
     /// Short kind name, e.g. `"jaba-sd"` or `"fcfs"` (stable across
     /// parameterisations; registry names add the parameter flavour).
@@ -165,14 +181,14 @@ pub trait AdmissionPolicy: std::fmt::Debug + Send + Sync {
     }
 
     /// Decides the grants for one scheduling round.
-    fn decide(&self, ctx: &PolicyContext<'_>) -> PolicyDecision;
+    fn decide(&mut self, ctx: &PolicyContext<'_>) -> PolicyDecision;
 
     /// Decides the grants for one scheduling round into caller-owned
     /// buffers. The default wraps [`decide`](Self::decide); solver-backed
     /// policies override it to reuse `out`'s problem shell and workspace so
     /// a warm round allocates nothing. Must produce the same decision as
     /// `decide` for the same context.
-    fn decide_into(&self, ctx: &PolicyContext<'_>, out: &mut PolicyScratch) {
+    fn decide_into(&mut self, ctx: &PolicyContext<'_>, out: &mut PolicyScratch) {
         let d = self.decide(ctx);
         out.m.clear();
         out.m.extend_from_slice(&d.m);
@@ -181,11 +197,21 @@ pub trait AdmissionPolicy: std::fmt::Debug + Send + Sync {
     }
 
     /// Whether the decision is a pure function of the [`PolicyContext`]
-    /// (no hidden state, no randomness), so the scheduler may skip a round
-    /// whose context is bit-identical to the previous one and replay the
-    /// cached outcome. Defaults to `false` to stay safe for external
-    /// policies; every built-in overrides it to `true`.
+    /// (given an unchanged [`PolicyContext::feedback`]; see
+    /// [`uses_feedback`](Self::uses_feedback)), so the scheduler may skip
+    /// a round whose context is bit-identical to the previous one and
+    /// replay the cached outcome. Defaults to `false` to stay safe for
+    /// external policies; every built-in overrides it to `true`.
     fn cacheable(&self) -> bool {
+        false
+    }
+
+    /// Whether the policy reads [`PolicyContext::feedback`]. The scheduler
+    /// additionally requires the feedback window to be unchanged before
+    /// replaying a cached round for such a policy — without this, a
+    /// feedback step that should trigger adaptation could be swallowed by
+    /// the identical-round cache. Defaults to `false`.
+    fn uses_feedback(&self) -> bool {
         false
     }
 
@@ -326,7 +352,7 @@ impl AdmissionPolicy for JabaSd {
         }
     }
 
-    fn decide(&self, ctx: &PolicyContext<'_>) -> PolicyDecision {
+    fn decide(&mut self, ctx: &PolicyContext<'_>) -> PolicyDecision {
         let c: Vec<f64> = ctx
             .requests
             .iter()
@@ -356,7 +382,7 @@ impl AdmissionPolicy for JabaSd {
         }
     }
 
-    fn decide_into(&self, ctx: &PolicyContext<'_>, out: &mut PolicyScratch) {
+    fn decide_into(&mut self, ctx: &PolicyContext<'_>, out: &mut PolicyScratch) {
         // Same decision as `decide`, but the problem shell and the
         // branch-and-bound workspace come from `out`: a warm round fills
         // existing buffers and solves without allocating. The workspace
@@ -465,7 +491,7 @@ impl AdmissionPolicy for Fcfs {
         }
     }
 
-    fn decide(&self, ctx: &PolicyContext<'_>) -> PolicyDecision {
+    fn decide(&mut self, ctx: &PolicyContext<'_>) -> PolicyDecision {
         let m = fcfs_fill(
             ctx.region,
             ctx.region.b.clone(),
@@ -505,7 +531,7 @@ impl AdmissionPolicy for EqualShare {
         "largest common m admissible for every pending request".into()
     }
 
-    fn decide(&self, ctx: &PolicyContext<'_>) -> PolicyDecision {
+    fn decide(&mut self, ctx: &PolicyContext<'_>) -> PolicyDecision {
         let n = ctx.bounds.len();
         let m_max = ctx.cfg.spreading.max_gain_ratio;
         let mut best = vec![0u32; n];
@@ -604,7 +630,7 @@ impl AdmissionPolicy for WeightedFairShare {
         )
     }
 
-    fn decide(&self, ctx: &PolicyContext<'_>) -> PolicyDecision {
+    fn decide(&mut self, ctx: &PolicyContext<'_>) -> PolicyDecision {
         let n = ctx.requests.len();
         let weights: Vec<f64> = ctx
             .requests
@@ -704,7 +730,7 @@ impl AdmissionPolicy for ThresholdReservation {
         )
     }
 
-    fn decide(&self, ctx: &PolicyContext<'_>) -> PolicyDecision {
+    fn decide(&mut self, ctx: &PolicyContext<'_>) -> PolicyDecision {
         let reduced: Vec<f64> = ctx
             .region
             .b
@@ -721,6 +747,325 @@ impl AdmissionPolicy for ThresholdReservation {
     }
 
     fn cacheable(&self) -> bool {
+        true
+    }
+
+    fn clone_box(&self) -> BoxedPolicy {
+        Box::new(*self)
+    }
+}
+
+/// Measurement-based admission with AIMD region scaling: JABA-SD's J2
+/// optimiser run over `A m ≤ η·b` where the scale `η ∈ [floor, 1]` is
+/// adapted per link direction from the *observed* windowed outage rate
+/// ([`PolicyContext::feedback`]) instead of trusting the eq.-24 region —
+/// multiplicative decrease when the window violated the QoS target,
+/// additive increase when it held (the Jaramillo–Ying idea of admission
+/// control without a known capacity region). With a well-calibrated model
+/// η sits at 1 and the policy is bit-identical to [`JabaSd::default_j2`];
+/// under model mismatch it backs off until the observed outage returns
+/// under the target.
+///
+/// Adaptation happens exactly once per closed feedback window
+/// ([`QosFeedback::seq`] step), never per round, so cached-round replay
+/// and cold-mode solving stay bit-identical.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MeasuredRegion {
+    /// QoS target: tolerated windowed outage / SIR-violation rate.
+    target: f64,
+    /// Multiplicative decrease factor applied to η on a violating window.
+    decrease: f64,
+    /// Additive increase applied to η on a clean window.
+    increase: f64,
+    /// Lower bound on η (keeps a starved direction from locking out).
+    floor: f64,
+    /// Per-direction region scale η (forward, reverse).
+    eta: [f64; 2],
+    /// Last feedback window adapted to, per direction.
+    last_seq: [u64; 2],
+}
+
+fn dir_index(dir: LinkDir) -> usize {
+    match dir {
+        LinkDir::Forward => 0,
+        LinkDir::Reverse => 1,
+    }
+}
+
+impl MeasuredRegion {
+    /// Creates a measured-region policy.
+    ///
+    /// * `target` — tolerated windowed outage rate, in `(0, 1)`;
+    /// * `decrease` — multiplicative decrease factor, in `(0, 1)`;
+    /// * `increase` — additive recovery step, in `(0, 1]`;
+    /// * `floor` — minimum region scale, in `(0, 1]`.
+    pub fn new(target: f64, decrease: f64, increase: f64, floor: f64) -> Result<Self, String> {
+        for (name, v) in [("target", target), ("decrease", decrease)] {
+            if !(v.is_finite() && v > 0.0 && v < 1.0) {
+                return Err(format!(
+                    "measured-region {name} must be finite and in (0, 1), got {v}"
+                ));
+            }
+        }
+        for (name, v) in [("increase", increase), ("floor", floor)] {
+            if !(v.is_finite() && v > 0.0 && v <= 1.0) {
+                return Err(format!(
+                    "measured-region {name} must be finite and in (0, 1], got {v}"
+                ));
+            }
+        }
+        Ok(Self {
+            target,
+            decrease,
+            increase,
+            floor,
+            eta: [1.0; 2],
+            last_seq: [0; 2],
+        })
+    }
+
+    /// Defaults: 5 % outage target, halve on violation, +0.05 recovery,
+    /// η floor 0.05.
+    pub fn default_params() -> Self {
+        Self::new(0.05, 0.5, 0.05, 0.05).expect("default params are valid")
+    }
+
+    /// The QoS target rate.
+    pub fn target(&self) -> f64 {
+        self.target
+    }
+
+    /// Current region scale η for a direction (test/diagnostic hook).
+    pub fn eta(&self, dir: LinkDir) -> f64 {
+        self.eta[dir_index(dir)]
+    }
+
+    /// Advances the AIMD state if a new feedback window has closed for
+    /// this direction; returns the η to apply this round.
+    fn adapt(&mut self, ctx: &PolicyContext<'_>) -> f64 {
+        let d = dir_index(ctx.dir);
+        let fb = ctx.feedback;
+        if fb.seq > self.last_seq[d] {
+            self.last_seq[d] = fb.seq;
+            let q = match ctx.dir {
+                LinkDir::Forward => fb.fwd,
+                LinkDir::Reverse => fb.rev,
+            };
+            // Forward overload (budget clamping) is a violation signal of
+            // its own: the region admitted more power than existed.
+            let violation = if ctx.dir == LinkDir::Forward {
+                q.outage_rate.max(fb.overload_rate)
+            } else {
+                q.outage_rate
+            };
+            if q.samples > 0 && violation > self.target {
+                self.eta[d] = (self.eta[d] * self.decrease).max(self.floor);
+            } else {
+                self.eta[d] = (self.eta[d] + self.increase).min(1.0);
+            }
+        }
+        self.eta[d]
+    }
+
+    /// The underlying solver configuration (shared with JABA-SD J2).
+    fn solver() -> JabaSd {
+        JabaSd::default_j2()
+    }
+}
+
+impl AdmissionPolicy for MeasuredRegion {
+    fn name(&self) -> &'static str {
+        "measured-region"
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "JABA-SD J2 over the AIMD-scaled region η·b: target {:.3}, ×{} on violation, \
+             +{} on hold, floor {} (measurement-based, ignores eq.-24 calibration)",
+            self.target, self.decrease, self.increase, self.floor
+        )
+    }
+
+    fn decide(&mut self, ctx: &PolicyContext<'_>) -> PolicyDecision {
+        let mut out = PolicyScratch::default();
+        self.decide_into(ctx, &mut out);
+        PolicyDecision {
+            m: out.m,
+            objective_value: out.objective_value,
+            optimal: out.optimal,
+        }
+    }
+
+    fn decide_into(&mut self, ctx: &PolicyContext<'_>, out: &mut PolicyScratch) {
+        let eta = self.adapt(ctx);
+        let solver = Self::solver();
+        let PolicyScratch {
+            m,
+            objective_value,
+            optimal,
+            problem,
+            bb,
+        } = out;
+        problem.c.clear();
+        problem
+            .c
+            .extend(ctx.requests.iter().zip(ctx.delta_beta).map(|(r, &db)| {
+                solver
+                    .objective
+                    .weight(db, r.priority, r.waiting_s, &ctx.cfg.timers)
+            }));
+        problem.lo.clear();
+        problem.lo.extend(ctx.bounds.iter().map(|b| b.0));
+        problem.hi.clear();
+        problem.hi.extend(ctx.bounds.iter().map(|b| b.1));
+        problem.a.clear();
+        for row in &ctx.region.a {
+            problem.a.extend_from_slice(row);
+        }
+        problem.b.clear();
+        // η ≤ 1, so every solution also satisfies the unscaled region and
+        // the scheduler's admissibility contract holds by construction
+        // (η = 1 multiplies by 1.0 exactly — bit-identical to JABA-SD).
+        problem.b.extend(ctx.region.b.iter().map(|&bk| bk * eta));
+        problem.validate().expect("invalid problem");
+        let (sol, complete) = bb.solve(problem, solver.node_limit);
+        m.clear();
+        m.extend_from_slice(&sol.m);
+        *objective_value = sol.objective;
+        *optimal = complete;
+    }
+
+    fn cacheable(&self) -> bool {
+        true
+    }
+
+    fn uses_feedback(&self) -> bool {
+        true
+    }
+
+    fn clone_box(&self) -> BoxedPolicy {
+        Box::new(*self)
+    }
+}
+
+/// Graceful degradation: a three-level shedding ladder driven by the
+/// observed windowed violation rate. Level 0 serves requests FCFS over the
+/// full region; when the violation rate crosses the QoS target the policy
+/// *downgrades* (level 1: half the headroom, grants capped at 2 spreading
+/// units); past twice the target it *sheds* (level 2: no new admissions at
+/// all) until the observed rate recovers below half the target — a
+/// hysteresis band so the ladder does not oscillate on the boundary.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GracefulDegradation {
+    /// QoS target: tolerated windowed outage / SIR-violation rate.
+    target: f64,
+    /// Current ladder level per direction (0 normal, 1 degraded, 2 shed).
+    level: [u8; 2],
+    /// Last feedback window adapted to, per direction.
+    last_seq: [u64; 2],
+}
+
+impl GracefulDegradation {
+    /// Creates a graceful-degradation policy with the given QoS target
+    /// (tolerated windowed outage rate, in `(0, 1)`).
+    pub fn new(target: f64) -> Result<Self, String> {
+        if !(target.is_finite() && target > 0.0 && target < 1.0) {
+            return Err(format!(
+                "graceful-degradation target must be finite and in (0, 1), got {target}"
+            ));
+        }
+        Ok(Self {
+            target,
+            level: [0; 2],
+            last_seq: [0; 2],
+        })
+    }
+
+    /// Defaults: 5 % outage target.
+    pub fn default_params() -> Self {
+        Self::new(0.05).expect("default params are valid")
+    }
+
+    /// Current ladder level for a direction (test/diagnostic hook).
+    pub fn level(&self, dir: LinkDir) -> u8 {
+        self.level[dir_index(dir)]
+    }
+
+    /// Advances the ladder if a new feedback window closed; returns the
+    /// level to apply this round.
+    fn adapt(&mut self, ctx: &PolicyContext<'_>) -> u8 {
+        let d = dir_index(ctx.dir);
+        let fb = ctx.feedback;
+        if fb.seq > self.last_seq[d] {
+            self.last_seq[d] = fb.seq;
+            let q = match ctx.dir {
+                LinkDir::Forward => fb.fwd,
+                LinkDir::Reverse => fb.rev,
+            };
+            let violation = if ctx.dir == LinkDir::Forward {
+                q.outage_rate.max(fb.overload_rate)
+            } else {
+                q.outage_rate
+            };
+            if q.samples > 0 && violation > 2.0 * self.target {
+                self.level[d] = 2;
+            } else if q.samples > 0 && violation > self.target {
+                self.level[d] = (self.level[d] + 1).min(2);
+            } else if violation <= 0.5 * self.target {
+                self.level[d] = self.level[d].saturating_sub(1);
+            }
+            // Between target/2 and target: hold the current level.
+        }
+        self.level[d]
+    }
+}
+
+impl AdmissionPolicy for GracefulDegradation {
+    fn name(&self) -> &'static str {
+        "graceful-degradation"
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "FCFS with a shed/downgrade ladder on observed outage: target {:.3} \
+             (> target: half headroom + m ≤ 2; > 2×target: admit nothing; \
+             recover below target/2)",
+            self.target
+        )
+    }
+
+    fn decide(&mut self, ctx: &PolicyContext<'_>) -> PolicyDecision {
+        let level = self.adapt(ctx);
+        let n = ctx.requests.len();
+        let m = match level {
+            0 => fcfs_fill(
+                ctx.region,
+                ctx.region.b.clone(),
+                ctx.requests,
+                ctx.bounds,
+                None,
+            ),
+            1 => {
+                let reduced: Vec<f64> = ctx.region.b.iter().map(|&bk| bk * 0.5).collect();
+                let capped: Vec<(u32, u32)> =
+                    ctx.bounds.iter().map(|&(lo, hi)| (lo, hi.min(2))).collect();
+                fcfs_fill(ctx.region, reduced, ctx.requests, &capped, None)
+            }
+            _ => vec![0u32; n],
+        };
+        let objective_value = rate_value(&m, ctx.delta_beta);
+        PolicyDecision {
+            m,
+            objective_value,
+            optimal: true,
+        }
+    }
+
+    fn cacheable(&self) -> bool {
+        true
+    }
+
+    fn uses_feedback(&self) -> bool {
         true
     }
 
@@ -947,10 +1292,162 @@ mod tests {
             EqualShare.into_boxed(),
             WeightedFairShare::default().into_boxed(),
             ThresholdReservation::new(0.25).unwrap().into_boxed(),
+            MeasuredRegion::default_params().into_boxed(),
+            GracefulDegradation::default_params().into_boxed(),
         ] {
             assert!(!p.name().is_empty());
             assert!(!p.describe().is_empty());
             assert!(!format!("{p:?}").is_empty());
         }
+    }
+
+    use crate::feedback::{DirQos, QosFeedback};
+
+    fn fb(seq: u64, fwd_outage: f64, fwd_samples: u64, overload: f64) -> QosFeedback {
+        QosFeedback {
+            seq,
+            fwd: DirQos {
+                outage_rate: fwd_outage,
+                samples: fwd_samples,
+            },
+            rev: DirQos::default(),
+            overload_rate: overload,
+        }
+    }
+
+    fn round(s: &mut Scheduler, specs: &[ReqSpec]) -> crate::scheduler::ScheduleOutcome {
+        let (fwd, rev) = loads(1, 14.0);
+        s.schedule(wcdma_mac::LinkDir::Forward, &fwd, &rev, &reqs(specs))
+            .clone()
+    }
+
+    fn total(m: &[u32]) -> u64 {
+        m.iter().map(|&x| x as u64).sum()
+    }
+
+    #[test]
+    fn measured_region_without_feedback_is_bit_identical_to_jaba_sd() {
+        // η starts at 1 and no window has closed (seq = 0): the policy must
+        // reproduce JABA-SD J2 exactly, bit for bit.
+        let specs = three_reqs();
+        let model = schedule_with(JabaSd::default_j2().into_boxed(), &specs);
+        let measured = schedule_with(MeasuredRegion::default_params().into_boxed(), &specs);
+        assert_eq!(model.m, measured.m);
+        assert_eq!(
+            model.objective_value.to_bits(),
+            measured.objective_value.to_bits(),
+            "η = 1 must be an exact identity on the region"
+        );
+        assert_eq!(model.optimal, measured.optimal);
+    }
+
+    #[test]
+    fn measured_region_backs_off_on_violation_and_recovers() {
+        let specs = three_reqs();
+        let policy = MeasuredRegion::new(0.05, 0.01, 1.0, 0.01).unwrap();
+        let mut s = Scheduler::new(SchedulerConfig::default_config(), policy.into_boxed());
+        let calibrated = round(&mut s, &specs);
+        assert!(total(&calibrated.m) > 0, "baseline must grant something");
+
+        // A violating window: η ×0.01 shrinks the region a hundredfold.
+        s.set_feedback(fb(1, 0.5, 100, 0.0));
+        let backed_off = round(&mut s, &specs);
+        assert!(
+            total(&backed_off.m) < total(&calibrated.m),
+            "violating feedback must shrink grants: {:?} vs {:?}",
+            backed_off.m,
+            calibrated.m
+        );
+
+        // Same window replayed: adaptation is once per seq, not per round.
+        let replay = round(&mut s, &specs);
+        assert_eq!(replay.m, backed_off.m, "same seq must not adapt again");
+
+        // A clean window with a full additive step restores η = 1 and the
+        // exact calibrated decision.
+        s.set_feedback(fb(2, 0.0, 100, 0.0));
+        let recovered = round(&mut s, &specs);
+        assert_eq!(recovered.m, calibrated.m);
+        assert_eq!(
+            recovered.objective_value.to_bits(),
+            calibrated.objective_value.to_bits()
+        );
+    }
+
+    #[test]
+    fn measured_region_treats_forward_overload_as_violation() {
+        let specs = three_reqs();
+        let policy = MeasuredRegion::new(0.05, 0.01, 0.05, 0.01).unwrap();
+        let mut s = Scheduler::new(SchedulerConfig::default_config(), policy.into_boxed());
+        let calibrated = round(&mut s, &specs);
+        // Zero outage but heavy budget clamping: still a violation forward.
+        s.set_feedback(fb(1, 0.0, 100, 0.5));
+        let backed_off = round(&mut s, &specs);
+        assert!(
+            total(&backed_off.m) < total(&calibrated.m),
+            "overload alone must trigger forward back-off"
+        );
+    }
+
+    #[test]
+    fn graceful_degradation_ladder_sheds_and_recovers() {
+        let specs = three_reqs();
+        let fcfs = schedule_with(Fcfs::unlimited().into_boxed(), &specs);
+        let mut s = Scheduler::new(
+            SchedulerConfig::default_config(),
+            GracefulDegradation::new(0.05).unwrap().into_boxed(),
+        );
+        // Level 0: plain FCFS over the full region.
+        let normal = round(&mut s, &specs);
+        assert_eq!(normal.m, fcfs.m);
+
+        // Violation > 2×target: jump straight to level 2 — shed everything.
+        s.set_feedback(fb(1, 0.2, 100, 0.0));
+        let shed = round(&mut s, &specs);
+        assert_eq!(total(&shed.m), 0, "level 2 admits nothing: {:?}", shed.m);
+
+        // Clean window (≤ target/2): step down one level to degraded mode —
+        // half headroom, grants capped at 2.
+        s.set_feedback(fb(2, 0.0, 100, 0.0));
+        let degraded = round(&mut s, &specs);
+        assert!(degraded.m.iter().all(|&m| m <= 2), "{:?}", degraded.m);
+        assert!(total(&degraded.m) <= total(&fcfs.m));
+
+        // Another clean window: back to level 0, exactly FCFS again.
+        s.set_feedback(fb(3, 0.0, 100, 0.0));
+        let restored = round(&mut s, &specs);
+        assert_eq!(restored.m, fcfs.m);
+    }
+
+    #[test]
+    fn graceful_degradation_holds_level_in_hysteresis_band() {
+        let specs = three_reqs();
+        let mut s = Scheduler::new(
+            SchedulerConfig::default_config(),
+            GracefulDegradation::new(0.1).unwrap().into_boxed(),
+        );
+        s.set_feedback(fb(1, 0.15, 100, 0.0)); // > target → level 1
+        let degraded = round(&mut s, &specs);
+        assert!(degraded.m.iter().all(|&m| m <= 2));
+        // In (target/2, target]: neither step up nor down.
+        s.set_feedback(fb(2, 0.08, 100, 0.0));
+        let held = round(&mut s, &specs);
+        assert_eq!(held.m, degraded.m, "hysteresis band must hold the level");
+    }
+
+    #[test]
+    fn measurement_policy_constructors_validate() {
+        assert!(MeasuredRegion::new(0.0, 0.5, 0.05, 0.05).is_err());
+        assert!(MeasuredRegion::new(1.0, 0.5, 0.05, 0.05).is_err());
+        assert!(MeasuredRegion::new(0.05, 1.0, 0.05, 0.05).is_err());
+        assert!(MeasuredRegion::new(0.05, 0.5, 0.0, 0.05).is_err());
+        assert!(MeasuredRegion::new(0.05, 0.5, 1.5, 0.05).is_err());
+        assert!(MeasuredRegion::new(0.05, 0.5, 0.05, 0.0).is_err());
+        assert!(MeasuredRegion::new(f64::NAN, 0.5, 0.05, 0.05).is_err());
+        assert!(MeasuredRegion::new(0.05, 0.5, 1.0, 1.0).is_ok());
+        assert!(GracefulDegradation::new(0.0).is_err());
+        assert!(GracefulDegradation::new(1.0).is_err());
+        assert!(GracefulDegradation::new(f64::NAN).is_err());
+        assert!(GracefulDegradation::new(0.5).is_ok());
     }
 }

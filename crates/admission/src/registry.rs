@@ -15,7 +15,8 @@
 
 use crate::objective::Objective;
 use crate::policy::{
-    AdmissionPolicy, BoxedPolicy, EqualShare, Fcfs, JabaSd, ThresholdReservation, WeightedFairShare,
+    AdmissionPolicy, BoxedPolicy, EqualShare, Fcfs, GracefulDegradation, JabaSd, MeasuredRegion,
+    ThresholdReservation, WeightedFairShare,
 };
 
 /// One declared parameter of a registered policy.
@@ -123,6 +124,8 @@ impl PolicyRegistry {
     /// | `equal-share` | largest admissible common grant |
     /// | `weighted-fair-share` | proportional filling (`wait_weight`, `priority_weight`) |
     /// | `threshold-reservation` | FCFS over a reduced region (`margin`) |
+    /// | `measured-region` | JABA-SD over an AIMD-scaled region driven by observed outage (`target`, `decrease`, `increase`, `floor`) |
+    /// | `graceful-degradation` | sheds/downgrades admission when observed outage crosses the target (`target`) |
     pub fn standard() -> Self {
         let mut r = Self::new();
         r.register(PolicyEntry {
@@ -255,6 +258,55 @@ impl PolicyRegistry {
             }],
             build: |p| Ok(ThresholdReservation::new(p.get("margin"))?.into_boxed()),
         });
+        r.register(PolicyEntry {
+            name: "measured-region",
+            summary:
+                "measurement-based JABA-SD: AIMD-scales the eq.-24 region from observed outage, \
+                 no trust in the model behind the region",
+            params: vec![
+                PolicyParamSpec {
+                    name: "target",
+                    default: 0.05,
+                    doc: "QoS target: tolerated outage/SIR-violation rate in (0, 1)",
+                },
+                PolicyParamSpec {
+                    name: "decrease",
+                    default: 0.5,
+                    doc: "multiplicative region shrink factor on a violating window, in (0, 1)",
+                },
+                PolicyParamSpec {
+                    name: "increase",
+                    default: 0.05,
+                    doc: "additive region recovery step on a clean window, in (0, 1]",
+                },
+                PolicyParamSpec {
+                    name: "floor",
+                    default: 0.05,
+                    doc: "lowest admissible region scale, in (0, 1]",
+                },
+            ],
+            build: |p| {
+                Ok(MeasuredRegion::new(
+                    p.get("target"),
+                    p.get("decrease"),
+                    p.get("increase"),
+                    p.get("floor"),
+                )?
+                .into_boxed())
+            },
+        });
+        r.register(PolicyEntry {
+            name: "graceful-degradation",
+            summary:
+                "measurement-based load shedding: caps grants, halves the region, or blocks all \
+                 bursts as observed outage escalates past the target",
+            params: vec![PolicyParamSpec {
+                name: "target",
+                default: 0.05,
+                doc: "QoS target: tolerated outage/SIR-violation rate in (0, 1)",
+            }],
+            build: |p| Ok(GracefulDegradation::new(p.get("target"))?.into_boxed()),
+        });
         r
     }
 
@@ -354,6 +406,8 @@ mod tests {
             "equal-share",
             "weighted-fair-share",
             "threshold-reservation",
+            "measured-region",
+            "graceful-degradation",
         ] {
             assert!(names.contains(&expect), "missing {expect}: {names:?}");
             let p = r

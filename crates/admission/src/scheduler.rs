@@ -26,6 +26,7 @@ use wcdma_mac::{LinkDir, MacTimers};
 use wcdma_phy::SpreadingConfig;
 
 use crate::csi::{delta_beta, PhyModel};
+use crate::feedback::QosFeedback;
 use crate::measurement::{copy_region_into, forward_region_into, reverse_region_into, Region};
 use crate::objective::Objective;
 use crate::policy::{BoxedPolicy, PolicyContext, PolicyScratch};
@@ -214,6 +215,9 @@ struct SchedWorkspace {
     prev_bounds: Vec<(u32, u32)>,
     scratch: PolicyScratch,
     outcome: ScheduleOutcome,
+    /// Feedback window the cached outcome was solved under (feedback-using
+    /// policies may only replay a cached round within the same window).
+    prev_feedback_seq: u64,
     /// Whether `outcome` + fingerprint describe a completed cacheable round.
     valid: bool,
     rounds: u64,
@@ -288,6 +292,8 @@ pub struct Scheduler {
     fwd_ws: SchedWorkspace,
     rev_ws: SchedWorkspace,
     stats: SchedStats,
+    /// Latest published in-loop QoS feedback (see [`Scheduler::set_feedback`]).
+    feedback: QosFeedback,
 }
 
 impl Scheduler {
@@ -303,6 +309,7 @@ impl Scheduler {
             fwd_ws: SchedWorkspace::default(),
             rev_ws: SchedWorkspace::default(),
             stats: SchedStats::default(),
+            feedback: QosFeedback::default(),
         }
     }
 
@@ -335,6 +342,20 @@ impl Scheduler {
     /// Clears the cumulative statistics.
     pub fn reset_stats(&mut self) {
         self.stats = SchedStats::default();
+    }
+
+    /// Publishes a new in-loop QoS feedback signal; every subsequent round
+    /// hands it to the policy via [`PolicyContext`]. Feedback must be
+    /// piecewise constant — callers update it only when a monitor window
+    /// closes (a changed [`QosFeedback::seq`]); the identical-round cache
+    /// relies on the bits staying fixed between updates.
+    pub fn set_feedback(&mut self, feedback: QosFeedback) {
+        self.feedback = feedback;
+    }
+
+    /// The feedback signal currently handed to the policy.
+    pub fn feedback(&self) -> &QosFeedback {
+        &self.feedback
     }
 
     /// δβ̄ for one request in the given direction.
@@ -370,6 +391,7 @@ impl Scheduler {
             fwd_ws,
             rev_ws,
             stats,
+            feedback,
         } = self;
         let ws = match dir {
             LinkDir::Forward => fwd_ws,
@@ -421,6 +443,7 @@ impl Scheduler {
         let cacheable = policy.cacheable();
         if cacheable
             && ws.valid
+            && (!policy.uses_feedback() || ws.prev_feedback_seq == feedback.seq)
             && ws.prev_users.len() == n
             && requests
                 .iter()
@@ -462,6 +485,7 @@ impl Scheduler {
                 delta_beta: &ws.dbetas,
                 bounds: &ws.bounds,
                 cfg,
+                feedback,
             },
             &mut ws.scratch,
         );
@@ -525,6 +549,7 @@ impl Scheduler {
         ws.prev_prio.extend(requests.iter().map(|r| r.priority));
         ws.prev_bounds.clear();
         ws.prev_bounds.extend_from_slice(&ws.bounds);
+        ws.prev_feedback_seq = feedback.seq;
         ws.valid = cacheable;
         &ws.outcome
     }
@@ -831,7 +856,7 @@ mod tests {
                 "broken"
             }
             fn decide(
-                &self,
+                &mut self,
                 _ctx: &crate::policy::PolicyContext<'_>,
             ) -> crate::policy::PolicyDecision {
                 crate::policy::PolicyDecision {

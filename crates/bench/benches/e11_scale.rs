@@ -49,6 +49,13 @@
 //! 9063 fps at 200 mobiles; the boxed redesign measured 9086 on the same
 //! machine).
 //!
+//! The **measurement-feedback smoke** prices the in-loop QoS machinery
+//! behind the `measured-region` policy (per-frame violation accounting +
+//! the windowed monitor): with every mismatch knob disabled its decisions
+//! are bit-identical to `jaba-sd-j2`, so the frames/s gap is pure
+//! feedback overhead — asserted ≤ 2 % in quick mode and recorded in the
+//! snapshot's `feedback` object.
+//!
 //! Set `WCDMA_BENCH_QUICK=1` (CI smoke mode) to shrink the sweep so the
 //! bench cannot bit-rot without burning CI minutes.
 
@@ -135,6 +142,28 @@ fn dispatch_overhead(n_mobiles: usize, frames: usize, trials: usize) -> (f64, f6
     for _ in 0..trials {
         best.0 = best.0.max(cfg_frames_per_sec(enum_cfg.clone(), frames));
         best.1 = best.1.max(cfg_frames_per_sec(registry_cfg.clone(), frames));
+    }
+    best
+}
+
+/// Measures the model-trusting baseline against the measurement-based
+/// `measured-region` policy with every mismatch knob at its disabled
+/// default. With no faults and no load stress the AIMD scale stays at
+/// η = 1 and the decisions are bit-identical to JABA-SD, so the frames/s
+/// gap prices exactly the QoS-feedback plumbing (per-frame window
+/// accounting + the monitor handoff). Best-of-`trials`, interleaved.
+fn feedback_overhead(n_mobiles: usize, frames: usize, trials: usize) -> (f64, f64) {
+    let resolve = |name: &str| {
+        PolicyRegistry::standard()
+            .resolve(name)
+            .expect("standard registry name")
+    };
+    let jaba_cfg = scale_cfg(n_mobiles).with_policy(resolve("jaba-sd-j2"));
+    let measured_cfg = scale_cfg(n_mobiles).with_policy(resolve("measured-region"));
+    let mut best = (0.0f64, 0.0f64);
+    for _ in 0..trials {
+        best.0 = best.0.max(cfg_frames_per_sec(jaba_cfg.clone(), frames));
+        best.1 = best.1.max(cfg_frames_per_sec(measured_cfg.clone(), frames));
     }
     best
 }
@@ -264,6 +293,7 @@ fn sched_sweep(quick: bool) -> Vec<SchedRow> {
 /// Writes the sweep plus the dispatch smoke as a machine-readable snapshot
 /// (CI uploads it as `BENCH_e11_scale.json` so the perf trajectory
 /// accumulates over PRs).
+#[allow(clippy::too_many_arguments)]
 fn write_json_snapshot(
     path: &str,
     quick: bool,
@@ -272,6 +302,7 @@ fn write_json_snapshot(
     sweep: &[(usize, usize, usize, f64)],
     sched: &[SchedRow],
     dispatch: (f64, f64),
+    feedback: (f64, f64),
 ) {
     let entries: Vec<String> = rows
         .iter()
@@ -329,14 +360,16 @@ fn write_json_snapshot(
     } else {
         ""
     };
+    let (jaba_fps, measured_fps) = feedback;
     let json = format!(
-        "{{\n  \"bench\": \"e11_scale\",\n  \"quick\": {quick},\n  \"cores\": {cores},{note}\n  \"canonical_order_version\": {},\n  \"rows\": [\n{}\n  ],\n  \"scale_rows\": [\n{}\n  ],\n  \"thread_sweep\": [\n{}\n  ],\n  \"sched_sweep\": [\n{}\n  ],\n  \"dispatch\": {{\"enum_shim_fps\": {enum_fps:.1}, \"registry_boxed_fps\": {registry_fps:.1}, \"ratio\": {:.4}}}\n}}\n",
+        "{{\n  \"bench\": \"e11_scale\",\n  \"quick\": {quick},\n  \"cores\": {cores},{note}\n  \"canonical_order_version\": {},\n  \"rows\": [\n{}\n  ],\n  \"scale_rows\": [\n{}\n  ],\n  \"thread_sweep\": [\n{}\n  ],\n  \"sched_sweep\": [\n{}\n  ],\n  \"dispatch\": {{\"enum_shim_fps\": {enum_fps:.1}, \"registry_boxed_fps\": {registry_fps:.1}, \"ratio\": {:.4}}},\n  \"feedback\": {{\"jaba_sd_fps\": {jaba_fps:.1}, \"measured_region_fps\": {measured_fps:.1}, \"ratio\": {:.4}}}\n}}\n",
         wcdma_math::CANONICAL_ORDER_VERSION,
         entries.join(",\n"),
         scale_entries.join(",\n"),
         sweep_entries.join(",\n"),
         sched_entries.join(",\n"),
-        registry_fps / enum_fps
+        registry_fps / enum_fps,
+        measured_fps / jaba_fps
     );
     match std::fs::write(path, json) {
         Ok(()) => println!("wrote {path}"),
@@ -521,6 +554,27 @@ fn print_experiment() {
         );
     }
 
+    // Measurement-feedback overhead smoke: with every mismatch knob at
+    // its disabled default, `measured-region` makes the same decisions as
+    // `jaba-sd-j2` (η holds at 1) and the only added work is the QoS
+    // window accounting and monitor handoff — which must cost ≤ 2 %.
+    let (mut jaba_fps, mut measured_fps) = feedback_overhead(200, frames, 7);
+    if quick && measured_fps < 0.98 * jaba_fps {
+        (jaba_fps, measured_fps) = feedback_overhead(200, frames, 7);
+    }
+    println!(
+        "measurement feedback: jaba-sd-j2 {jaba_fps:.1} fps vs measured-region \
+         {measured_fps:.1} fps ({:+.2} % gap, mismatch disabled)",
+        100.0 * (measured_fps / jaba_fps - 1.0)
+    );
+    if quick {
+        assert!(
+            measured_fps >= 0.98 * jaba_fps,
+            "measurement-feedback path costs more than 2 % with mismatch disabled: \
+             jaba-sd-j2 {jaba_fps:.1} fps vs measured-region {measured_fps:.1} fps"
+        );
+    }
+
     if let Ok(path) = std::env::var("WCDMA_BENCH_JSON") {
         if !path.is_empty() {
             write_json_snapshot(
@@ -531,6 +585,7 @@ fn print_experiment() {
                 &sweep,
                 &sched,
                 (enum_fps, registry_fps),
+                (jaba_fps, measured_fps),
             );
         }
     }

@@ -543,6 +543,50 @@ impl Network {
         self.ideal_reverse_pc = ideal;
     }
 
+    /// Replaces the *true* propagation physics every link evolves under:
+    /// the distance path-loss model and the shadowing standard deviation
+    /// (decorrelation distance and coherence time keep their urban
+    /// defaults). This is the model-mismatch fault-injection surface — the
+    /// admission layer's assumed calibration (e.g. the κ shadowing margin
+    /// in `CdmaConfig`) is *not* touched, so callers can split assumed
+    /// from true parameters. Passing `PathLoss::urban_default()` and
+    /// σ = 8 dB is bit-identical to never calling this: the per-link
+    /// shadowing substreams and draw counts do not depend on the values.
+    ///
+    /// # Panics
+    /// If any mobile has already been added — per-link shadowing states
+    /// are seeded from the template σ at [`Network::add_mobile`] time.
+    pub fn set_channel_model(&mut self, pathloss: PathLoss, shadow_sigma_db: f64) {
+        assert_eq!(
+            self.n_mobiles, 0,
+            "set_channel_model must be called before any mobile is added"
+        );
+        assert!(
+            shadow_sigma_db >= 0.0 && shadow_sigma_db.is_finite(),
+            "shadowing sigma must be finite and non-negative"
+        );
+        self.pathloss = pathloss;
+        // Same substream and construction as `Network::new`: only the σ
+        // parameter changes, so σ = 8 dB reproduces the default template
+        // bit for bit.
+        self.shadow_tpl = Shadowing::new(
+            shadow_sigma_db,
+            self.shadow_tpl.decorrelation_distance_m(),
+            1.5,
+            wcdma_math::rng::Xoshiro256pp::substream(self.seed, u64::MAX),
+        );
+    }
+
+    /// The distance path-loss model every link currently evolves under.
+    pub fn pathloss_model(&self) -> &PathLoss {
+        &self.pathloss
+    }
+
+    /// The shadowing σ (dB) every link currently evolves under.
+    pub fn shadow_sigma_db(&self) -> f64 {
+        self.shadow_tpl.sigma_db()
+    }
+
     /// Adds a mobile at `pos` with the given speed (m/s; fast fading is
     /// handled analytically by the burst layer, so the speed no longer
     /// seeds any per-link state); returns its index.
@@ -682,6 +726,12 @@ impl Network {
     /// (allocation-free variant of [`Network::overloaded_cells`]).
     pub fn any_overloaded(&self) -> bool {
         self.overloaded.iter().any(|&o| o)
+    }
+
+    /// Per-cell forward power-clamp flags for the last frame, indexed by
+    /// cell (allocation-free variant of [`Network::overloaded_cells`]).
+    pub fn overloaded_flags(&self) -> &[bool] {
+        &self.overloaded
     }
 
     /// Long-term gain from mobile `j` to `cell`.

@@ -84,6 +84,36 @@ impl PathLoss {
     pub fn exponent(&self) -> f64 {
         self.exponent
     }
+
+    /// Loss in dB at the reference distance.
+    pub fn ref_loss_db(&self) -> f64 {
+        self.ref_loss_db
+    }
+
+    /// Reference distance in metres.
+    pub fn ref_dist_m(&self) -> f64 {
+        self.ref_dist_m
+    }
+
+    /// Close-in clamp distance in metres.
+    pub fn min_dist_m(&self) -> f64 {
+        self.min_dist_m
+    }
+
+    /// A copy with the exponent shifted by `delta` (model-mismatch fault
+    /// injection: the *true* channel's exponent differs from the assumed
+    /// one). `delta = 0` returns an identical model.
+    ///
+    /// # Panics
+    /// Panics if the shifted exponent is not positive.
+    pub fn with_exponent_delta(&self, delta: f64) -> Self {
+        Self::new(
+            self.exponent + delta,
+            self.ref_loss_db,
+            self.ref_dist_m,
+            self.min_dist_m,
+        )
+    }
 }
 
 #[cfg(test)]

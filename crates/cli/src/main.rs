@@ -522,9 +522,12 @@ fn summary_table(result: &CampaignResult) -> Table {
     t
 }
 
+/// Writes an artefact atomically (tmp + rename). Service runs share their
+/// checkpoint directory with the journal, so a kill mid-write must leave
+/// either the previous artefact or the new one — never a torn file.
 fn write_artefact(dir: &Path, file: &str, contents: &str) -> Result<PathBuf, String> {
     let path = dir.join(file);
-    std::fs::write(&path, contents).map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+    wcdma_sim::campaign::write_atomic(&path, contents)?;
     Ok(path)
 }
 
@@ -633,6 +636,12 @@ fn cmd_run_service(
             outcome.newly_run + outcome.skipped,
             outcome.slice_jobs
         );
+        if args.trace {
+            println!(
+                "trace deferred: {}-trace.csv is written (atomically) once the campaign completes",
+                spec.name
+            );
+        }
         return Ok(());
     }
     if outcome.artefacts.is_empty() {

@@ -4,7 +4,8 @@
 //! campaign layer ports from `experiments.rs`, so `wcdma campaign run`
 //! reproduces them without a spec file.
 
-use super::spec::{CsiQuality, ScenarioSpec, SpeedClass, TrafficMix};
+use super::spec::{CsiQuality, MismatchLevel, ScenarioSpec, SpeedClass, TrafficMix};
+use wcdma_mac::LinkDir;
 
 /// The built-in campaign names, in presentation order.
 pub fn builtin_names() -> &'static [&'static str] {
@@ -16,6 +17,7 @@ pub fn builtin_names() -> &'static [&'static str] {
         "hotspot-stress",
         "csi-robustness",
         "burst-stress",
+        "model-mismatch",
     ]
 }
 
@@ -98,6 +100,35 @@ pub fn builtin(name: &str) -> Option<ScenarioSpec> {
             spec.loads = vec![8, 16];
             spec.policies = vec!["jaba-sd-j2".into(), "equal-share".into()];
         }
+        "model-mismatch" => {
+            spec.description = "Robustness: eq.-24 region vs measurement-based admission when \
+                 the assumed channel model is wrong (path-loss exponent, \
+                 shadowing σ, CSI dropouts). Reverse-link heavy-web hotspot \
+                 — the load point where the region's L_max contract binds"
+                .into();
+            spec.seed = 0x004D_4D10;
+            spec.replications = 3;
+            // The admissible region only has something to lose where it
+            // operates near its interference limit: heavy web bursts, an
+            // overloaded centre cell, all-reverse traffic (the link whose
+            // eq. 13–15 projection carries the κ shadowing margin).
+            spec.link = LinkDir::Reverse;
+            spec.mixes = vec![TrafficMix::HeavyWeb];
+            spec.loads = vec![32];
+            spec.hotspots = vec![2.0];
+            spec.mismatch = vec![
+                MismatchLevel::None,
+                MismatchLevel::Pathloss,
+                MismatchLevel::Shadow,
+                MismatchLevel::Combined,
+            ];
+            spec.csi = vec![CsiQuality::Ideal, CsiQuality::Degraded];
+            spec.policies = vec![
+                "jaba-sd-j2".into(),
+                "measured-region".into(),
+                "graceful-degradation".into(),
+            ];
+        }
         _ => return None,
     }
     Some(spec)
@@ -131,6 +162,27 @@ mod tests {
                 spec.policies
             );
         }
+    }
+
+    #[test]
+    fn model_mismatch_crosses_faults_with_measured_policies() {
+        let spec = builtin("model-mismatch").unwrap();
+        assert_eq!(spec.mismatch, MismatchLevel::ALL.to_vec());
+        // Pinned to the operating point where the region's contract binds:
+        // reverse link, heavy web bursts, hotspot centre cell.
+        assert_eq!(spec.link, LinkDir::Reverse);
+        assert_eq!(spec.mixes, vec![TrafficMix::HeavyWeb]);
+        assert_eq!(spec.loads, vec![32]);
+        assert_eq!(spec.hotspots, vec![2.0]);
+        for name in ["jaba-sd-j2", "measured-region", "graceful-degradation"] {
+            assert!(spec.policies.iter().any(|p| p == name), "missing {name}");
+        }
+        // 4 mismatch levels × 2 CSI qualities × 3 policies.
+        assert_eq!(spec.n_scenarios(), 24);
+        let scenarios = spec.expand().expect("expands");
+        assert!(scenarios
+            .iter()
+            .any(|s| s.label.contains("mismatch=combined") && s.cfg.mismatch.csi_dropout_p > 0.0));
     }
 
     #[test]

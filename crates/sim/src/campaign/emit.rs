@@ -19,7 +19,7 @@ type MetricAccessor = fn(&ReplicationStats) -> &Welford;
 
 /// The per-scenario metric columns shared by every emitter: name plus
 /// accessor into the streaming stats.
-fn metric_columns() -> [(&'static str, MetricAccessor); 7] {
+fn metric_columns() -> [(&'static str, MetricAccessor); 8] {
     [
         ("mean_delay_s", |s: &ReplicationStats| &s.mean_delay_s),
         ("p95_delay_s", |s| &s.p95_delay_s),
@@ -27,6 +27,7 @@ fn metric_columns() -> [(&'static str, MetricAccessor); 7] {
         ("per_cell_throughput_kbps", |s| &s.per_cell_throughput_kbps),
         ("mean_grant_m", |s| &s.mean_grant_m),
         ("denial_rate", |s| &s.denial_rate),
+        ("outage_rate", |s| &s.outage_rate),
         ("bursts_completed", |s| &s.bursts_completed),
     ]
 }
@@ -325,6 +326,8 @@ mod tests {
         let header = lines.next().expect("header line");
         assert!(header.starts_with("scenario,mix,policy,replications,mean_delay_s,"));
         assert!(header.contains("per_cell_throughput_kbps_ci95"));
+        // The robustness campaigns key off the delivered-QoS column.
+        assert!(header.contains("outage_rate,outage_rate_ci95"));
         let row = lines.next().expect("one data row");
         assert!(row.contains("balanced"));
         assert_eq!(lines.next(), None);

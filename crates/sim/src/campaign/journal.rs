@@ -42,7 +42,15 @@ use crate::stats::SimReport;
 /// Version of the checkpoint directory layout and line formats. Bump on
 /// any incompatible change; readers refuse newer (and older) versions with
 /// a clear error instead of guessing.
-pub const CHECKPOINT_FORMAT_VERSION: u32 = 1;
+///
+/// v2: report records carry the observed outage rate (15 fields) and the
+/// fold snapshot carries its Welford accumulator (11 metrics).
+pub const CHECKPOINT_FORMAT_VERSION: u32 = 2;
+
+/// Raw words in a `fold` snapshot: one [`wcdma_math::Welford::to_raw_parts`]
+/// quintet per metric accumulator of
+/// [`ReplicationStats::welfords`](crate::stats::ReplicationStats::welfords).
+pub const FOLD_STATE_WORDS: usize = 11 * 5;
 
 /// File names inside a checkpoint directory.
 pub const MANIFEST_FILE: &str = "manifest.toml";
@@ -350,9 +358,9 @@ fn decode_line(line: &str) -> Result<JournalEntry, String> {
             let state = toks
                 .map(|t| u64::from_str_radix(t, 16).map_err(|_| format!("bad fold word {t:?}")))
                 .collect::<Result<Vec<u64>, String>>()?;
-            if state.len() != 50 {
+            if state.len() != FOLD_STATE_WORDS {
                 return Err(format!(
-                    "fold line has {} state words, expected 50",
+                    "fold line has {} state words, expected {FOLD_STATE_WORDS}",
                     state.len()
                 ));
             }
@@ -629,7 +637,7 @@ mod tests {
             let mut w = JournalWriter::open(&dir).unwrap();
             w.append_cell(4, &r0).unwrap();
             w.append_cell(17, &r1).unwrap();
-            w.append_fold(2, &[7u64; 50]).unwrap();
+            w.append_fold(2, &[7u64; FOLD_STATE_WORDS]).unwrap();
         }
         // Re-open appends rather than truncating.
         {
@@ -657,7 +665,7 @@ mod tests {
             contents.entries[2],
             JournalEntry::Fold {
                 scenario: 2,
-                state: vec![7u64; 50]
+                state: vec![7u64; FOLD_STATE_WORDS]
             }
         );
         assert_eq!(

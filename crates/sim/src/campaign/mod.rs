@@ -39,7 +39,7 @@ pub mod spec;
 
 pub use builtin::{builtin, builtin_names};
 pub use emit::{campaign_csv, campaign_json, campaign_summary_json, campaign_trace_csv};
-pub use journal::{Manifest, CHECKPOINT_FORMAT_VERSION};
+pub use journal::{write_atomic, Manifest, CHECKPOINT_FORMAT_VERSION};
 pub use merge::merge_dirs;
 pub use runner::{
     arbitrate_frame_threads, run_campaign, run_campaign_threads, run_campaign_threads_candidates,
@@ -48,7 +48,8 @@ pub use runner::{
 };
 pub use service::{run_spec_service, status as campaign_status, ServiceConfig, ServiceOutcome};
 pub use spec::{
-    policy_by_name, policy_names, CsiQuality, Scenario, ScenarioSpec, SpeedClass, TrafficMix,
+    policy_by_name, policy_names, CsiQuality, MismatchLevel, Scenario, ScenarioSpec, SpeedClass,
+    TrafficMix,
 };
 // The policy registry is the campaign layer's resolution path for the
 // policy axis; re-exported so registry consumers (the CLI) need not depend

@@ -15,7 +15,7 @@
 use wcdma_admission::{BoxedPolicy, PolicyRegistry};
 use wcdma_mac::LinkDir;
 
-use crate::config::SimConfig;
+use crate::config::{MismatchConfig, SimConfig};
 
 /// Named traffic mixes — the per-class voice/web composition axis.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -174,6 +174,75 @@ impl CsiQuality {
     }
 }
 
+/// Named model-mismatch injection levels — the robustness axis: how far
+/// the *true* channel physics sit from the model the scheduler's eq.-24
+/// region assumes (see [`MismatchConfig`] and `docs/MISMATCH.md`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MismatchLevel {
+    /// No mismatch: the assumed model is the true model.
+    None,
+    /// True path-loss exponent 0.4 below the assumed 4.0: signals — and
+    /// interference — carry farther than the region believes.
+    Pathloss,
+    /// True shadowing σ 4 dB above the assumed 8 dB: fades run deeper than
+    /// the κ margin was sized for.
+    Shadow,
+    /// Both channel deltas plus bursty CSI feedback dropouts
+    /// (p = 0.05/frame, mean burst 10 frames).
+    Combined,
+}
+
+impl MismatchLevel {
+    /// Every level, in canonical order.
+    pub const ALL: [MismatchLevel; 4] = [
+        MismatchLevel::None,
+        MismatchLevel::Pathloss,
+        MismatchLevel::Shadow,
+        MismatchLevel::Combined,
+    ];
+
+    /// The registry name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            MismatchLevel::None => "none",
+            MismatchLevel::Pathloss => "pathloss",
+            MismatchLevel::Shadow => "shadow",
+            MismatchLevel::Combined => "combined",
+        }
+    }
+
+    /// Looks a level up by registry name.
+    pub fn by_name(name: &str) -> Option<Self> {
+        Self::ALL.into_iter().find(|m| m.name() == name)
+    }
+
+    /// The injection this level stands for.
+    pub fn mismatch_config(&self) -> MismatchConfig {
+        match self {
+            MismatchLevel::None => MismatchConfig::disabled(),
+            MismatchLevel::Pathloss => MismatchConfig {
+                pathloss_exponent_delta: -0.4,
+                ..MismatchConfig::disabled()
+            },
+            MismatchLevel::Shadow => MismatchConfig {
+                shadow_sigma_delta_db: 4.0,
+                ..MismatchConfig::disabled()
+            },
+            MismatchLevel::Combined => MismatchConfig {
+                pathloss_exponent_delta: -0.4,
+                shadow_sigma_delta_db: 4.0,
+                csi_dropout_p: 0.05,
+                csi_dropout_mean_frames: 10.0,
+            },
+        }
+    }
+
+    /// Applies the level to a scenario configuration.
+    pub fn apply(&self, cfg: &mut SimConfig) {
+        cfg.mismatch = self.mismatch_config();
+    }
+}
+
 /// Resolves a policy axis value — a [`PolicyRegistry`] name, optionally
 /// with `name:key=value` parameters — into a policy object.
 pub fn policy_by_name(name: &str) -> Option<BoxedPolicy> {
@@ -241,6 +310,9 @@ pub struct ScenarioSpec {
     pub hotspots: Vec<f64>,
     /// CSI feedback-quality axis.
     pub csi: Vec<CsiQuality>,
+    /// Model-mismatch axis (`[None]` = the exact model, the default; a
+    /// spec without the axis keeps today's artefacts and fingerprints).
+    pub mismatch: Vec<MismatchLevel>,
 }
 
 impl Default for ScenarioSpec {
@@ -261,6 +333,7 @@ impl Default for ScenarioSpec {
             loads: Vec::new(),
             hotspots: vec![1.0],
             csi: vec![CsiQuality::Ideal],
+            mismatch: vec![MismatchLevel::None],
         }
     }
 }
@@ -296,6 +369,11 @@ impl ScenarioSpec {
         if self.mixes.is_empty() || self.speeds.is_empty() || self.csi.is_empty() {
             return Err("mix, speed and csi axes must be non-empty".into());
         }
+        if self.mismatch.is_empty() {
+            return Err(
+                "mismatch axis must be non-empty (use [\"none\"] for the exact model)".into(),
+            );
+        }
         if self.hotspots.is_empty() {
             return Err("hotspot axis must be non-empty (use [1.0] for uniform)".into());
         }
@@ -328,12 +406,14 @@ impl ScenarioSpec {
             * self.speeds.len()
             * self.hotspots.len()
             * self.csi.len()
+            * self.mismatch.len()
             * self.loads.len().max(1)
             * self.policies.len()
     }
 
     /// Expands the matrix into concrete scenarios, in deterministic axis
-    /// order (mix ▸ speed ▸ hotspot ▸ csi ▸ load ▸ policy). Scenario `i`
+    /// order (mix ▸ speed ▸ hotspot ▸ csi ▸ mismatch ▸ load ▸ policy).
+    /// Scenario `i`
     /// gets the seed substream `mix_seed(self.seed, i + 1)`.
     pub fn expand(&self) -> Result<Vec<Scenario>, String> {
         self.validate()?;
@@ -350,40 +430,53 @@ impl ScenarioSpec {
         } else {
             self.loads.iter().map(|&n| Some(n)).collect()
         };
+        // Specs that never name the mismatch axis keep their pre-axis
+        // labels and artefact layout.
+        let mismatch_axis_visible = self.mismatch != [MismatchLevel::None];
         let mut out = Vec::with_capacity(self.n_scenarios());
         for &mix in &self.mixes {
             for &speed in &self.speeds {
                 for &hotspot in &self.hotspots {
                     for &csi in &self.csi {
-                        for &load in &loads {
-                            for policy in &self.policies {
-                                let mut cfg = base.clone();
-                                mix.apply(&mut cfg);
-                                cfg.speed_ms = speed.kmh() / 3.6;
-                                cfg.hotspot_overload = hotspot;
-                                csi.apply(&mut cfg);
-                                if let Some(n) = load {
-                                    cfg.n_data = n;
+                        for &mismatch in &self.mismatch {
+                            for &load in &loads {
+                                for policy in &self.policies {
+                                    let mut cfg = base.clone();
+                                    mix.apply(&mut cfg);
+                                    cfg.speed_ms = speed.kmh() / 3.6;
+                                    cfg.hotspot_overload = hotspot;
+                                    csi.apply(&mut cfg);
+                                    mismatch.apply(&mut cfg);
+                                    if let Some(n) = load {
+                                        cfg.n_data = n;
+                                    }
+                                    cfg.policy =
+                                        registry.resolve(policy).expect("validated policy name");
+                                    cfg.seed =
+                                        wcdma_math::mix_seed(self.seed, out.len() as u64 + 1);
+                                    let mut axes = vec![
+                                        ("mix".to_string(), mix.name().to_string()),
+                                        ("speed".to_string(), speed.name().to_string()),
+                                        ("hotspot".to_string(), format!("{hotspot}")),
+                                        ("csi".to_string(), csi.name().to_string()),
+                                    ];
+                                    if mismatch_axis_visible {
+                                        axes.push((
+                                            "mismatch".to_string(),
+                                            mismatch.name().to_string(),
+                                        ));
+                                    }
+                                    if let Some(n) = load {
+                                        axes.push(("load".to_string(), n.to_string()));
+                                    }
+                                    axes.push(("policy".to_string(), policy.clone()));
+                                    let label = axes
+                                        .iter()
+                                        .map(|(k, v)| format!("{k}={v}"))
+                                        .collect::<Vec<_>>()
+                                        .join("/");
+                                    out.push(Scenario { label, axes, cfg });
                                 }
-                                cfg.policy =
-                                    registry.resolve(policy).expect("validated policy name");
-                                cfg.seed = wcdma_math::mix_seed(self.seed, out.len() as u64 + 1);
-                                let mut axes = vec![
-                                    ("mix".to_string(), mix.name().to_string()),
-                                    ("speed".to_string(), speed.name().to_string()),
-                                    ("hotspot".to_string(), format!("{hotspot}")),
-                                    ("csi".to_string(), csi.name().to_string()),
-                                ];
-                                if let Some(n) = load {
-                                    axes.push(("load".to_string(), n.to_string()));
-                                }
-                                axes.push(("policy".to_string(), policy.clone()));
-                                let label = axes
-                                    .iter()
-                                    .map(|(k, v)| format!("{k}={v}"))
-                                    .collect::<Vec<_>>()
-                                    .join("/");
-                                out.push(Scenario { label, axes, cfg });
                             }
                         }
                     }
@@ -472,6 +565,15 @@ impl ScenarioSpec {
             "csi = [{}]",
             quoted(self.csi.iter().map(|c| c.name().to_string()).collect())
         );
+        // Written only when the axis departs from the default so that specs
+        // predating the axis render — and fingerprint — exactly as before.
+        if self.mismatch != [MismatchLevel::None] {
+            let _ = writeln!(
+                s,
+                "mismatch = [{}]",
+                quoted(self.mismatch.iter().map(|m| m.name().to_string()).collect())
+            );
+        }
         s
     }
 
@@ -789,6 +891,23 @@ fn apply_matrix_key(spec: &mut ScenarioSpec, key: &str, value: &Value) -> Result
                 })
                 .collect::<Result<_, _>>()?
         }
+        "mismatch" => {
+            spec.mismatch = items
+                .iter()
+                .map(|v| {
+                    let n = v.as_str()?;
+                    MismatchLevel::by_name(n).ok_or_else(|| {
+                        let known: Vec<&str> =
+                            MismatchLevel::ALL.iter().map(|m| m.name()).collect();
+                        format!(
+                            "unknown mismatch level {:?} (known: {})",
+                            n,
+                            known.join(", ")
+                        )
+                    })
+                })
+                .collect::<Result<_, _>>()?
+        }
         other => return Err(format!("unknown matrix axis {other:?}")),
     }
     Ok(())
@@ -913,6 +1032,7 @@ policy = [\"fcfs\"]
         reject("[matrix]\npolicy = \"bogus\"\n", "unknown policy");
         reject("[matrix]\nspeed = \"warp\"\n", "unknown speed");
         reject("[matrix]\ncsi = \"psychic\"\n", "unknown csi");
+        reject("[matrix]\nmismatch = \"chaos\"\n", "unknown mismatch");
         reject("[matrix]\nhotspot = -2.0\n", "positive");
         reject("[matrix]\nload = 0\n", "load axis");
         reject("link = \"sideways\"\n", "unknown link");
@@ -941,6 +1061,44 @@ policy = [\"fcfs\"]
         assert!(q.duration_s < spec.duration_s);
         assert!(q.replications <= 2);
         q.validate().expect("quickened spec stays valid");
+    }
+
+    #[test]
+    fn mismatch_axis_expands_applies_and_round_trips() {
+        let mut spec = paper_matrix();
+        spec.mismatch = vec![MismatchLevel::None, MismatchLevel::Shadow];
+        assert_eq!(spec.n_scenarios(), 24);
+        let scenarios = spec.expand().expect("mismatch axis expands");
+        assert_eq!(scenarios.len(), 24);
+        let shadowed = scenarios
+            .iter()
+            .find(|s| s.label.contains("mismatch=shadow"))
+            .unwrap();
+        assert_eq!(shadowed.cfg.mismatch.shadow_sigma_delta_db, 4.0);
+        assert_eq!(shadowed.cfg.mismatch.pathloss_exponent_delta, 0.0);
+        let exact = scenarios
+            .iter()
+            .find(|s| s.label.contains("mismatch=none"))
+            .unwrap();
+        assert_eq!(exact.cfg.mismatch, MismatchConfig::disabled());
+        let parsed = ScenarioSpec::parse(&spec.to_toml()).expect("round-trip");
+        assert_eq!(parsed, spec);
+    }
+
+    #[test]
+    fn default_mismatch_axis_is_invisible() {
+        // A spec that never names the axis renders, labels and fingerprints
+        // exactly as it did before the axis existed — old checkpoints and
+        // artefact trees stay valid.
+        let spec = paper_matrix();
+        assert!(!spec.to_toml().contains("mismatch"));
+        for sc in spec.expand().expect("expands") {
+            assert!(!sc.label.contains("mismatch"));
+            assert_eq!(sc.cfg.mismatch, MismatchConfig::disabled());
+        }
+        let mut explicit = spec.clone();
+        explicit.mismatch = vec![MismatchLevel::Combined];
+        assert_ne!(explicit.fingerprint(), spec.fingerprint());
     }
 
     #[test]

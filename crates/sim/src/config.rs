@@ -63,6 +63,85 @@ impl TrafficConfig {
     }
 }
 
+/// Model-mismatch fault injection: the gap between the channel model the
+/// scheduler *assumes* (the calibration behind the eq.-24 region and the
+/// κ shadowing margin) and the physics the network actually evolves under.
+///
+/// The deltas are applied to the **true** channel only — the scheduler
+/// keeps computing its admissible region from the unmodified urban
+/// defaults, so a non-zero delta means the region is *wrong* and every
+/// model-trusting policy silently over- or under-admits. The CSI dropout
+/// knob layers bursty feedback loss (the Gilbert model in
+/// [`wcdma_channel::CsiEstimator::with_dropout`]) on top of the existing
+/// delay/noise CSI axis.
+///
+/// All-zero (the [`MismatchConfig::disabled`] default) is **bit-identical**
+/// to the exact model: no extra RNG draws, no changed code paths (see
+/// `docs/MISMATCH.md`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MismatchConfig {
+    /// Added to the true channel's path-loss exponent (the assumed model
+    /// keeps the urban default 4.0). Negative ⇒ signals — and interference
+    /// — carry farther than the scheduler believes.
+    pub pathloss_exponent_delta: f64,
+    /// Added to the true channel's shadowing σ in dB (assumed default
+    /// 8.0). Positive ⇒ deeper fades than the κ margin was sized for.
+    pub shadow_sigma_delta_db: f64,
+    /// Per-frame probability that a CSI feedback dropout burst starts
+    /// (0 = feature off, no RNG draws).
+    pub csi_dropout_p: f64,
+    /// Mean dropout burst length in frames (≥ 1; geometric bursts).
+    pub csi_dropout_mean_frames: f64,
+}
+
+impl MismatchConfig {
+    /// No mismatch: the true channel equals the assumed channel.
+    pub fn disabled() -> Self {
+        Self {
+            pathloss_exponent_delta: 0.0,
+            shadow_sigma_delta_db: 0.0,
+            csi_dropout_p: 0.0,
+            csi_dropout_mean_frames: 1.0,
+        }
+    }
+
+    /// Whether any channel-model delta is active (dropout is tracked
+    /// separately because it perturbs the CSI pipeline, not the network).
+    pub fn channel_mismatch_active(&self) -> bool {
+        self.pathloss_exponent_delta != 0.0 || self.shadow_sigma_delta_db != 0.0
+    }
+
+    /// Validates the deltas against the urban-default assumed model.
+    // Negated comparisons are deliberate: they reject NaN-valued parameters,
+    // which the un-negated forms would silently accept.
+    #[allow(clippy::neg_cmp_op_on_partial_ord)]
+    pub fn validate(&self) -> Result<(), String> {
+        if !self.pathloss_exponent_delta.is_finite() || !(self.pathloss_exponent_delta > -4.0) {
+            return Err("path-loss exponent delta must be finite and > -4 \
+                 (true exponent must stay positive)"
+                .into());
+        }
+        if !self.shadow_sigma_delta_db.is_finite() || !(self.shadow_sigma_delta_db >= -8.0) {
+            return Err("shadowing sigma delta must be finite and >= -8 dB \
+                 (true sigma must stay non-negative)"
+                .into());
+        }
+        if !(0.0..1.0).contains(&self.csi_dropout_p) {
+            return Err("CSI dropout probability must be in [0, 1)".into());
+        }
+        if !(self.csi_dropout_mean_frames >= 1.0) {
+            return Err("CSI dropout mean burst length must be at least one frame".into());
+        }
+        Ok(())
+    }
+}
+
+impl Default for MismatchConfig {
+    fn default() -> Self {
+        Self::disabled()
+    }
+}
+
 /// Full scenario description.
 #[derive(Debug, Clone)]
 pub struct SimConfig {
@@ -132,6 +211,9 @@ pub struct SimConfig {
     /// a deterministic physical approximation (see `docs/DETERMINISM.md`).
     /// Must be 0 or ≥ `cdma.active_set_max` so soft hand-off still fills.
     pub candidate_k: usize,
+    /// Model-mismatch fault injection (assumed-vs-true channel split +
+    /// CSI dropout). Disabled by default; see [`MismatchConfig`].
+    pub mismatch: MismatchConfig,
     /// Candidate-list refresh cadence in frames (≥ 1). Part of the
     /// deterministic contract: two runs with the same `(candidate_k,
     /// candidate_refresh)` are bit-identical; changing the cadence changes
@@ -169,6 +251,7 @@ impl SimConfig {
             cold_sched: false,
             candidate_k: 0,
             candidate_refresh: 8,
+            mismatch: MismatchConfig::disabled(),
         }
     }
 
@@ -234,6 +317,7 @@ impl SimConfig {
         if self.candidate_k != 0 && self.candidate_k < self.cdma.active_set_max {
             return Err("candidate_k must be 0 (all cells) or >= active_set_max".into());
         }
+        self.mismatch.validate()?;
         Ok(())
     }
 
@@ -314,6 +398,15 @@ impl SimConfig {
         c
     }
 
+    /// Returns a copy with the given model-mismatch injection (robustness
+    /// sweep helper). [`MismatchConfig::disabled`] restores the exact
+    /// model bit-identically.
+    pub fn with_mismatch(&self, mismatch: MismatchConfig) -> Self {
+        let mut c = self.clone();
+        c.mismatch = mismatch;
+        c
+    }
+
     /// The paper's comparison table as deprecated [`Policy`] enum values —
     /// kept for the experiment drivers' signatures. The open, superset
     /// registry (including the policies the enum cannot express) is
@@ -388,6 +481,45 @@ mod tests {
         c.phy = PhyKind::Adaptive;
         let adaptive_tput = c.phy_model().avg_throughput(eps);
         assert!(adaptive_tput > fixed_tput);
+    }
+
+    #[test]
+    fn mismatch_validation() {
+        let base = SimConfig::baseline();
+        assert_eq!(base.mismatch, MismatchConfig::disabled());
+        assert!(!base.mismatch.channel_mismatch_active());
+        let m = MismatchConfig {
+            pathloss_exponent_delta: -0.4,
+            shadow_sigma_delta_db: 4.0,
+            csi_dropout_p: 0.05,
+            csi_dropout_mean_frames: 10.0,
+        };
+        assert!(m.channel_mismatch_active());
+        base.with_mismatch(m).validate().expect("valid mismatch");
+        for bad in [
+            MismatchConfig {
+                pathloss_exponent_delta: -4.0,
+                ..MismatchConfig::disabled()
+            },
+            MismatchConfig {
+                shadow_sigma_delta_db: -9.0,
+                ..MismatchConfig::disabled()
+            },
+            MismatchConfig {
+                csi_dropout_p: 1.0,
+                ..MismatchConfig::disabled()
+            },
+            MismatchConfig {
+                csi_dropout_mean_frames: 0.5,
+                ..MismatchConfig::disabled()
+            },
+            MismatchConfig {
+                pathloss_exponent_delta: f64::NAN,
+                ..MismatchConfig::disabled()
+            },
+        ] {
+            assert!(base.with_mismatch(bad).validate().is_err(), "{bad:?}");
+        }
     }
 
     #[test]

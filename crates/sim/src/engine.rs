@@ -34,7 +34,9 @@
 //! bit-identical results** (and the zero-allocation invariant still
 //! holds — the pool allocates nothing per frame).
 
-use wcdma_admission::{RequestState, SchedStats, Scheduler, SolveMode};
+use wcdma_admission::{
+    QosMonitor, RequestState, SchedStats, Scheduler, SolveMode, DEFAULT_QOS_WINDOW_FRAMES,
+};
 use wcdma_cdma::{
     hotspot_weights, populate_round_robin, populate_weighted, Network, SchGrant, UserKind,
 };
@@ -110,6 +112,11 @@ pub struct Simulation {
     deliver_partials: Vec<f64>,
     /// Persistent scratch: per-chunk finished-burst index lists.
     finished_chunks: Vec<Vec<usize>>,
+    /// Windowed in-loop QoS monitor feeding the scheduler's
+    /// [`wcdma_admission::QosFeedback`]. Only allocated when the policy
+    /// consumes feedback — model-trusting policies skip the monitor
+    /// entirely, keeping the hot path byte-identical to before.
+    qos_monitor: Option<QosMonitor>,
     /// Persistent scratch: the borrowed request views of one scheduling
     /// round (recycled across rounds via [`recycled`] — the `'static` is
     /// a placeholder lifetime for the empty, parked buffer).
@@ -133,6 +140,19 @@ impl Simulation {
         let layout = HexLayout::new(cfg.rings, cfg.cell_radius_m);
         let bound = layout.cell_radius() * (2.0 * cfg.rings as f64 + 1.0);
         let mut net = Network::new(cfg.cdma.clone(), layout, cfg.seed);
+        // Model-mismatch fault injection: the *network* (true physics)
+        // takes the shifted path-loss exponent / shadowing σ, while the
+        // scheduler below keeps its region and κ margin calibrated to the
+        // unmodified assumed model — exactly the split a miscalibrated
+        // deployment would have. Disabled deltas never touch the network,
+        // so the default model is bit-identical to before.
+        if cfg.mismatch.channel_mismatch_active() {
+            let true_pl = net
+                .pathloss_model()
+                .with_exponent_delta(cfg.mismatch.pathloss_exponent_delta);
+            let true_sigma = net.shadow_sigma_db() + cfg.mismatch.shadow_sigma_delta_db;
+            net.set_channel_model(true_pl, true_sigma);
+        }
         let mut scheduler = Scheduler::new(cfg.scheduler_config(), cfg.policy.clone());
         if cfg.cold_sched {
             scheduler.set_mode(SolveMode::Cold);
@@ -186,7 +206,9 @@ impl Simulation {
         net.set_frame_threads(cfg.frame_threads);
         // Candidate cell lists: 0 = every cell (exact, the default).
         net.set_candidates(cfg.candidate_k, cfg.candidate_refresh);
-        let ideal_csi = cfg.csi_error_sigma_db == 0.0 && cfg.csi_delay_frames == 0;
+        let ideal_csi = cfg.csi_error_sigma_db == 0.0
+            && cfg.csi_delay_frames == 0
+            && cfg.mismatch.csi_dropout_p == 0.0;
         let csi_pipes = (0..total)
             .map(|j| {
                 // O(1) data-user check: voice users carry no traffic source.
@@ -194,16 +216,30 @@ impl Simulation {
                     None
                 } else {
                     let mk = |tag: u64| {
-                        CsiEstimator::new(
+                        let est = CsiEstimator::new(
                             cfg.csi_delay_frames,
                             cfg.csi_error_sigma_db,
                             Xoshiro256pp::substream(cfg.seed, mix_seed(tag, j as u64)),
-                        )
+                        );
+                        if cfg.mismatch.csi_dropout_p > 0.0 {
+                            est.with_dropout(
+                                cfg.mismatch.csi_dropout_p,
+                                cfg.mismatch.csi_dropout_mean_frames,
+                            )
+                        } else {
+                            est
+                        }
                     };
                     Some((mk(0xC51F), mk(0xC51B)))
                 }
             })
             .collect();
+        // The QoS feedback loop only exists for measurement-based
+        // policies; everything else runs the untouched fast path.
+        let qos_monitor = cfg
+            .policy
+            .uses_feedback()
+            .then(|| QosMonitor::new(DEFAULT_QOS_WINDOW_FRAMES));
         Self {
             observed_ebi0: vec![(0.0, 0.0); total],
             cfg,
@@ -223,6 +259,7 @@ impl Simulation {
             finished: Vec::new(),
             deliver_partials: Vec::new(),
             finished_chunks: Vec::new(),
+            qos_monitor,
             req_scratch: Vec::new(),
             new_pos: vec![Point::new(0.0, 0.0); total],
             sched_reqs: Vec::new(),
@@ -328,8 +365,46 @@ impl Simulation {
 
         // 2. Network update.
         self.net.step(dt);
-        if self.recording() && self.net.any_overloaded() {
+        // The overload flag feeds both the stats counter and (for
+        // measurement-based policies) the QoS monitor; skip the query
+        // entirely when neither consumer is live.
+        let overloaded =
+            (self.recording() || self.qos_monitor.is_some()) && self.net.any_overloaded();
+        if self.recording() && overloaded {
             self.stats.overload_events += 1;
+        }
+        // 2a. In-loop QoS observation: per cell, did this frame break the
+        // admissible region's own contract? Forward — the power budget
+        // clamp engaged (demand past P_max); reverse — received power rose
+        // past the region's interference limit L_max. Both are ~zero
+        // without bursts, grow with burst admission, and grow further when
+        // the true channel is harsher than the assumed model — the QoS-hold
+        // signal of the robustness campaigns. Serial over K cells: cheap,
+        // and trivially identical for every thread count.
+        {
+            let lmax = self.scheduler.config().lmax_w;
+            let flags = self.net.overloaded_flags();
+            let rev = self.net.reverse_load_w();
+            let mut fwd_viol = 0u64;
+            let mut rev_viol = 0u64;
+            for (i, &l) in rev.iter().enumerate() {
+                fwd_viol += flags[i] as u64;
+                rev_viol += (l > lmax) as u64;
+            }
+            let k = rev.len() as u64;
+            if self.recording() {
+                self.stats.outage_samples += 2 * k;
+                self.stats.outage_events += fwd_viol + rev_viol;
+            }
+            // Feed the windowed monitor every frame (warm-up included —
+            // the feedback loop is part of the policy, not of the
+            // statistics window) and republish to the scheduler when a
+            // window closes, before this frame's scheduling round.
+            if let Some(mon) = self.qos_monitor.as_mut() {
+                if mon.record_frame(k, fwd_viol, k, rev_viol, overloaded) {
+                    self.scheduler.set_feedback(*mon.feedback());
+                }
+            }
         }
 
         // 2b. CSI feedback pipelines: what the scheduler will *see* this

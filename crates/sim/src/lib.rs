@@ -35,7 +35,7 @@ pub use campaign::{
     campaign_status, merge_dirs, run_campaign, run_spec, run_spec_service, CampaignResult,
     Scenario, ScenarioSpec, ServiceConfig, ServiceOutcome,
 };
-pub use config::{PhyKind, SimConfig, TrafficConfig};
+pub use config::{MismatchConfig, PhyKind, SimConfig, TrafficConfig};
 pub use engine::Simulation;
 pub use runner::{run_replications, Aggregate};
 pub use stats::{ReplicationStats, SimReport, SimStats};

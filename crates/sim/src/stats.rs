@@ -28,6 +28,13 @@ pub struct SimStats {
     pub bursts_completed: u64,
     /// Forward-overload (clamp) frame events.
     pub overload_events: u64,
+    /// Cell-frame samples in the stats window (cells × frames × both
+    /// directions): the denominator of the observed outage rate.
+    pub outage_samples: u64,
+    /// Cell-frame samples that broke the admissible region's contract —
+    /// forward power demand past `P_max` (clamp engaged) or reverse
+    /// received power past `L_max` — the QoS-hold numerator.
+    pub outage_events: u64,
     /// MAC setup delays incurred (s).
     pub setup_delay: Welford,
     /// Window length (s) the rates are normalised by.
@@ -49,6 +56,8 @@ impl SimStats {
             request_rounds: 0,
             bursts_completed: 0,
             overload_events: 0,
+            outage_samples: 0,
+            outage_events: 0,
             setup_delay: Welford::new(),
             window_s: 0.0,
         }
@@ -83,6 +92,11 @@ impl SimStats {
                 0.0
             },
             overload_events: self.overload_events,
+            outage_rate: if self.outage_samples > 0 {
+                self.outage_events as f64 / self.outage_samples as f64
+            } else {
+                0.0
+            },
             grant_hist: self.grant_hist.bins().to_vec(),
         }
     }
@@ -123,6 +137,11 @@ pub struct SimReport {
     pub denial_rate: f64,
     /// Forward-overload clamp events.
     pub overload_events: u64,
+    /// Observed outage rate: fraction of cell-frame samples that broke
+    /// the admissible region's contract (forward `P_max` clamp or reverse
+    /// power past `L_max`) — the QoS-hold metric of the robustness
+    /// campaigns.
+    pub outage_rate: f64,
     /// Histogram of granted m values (16 bins for m = 1..=16).
     pub grant_hist: Vec<u64>,
 }
@@ -141,7 +160,7 @@ impl SimReport {
             hist.join(",")
         };
         format!(
-            "{:016x} {:016x} {:016x} {:016x} {:016x} {} {:016x} {:016x} {:016x} {:016x} {:016x} {:016x} {} {}",
+            "{:016x} {:016x} {:016x} {:016x} {:016x} {} {:016x} {:016x} {:016x} {:016x} {:016x} {:016x} {} {:016x} {}",
             self.mean_delay_s.to_bits(),
             self.p95_delay_s.to_bits(),
             self.max_delay_s.to_bits(),
@@ -155,6 +174,7 @@ impl SimReport {
             self.mean_delta_beta.to_bits(),
             self.denial_rate.to_bits(),
             self.overload_events,
+            self.outage_rate.to_bits(),
             hist
         )
     }
@@ -165,9 +185,9 @@ impl SimReport {
     /// message naming the offending token.
     pub fn decode_record(record: &str) -> Result<SimReport, String> {
         let toks: Vec<&str> = record.split_ascii_whitespace().collect();
-        if toks.len() != 14 {
+        if toks.len() != 15 {
             return Err(format!(
-                "truncated report record: expected 14 fields, found {}",
+                "truncated report record: expected 15 fields, found {}",
                 toks.len()
             ));
         }
@@ -181,10 +201,10 @@ impl SimReport {
                 .parse::<u64>()
                 .map_err(|_| format!("bad {what} count {:?} in report record", toks[i]))
         };
-        let grant_hist = if toks[13] == "-" {
+        let grant_hist = if toks[14] == "-" {
             Vec::new()
         } else {
-            toks[13]
+            toks[14]
                 .split(',')
                 .map(|b| {
                     b.parse::<u64>()
@@ -205,6 +225,7 @@ impl SimReport {
         let mean_delta_beta = f(10, "mean_delta_beta")?;
         let denial_rate = f(11, "denial_rate")?;
         let overload_events = u(12, "overload_events")?;
+        let outage_rate = f(13, "outage_rate")?;
         Ok(SimReport {
             mean_delay_s,
             p95_delay_s,
@@ -219,6 +240,7 @@ impl SimReport {
             mean_delta_beta,
             denial_rate,
             overload_events,
+            outage_rate,
             grant_hist,
         })
     }
@@ -252,6 +274,8 @@ pub struct ReplicationStats {
     pub mean_grant_m: Welford,
     /// Denial rate.
     pub denial_rate: Welford,
+    /// Observed outage (SIR-violation) rate.
+    pub outage_rate: Welford,
     /// Bursts completed per replication.
     pub bursts_completed: Welford,
 }
@@ -275,6 +299,7 @@ impl ReplicationStats {
             .push(r.per_user_throughput_kbps);
         self.mean_grant_m.push(r.mean_grant_m);
         self.denial_rate.push(r.denial_rate);
+        self.outage_rate.push(r.outage_rate);
         self.bursts_completed.push(r.bursts_completed as f64);
     }
 
@@ -292,7 +317,7 @@ impl ReplicationStats {
     /// checkpoint journal snapshots the full fold state through this (via
     /// [`Welford::to_raw_parts`]) so a resumed or merged fold can be
     /// verified bit-identical to the fold that streamed the artefact row.
-    pub fn welfords(&self) -> [&Welford; 10] {
+    pub fn welfords(&self) -> [&Welford; 11] {
         [
             &self.mean_delay_s,
             &self.p95_delay_s,
@@ -303,6 +328,7 @@ impl ReplicationStats {
             &self.per_user_throughput_kbps,
             &self.mean_grant_m,
             &self.denial_rate,
+            &self.outage_rate,
             &self.bursts_completed,
         ]
     }
@@ -404,12 +430,27 @@ mod tests {
         assert!(err.contains("report record"), "{err}");
         // Trailing garbage.
         let err = SimReport::decode_record(&format!("{record} extra")).expect_err("trailing");
-        assert!(err.contains("14 fields"), "{err}");
+        assert!(err.contains("15 fields"), "{err}");
         // Empty histogram encodes as `-` and decodes back to empty.
         let mut empty = report.clone();
         empty.grant_hist = Vec::new();
         let back = SimReport::decode_record(&empty.encode_record()).unwrap();
         assert!(back.grant_hist.is_empty());
+    }
+
+    #[test]
+    fn outage_rate_normalises_by_samples() {
+        let mut s = SimStats::new();
+        s.outage_samples = 200;
+        s.outage_events = 7;
+        s.window_s = 1.0;
+        let r = s.report(1, 1);
+        assert!((r.outage_rate - 0.035).abs() < 1e-12);
+        // No samples ⇒ rate 0, not NaN.
+        assert_eq!(SimStats::new().report(1, 1).outage_rate, 0.0);
+        // And it survives the journal record round-trip bit-exactly.
+        let back = SimReport::decode_record(&r.encode_record()).unwrap();
+        assert_eq!(back.outage_rate.to_bits(), r.outage_rate.to_bits());
     }
 
     #[test]

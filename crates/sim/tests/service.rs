@@ -7,7 +7,7 @@
 use std::path::{Path, PathBuf};
 
 use wcdma_sim::campaign::journal::{JOURNAL_FILE, MANIFEST_FILE};
-use wcdma_sim::campaign::spec::TrafficMix;
+use wcdma_sim::campaign::spec::{MismatchLevel, TrafficMix};
 use wcdma_sim::{campaign_status, merge_dirs, run_spec_service, ScenarioSpec, ServiceConfig};
 
 fn tmpdir(tag: &str) -> PathBuf {
@@ -207,6 +207,68 @@ fn three_slices_merge_byte_identical_to_single_process() {
         .into_iter()
         .chain([ref_dir, remerged, merged, partial])
     {
+        std::fs::remove_dir_all(&d).unwrap();
+    }
+}
+
+/// The model-mismatch axis rides through the service layer like any other
+/// scenario parameter: a feedback-driven policy under injected faults is
+/// still byte-identical across kill-and-resume and slice-merge.
+#[test]
+fn mismatch_axis_survives_resume_and_slicing() {
+    let mut spec = ScenarioSpec {
+        name: "svc-mm".into(),
+        replications: 1,
+        duration_s: 6.0,
+        warmup_s: 1.0,
+        ..ScenarioSpec::default()
+    };
+    spec.mixes = vec![TrafficMix::DataOnly];
+    spec.loads = vec![3];
+    spec.mismatch = vec![MismatchLevel::None, MismatchLevel::Combined];
+    spec.policies = vec!["measured-region".into()];
+
+    let ref_dir = tmpdir("mm-ref");
+    let out = run_spec_service(&spec, &ref_dir, &svc(|_| {})).expect("uninterrupted run");
+    assert!(out.finished);
+    assert_eq!(out.newly_run, 2);
+    let ref_csv = std::fs::read_to_string(ref_dir.join("svc-mm.csv")).unwrap();
+    assert!(ref_csv.contains("mismatch=combined"), "{ref_csv}");
+    assert!(ref_csv.contains("outage_rate"), "{ref_csv}");
+
+    // Killed between the two cells, resumed.
+    let dir = tmpdir("mm-resume");
+    let out = run_spec_service(&spec, &dir, &svc(|c| c.max_cells = Some(1))).expect("first leg");
+    assert!(!out.finished);
+    let out = run_spec_service(&spec, &dir, &svc(|_| {})).expect("resume");
+    assert!(out.finished);
+    assert_eq!(
+        std::fs::read_to_string(dir.join("svc-mm.csv")).unwrap(),
+        ref_csv
+    );
+
+    // Two slices, merged.
+    let slices: Vec<PathBuf> = (1..=2).map(|i| tmpdir(&format!("mm-s{i}"))).collect();
+    for (i, d) in slices.iter().enumerate() {
+        let out = run_spec_service(
+            &spec,
+            d,
+            &svc(|c| {
+                c.slice_index = i + 1;
+                c.slice_count = 2;
+            }),
+        )
+        .expect("slice run");
+        assert!(out.finished);
+    }
+    let merged = tmpdir("mm-merged");
+    merge_dirs(&slices, &merged).expect("merge of two slices");
+    assert_eq!(
+        std::fs::read_to_string(merged.join("svc-mm.csv")).unwrap(),
+        ref_csv
+    );
+
+    for d in slices.into_iter().chain([ref_dir, dir, merged]) {
         std::fs::remove_dir_all(&d).unwrap();
     }
 }

@@ -1,0 +1,175 @@
+//! Model-mismatch fault injection (docs/MISMATCH.md): the assumed-vs-true
+//! channel split, CSI dropout bursts, and the measurement-based admission
+//! policies that hold QoS when the eq.-24 region is computed from wrong
+//! model parameters.
+//!
+//! Two contracts are pinned here:
+//!
+//! * **Inertness at defaults** — with every mismatch knob at its disabled
+//!   value the new code paths are bit-identical to the exact model (the
+//!   stored-fixture side of this contract is `tests/canonical_order.rs`,
+//!   whose golden hash did not move in this PR).
+//! * **Determinism of the faults** — an injected fault is a scenario
+//!   parameter like any other: same seed ⇒ same run, bit-identical across
+//!   `frame_threads`, for every CSI-quality × dropout combination.
+
+use wcdma::admission::PolicyRegistry;
+use wcdma::mac::LinkDir;
+use wcdma::sim::trace::run_with_trace;
+use wcdma::sim::{MismatchConfig, SimConfig, Simulation};
+
+/// A small mixed cell, long enough for hand-offs and candidate refreshes.
+fn small_cfg() -> SimConfig {
+    let mut cfg = SimConfig::baseline();
+    cfg.n_voice = 16;
+    cfg.n_data = 6;
+    cfg.duration_s = 8.0;
+    cfg.warmup_s = 1.0;
+    cfg.seed = 0x4D15;
+    cfg
+}
+
+#[test]
+fn disabled_knobs_are_bit_identical_to_the_exact_model() {
+    // `disabled()` IS the default: baseline configs carry it already.
+    assert_eq!(MismatchConfig::default(), MismatchConfig::disabled());
+
+    let (base_report, base_trace) = run_with_trace(small_cfg());
+    // Zero deltas and zero dropout probability must be the exact model —
+    // including when the (irrelevant while p = 0) burst-length knob moves.
+    let zeroed = MismatchConfig {
+        pathloss_exponent_delta: 0.0,
+        shadow_sigma_delta_db: 0.0,
+        csi_dropout_p: 0.0,
+        csi_dropout_mean_frames: 25.0,
+    };
+    let (report, trace) = run_with_trace(small_cfg().with_mismatch(zeroed));
+    assert_eq!(base_report, report, "disabled mismatch must be inert");
+    assert_eq!(base_trace, trace, "decision stream must be untouched");
+}
+
+#[test]
+fn channel_mismatch_perturbs_and_replays_deterministically() {
+    let fault = MismatchConfig {
+        shadow_sigma_delta_db: 4.0,
+        pathloss_exponent_delta: -0.4,
+        ..MismatchConfig::disabled()
+    };
+    let base = Simulation::new(small_cfg()).run();
+    let faulted = Simulation::new(small_cfg().with_mismatch(fault)).run();
+    assert_ne!(
+        base, faulted,
+        "a +4 dB σ / −0.4 exponent fault must change the run"
+    );
+    // Same seed, same fault ⇒ same run; and the fault is a pure scenario
+    // parameter, so the chunk-order fold keeps it thread-invariant.
+    let replay = Simulation::new(small_cfg().with_mismatch(fault)).run();
+    assert_eq!(faulted, replay, "fault injection must replay exactly");
+    for threads in [2, 4] {
+        let multi =
+            Simulation::new(small_cfg().with_mismatch(fault).with_frame_threads(threads)).run();
+        assert_eq!(
+            faulted, multi,
+            "faulted run differs at {threads} frame threads"
+        );
+    }
+}
+
+/// CSI dropout composes with the existing estimation-error/delay knobs
+/// (the `CsiQuality` axis) and stays bit-identical across `frame_threads`.
+#[test]
+fn csi_dropout_composes_with_csi_quality_across_frame_threads() {
+    let dropout = MismatchConfig {
+        csi_dropout_p: 0.1,
+        csi_dropout_mean_frames: 25.0,
+        ..MismatchConfig::disabled()
+    };
+    // (σ_err dB, delay frames): the campaign's "delayed" and "degraded"
+    // CSI-quality levels. Vehicular speed so a half-second dropout burst
+    // holds CSI that is actually wrong, not just slightly aged.
+    for (sigma_db, delay) in [(0.0, 4), (2.0, 4)] {
+        let mut cfg = small_cfg().with_speed_kmh(60.0);
+        cfg.csi_error_sigma_db = sigma_db;
+        cfg.csi_delay_frames = delay;
+        let clean = Simulation::new(cfg.clone()).run();
+        let dropped = Simulation::new(cfg.with_mismatch(dropout)).run();
+        assert_ne!(
+            clean, dropped,
+            "σ={sigma_db} delay={delay}: dropout bursts must perturb the run"
+        );
+        for threads in [2, 4] {
+            let multi =
+                Simulation::new(cfg.with_mismatch(dropout).with_frame_threads(threads)).run();
+            assert_eq!(
+                dropped, multi,
+                "σ={sigma_db} delay={delay}: dropout run differs at {threads} frame threads"
+            );
+        }
+    }
+}
+
+/// The operating point of the `model-mismatch` builtin campaign: reverse
+/// link, heavy web bursts, a 2× hotspot centre cell — the region runs
+/// close enough to its `L_max` contract that admitting on wrong model
+/// parameters has consequences.
+fn stressed_cfg(policy: &str) -> SimConfig {
+    let mut cfg = SimConfig::baseline().with_direction(LinkDir::Reverse);
+    cfg.n_data = 32;
+    cfg.hotspot_overload = 2.0;
+    cfg.traffic.mean_burst_bits = 192_000.0;
+    cfg.duration_s = 20.0;
+    cfg.warmup_s = 4.0;
+    cfg.seed = 0x4D4D;
+    cfg.policy = PolicyRegistry::standard().resolve(policy).expect(policy);
+    cfg
+}
+
+/// The headline robustness claim (ISSUE 10 acceptance criterion): under a
+/// +4 dB shadowing mismatch the eq.-24 region admits bursts its own
+/// contract cannot carry, while the measurement-based policies — fed the
+/// in-loop QoS window instead of the assumed model — hold the violation
+/// rate down near the no-fault level.
+#[test]
+fn measured_policies_hold_qos_where_the_region_violates_it() {
+    let shadow = MismatchConfig {
+        shadow_sigma_delta_db: 4.0,
+        ..MismatchConfig::disabled()
+    };
+    let region_clean = Simulation::new(stressed_cfg("jaba-sd-j2")).run();
+    let region_fault = Simulation::new(stressed_cfg("jaba-sd-j2").with_mismatch(shadow)).run();
+    let measured = Simulation::new(stressed_cfg("measured-region").with_mismatch(shadow)).run();
+    let graceful =
+        Simulation::new(stressed_cfg("graceful-degradation").with_mismatch(shadow)).run();
+
+    // The fault must matter: the model-trusting region degrades hard.
+    assert!(
+        region_fault.outage_rate > 1.5 * region_clean.outage_rate,
+        "σ mismatch must inflate the region's violation rate: \
+         {:.4} (clean) vs {:.4} (faulted)",
+        region_clean.outage_rate,
+        region_fault.outage_rate
+    );
+    // Both measurement-based policies hold the same fault well below the
+    // model-trusting policy — and at or below the clean operating level.
+    for (name, report) in [
+        ("measured-region", &measured),
+        ("graceful-degradation", &graceful),
+    ] {
+        assert!(
+            report.outage_rate < 0.6 * region_fault.outage_rate,
+            "{name} must hold QoS under the fault: {:.4} vs jaba-sd {:.4}",
+            report.outage_rate,
+            region_fault.outage_rate
+        );
+        assert!(
+            report.outage_rate <= region_clean.outage_rate + 1e-12,
+            "{name} under fault ({:.4}) must not exceed the clean region level ({:.4})",
+            report.outage_rate,
+            region_clean.outage_rate
+        );
+        assert!(
+            report.bursts_completed > 0,
+            "{name} must still serve traffic while shedding: {report:?}"
+        );
+    }
+}
